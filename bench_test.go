@@ -1,0 +1,166 @@
+// Benchmarks regenerating the paper's evaluation, one per table/figure.
+// Each benchmark drives the same harness as cmd/experiments at a reduced
+// size so `go test -bench=.` stays tractable; run cmd/experiments for the
+// full laptop-scale reproduction.
+package rdffrag_test
+
+import (
+	"strings"
+	"testing"
+
+	"rdffrag"
+	"rdffrag/internal/bench"
+)
+
+func benchSuite() *bench.Suite {
+	return bench.NewSuite(bench.Config{
+		DBpediaTriples: 4000,
+		DBpediaQueries: 500,
+		WatDivTriples:  3000,
+		WatDivQueries:  300,
+		Sites:          6,
+		Workers:        2,
+		Clients:        4,
+		SampleFraction: 0.02,
+		Seed:           20160315,
+	})
+}
+
+// BenchmarkFig8MinSupVsFAPs regenerates Figure 8(a): minSup sweep vs
+// number of mined frequent access patterns.
+func BenchmarkFig8MinSupVsFAPs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchSuite().Fig8a(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8Coverage regenerates Figure 8(b): FAP count vs workload
+// hitting ratio.
+func BenchmarkFig8Coverage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchSuite().Fig8b(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9Throughput regenerates Figure 9: queries/minute for SHAPE,
+// WARP, VF and HF on both datasets.
+func BenchmarkFig9Throughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchSuite().Fig9(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10ResponseTime regenerates Figure 10: average per-query
+// response time for the four strategies.
+func BenchmarkFig10ResponseTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchSuite().Fig10(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig11Scalability regenerates Figure 11: the WatDiv size sweep
+// for VF and HF.
+func BenchmarkFig11Scalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchSuite().Fig11(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig12BenchmarkQueries regenerates Figure 12: the 20 WatDiv
+// benchmark queries across the four strategies.
+func BenchmarkFig12BenchmarkQueries(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchSuite().Fig12(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1Redundancy regenerates Table 1: redundancy ratios.
+func BenchmarkTable1Redundancy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchSuite().Table1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2OfflineTime regenerates Table 2: partitioning + loading
+// time per strategy.
+func BenchmarkTable2OfflineTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchSuite().Table2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeployVertical measures the whole offline pipeline through the
+// public API (mine → select → fragment → allocate → dictionary).
+func BenchmarkDeployVertical(b *testing.B) {
+	nt := exampleNT()
+	wl := exampleWorkload()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db := rdffrag.Open(rdffrag.Config{Sites: 3, MinSupport: 0.2})
+		if _, err := db.LoadNTriples(strings.NewReader(nt)); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := db.Deploy(wl); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryVertical measures online query latency through the public
+// API on a small deployment.
+func BenchmarkQueryVertical(b *testing.B) {
+	db := rdffrag.Open(rdffrag.Config{Sites: 3, MinSupport: 0.2})
+	if _, err := db.LoadNTriples(strings.NewReader(exampleNT())); err != nil {
+		b.Fatal(err)
+	}
+	dep, err := db.Deploy(exampleWorkload())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dep.Query(`SELECT ?x ?n WHERE { ?x <name> ?n . ?x <mainInterest> ?i . }`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func exampleNT() string {
+	var sb strings.Builder
+	names := []string{"Aristotle", "Plato", "Kant", "Hume", "Hegel", "Marx", "Nietzsche", "Frege"}
+	for i, n := range names {
+		sb.WriteString("<" + n + "> <name> \"" + n + "\" .\n")
+		sb.WriteString("<" + n + "> <mainInterest> <Topic" + string(rune('A'+i%3)) + "> .\n")
+		if i > 0 {
+			sb.WriteString("<" + n + "> <influencedBy> <" + names[i-1] + "> .\n")
+		}
+	}
+	return sb.String()
+}
+
+func exampleWorkload() []string {
+	return []string{
+		`SELECT ?x ?n WHERE { ?x <name> ?n . ?x <mainInterest> ?i . }`,
+		`SELECT ?x ?n WHERE { ?x <name> ?n . ?x <mainInterest> ?i . }`,
+		`SELECT ?x WHERE { ?x <influencedBy> ?y . ?y <name> ?n . }`,
+		`SELECT ?x WHERE { ?x <influencedBy> ?y . ?y <name> ?n . }`,
+	}
+}

@@ -1,0 +1,94 @@
+// Command datagen emits synthetic corpora in the formats cmd/rdffrag
+// consumes: an N-Triples data file and a workload file (queries separated
+// by '---' lines).
+//
+// Usage:
+//
+//	datagen -kind dbpedia -triples 10000 -queries 500 -out /tmp/corpus
+//	datagen -kind watdiv  -triples 20000 -queries 300 -out /tmp/corpus
+//
+// produces <out>.nt and <out>.rq.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"rdffrag/internal/rdf"
+	"rdffrag/internal/sparql"
+	"rdffrag/internal/watdiv"
+	"rdffrag/internal/workload"
+)
+
+func main() {
+	var (
+		kind    = flag.String("kind", "dbpedia", "corpus kind: dbpedia or watdiv")
+		triples = flag.Int("triples", 10000, "approximate dataset size")
+		queries = flag.Int("queries", 500, "workload length")
+		out     = flag.String("out", "corpus", "output path prefix")
+		seed    = flag.Uint64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	var graph *rdf.Graph
+	var log []*sparql.Graph
+	switch *kind {
+	case "dbpedia":
+		db, err := workload.GenerateDBpedia(workload.DBpediaOptions{
+			Triples: *triples, Queries: *queries, Seed: *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		graph, log = db.Graph, db.Log
+	case "watdiv":
+		ds := watdiv.Generate(watdiv.Options{Triples: *triples, Seed: *seed})
+		wl, err := ds.GenerateWorkload(*queries, *seed+1)
+		if err != nil {
+			fatal(err)
+		}
+		graph, log = ds.Graph, wl
+	default:
+		fatal(fmt.Errorf("unknown kind %q", *kind))
+	}
+
+	ntPath := *out + ".nt"
+	f, err := os.Create(ntPath)
+	if err != nil {
+		fatal(err)
+	}
+	if err := rdf.WriteNTriples(graph, f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+
+	rqPath := *out + ".rq"
+	wf, err := os.Create(rqPath)
+	if err != nil {
+		fatal(err)
+	}
+	bw := bufio.NewWriter(wf)
+	for i, q := range log {
+		if i > 0 {
+			fmt.Fprintln(bw, "---")
+		}
+		fmt.Fprintf(bw, "SELECT * WHERE { %s }\n", q.StringWithDict(graph.Dict))
+	}
+	if err := bw.Flush(); err != nil {
+		fatal(err)
+	}
+	if err := wf.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d triples) and %s (%d queries)\n",
+		ntPath, graph.NumTriples(), rqPath, len(log))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "datagen:", err)
+	os.Exit(1)
+}

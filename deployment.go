@@ -1,0 +1,249 @@
+package rdffrag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rdffrag/internal/allocation"
+	"rdffrag/internal/cluster"
+	"rdffrag/internal/dict"
+	"rdffrag/internal/exec"
+	"rdffrag/internal/fap"
+	"rdffrag/internal/fragment"
+	"rdffrag/internal/mining"
+	"rdffrag/internal/rdf"
+	"rdffrag/internal/sparql"
+)
+
+// Deployment is a fragmented, allocated, query-ready store.
+type Deployment struct {
+	db       *DB
+	cfg      Config
+	workload []*sparql.Graph
+	hc       *fragment.HotCold
+	mined    []*mining.Pattern
+	sel      *fap.Selection
+	frag     *fragment.Fragmentation
+	alloc    *allocation.Allocation
+	dict     *dict.Dictionary
+	cluster  *cluster.Cluster
+	engine   *exec.Engine
+}
+
+// Result is a decoded query answer.
+type Result struct {
+	Vars []string
+	Rows [][]string
+	// Stats carries execution metrics for the answered query.
+	Stats QueryStats
+}
+
+// QueryStats summarizes one query's distributed execution.
+type QueryStats struct {
+	Subqueries       int
+	SitesTouched     int
+	IntermediateRows int
+}
+
+// Query parses, decomposes, optimizes and executes a SPARQL query.
+func (dep *Deployment) Query(query string) (*Result, error) {
+	q, err := sparql.NewParser(dep.db.graph.Dict).Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return dep.QueryParsed(q)
+}
+
+// QueryParsed executes an already-parsed query graph.
+func (dep *Deployment) QueryParsed(q *sparql.Graph) (*Result, error) {
+	b, stats, err := dep.engine.Query(q)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Vars: b.Vars,
+		Stats: QueryStats{
+			Subqueries:       stats.Subqueries,
+			SitesTouched:     stats.SitesTouched,
+			IntermediateRows: stats.IntermediateRows,
+		},
+	}
+	d := dep.db.graph.Dict
+	for _, row := range b.Rows {
+		out := make([]string, len(row))
+		for i, id := range row {
+			if id == rdf.NoID {
+				out[i] = ""
+				continue
+			}
+			out[i] = d.Decode(id).String()
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	if len(q.OrderBy) > 0 {
+		applyOrderBy(res, q.OrderBy)
+		if q.Limit > 0 && len(res.Rows) > q.Limit {
+			res.Rows = res.Rows[:q.Limit]
+		}
+	}
+	return res, nil
+}
+
+// applyOrderBy sorts decoded rows lexicographically by the given keys.
+func applyOrderBy(res *Result, keys []sparql.OrderKey) {
+	pos := make(map[string]int, len(res.Vars))
+	for i, v := range res.Vars {
+		pos[v] = i
+	}
+	sort.SliceStable(res.Rows, func(i, j int) bool {
+		for _, k := range keys {
+			c, ok := pos[k.Var]
+			if !ok {
+				continue
+			}
+			a, b := res.Rows[i][c], res.Rows[j][c]
+			if a == b {
+				continue
+			}
+			if k.Desc {
+				return a > b
+			}
+			return a < b
+		}
+		return false
+	})
+}
+
+// DeployStats summarizes the offline pipeline's outcome.
+type DeployStats struct {
+	Strategy         Strategy
+	Sites            int
+	Triples          int
+	HotTriples       int
+	ColdTriples      int
+	MinedPatterns    int
+	SelectedPatterns int
+	Fragments        int
+	Redundancy       float64
+	WorkloadCoverage float64
+	Balance          float64
+}
+
+// Stats reports the deployment's structural metrics (Figures 8, Table 1).
+// Mining-related fields are zero for deployments restored with
+// LoadDeployment (the snapshot stores fragments, not the mining run).
+func (dep *Deployment) Stats() DeployStats {
+	s := DeployStats{
+		Strategy:    dep.cfg.Strategy,
+		Sites:       dep.cfg.Sites,
+		Triples:     dep.db.graph.NumTriples(),
+		HotTriples:  dep.hc.Hot.NumTriples(),
+		ColdTriples: dep.hc.Cold.NumTriples(),
+		Fragments:   len(dep.frag.Fragments),
+		Redundancy:  dep.frag.Redundancy(dep.db.graph),
+		Balance:     dep.alloc.Balance(),
+	}
+	s.MinedPatterns = len(dep.mined)
+	if dep.sel != nil {
+		s.SelectedPatterns = len(dep.sel.Patterns)
+	}
+	if len(dep.workload) > 0 {
+		s.WorkloadCoverage = mining.Coverage(dep.mined, dep.workload)
+	}
+	return s
+}
+
+// Explanation is a human-oriented description of how a query would run.
+type Explanation struct {
+	// Subqueries renders each subquery: its BGP text, classification and
+	// the fragment/site pairs it would read.
+	Subqueries []ExplainStep
+	// JoinOrder lists subquery indices in execution order.
+	JoinOrder []int
+	// DecompositionCost and PlanCost are the optimizer estimates.
+	DecompositionCost float64
+	PlanCost          float64
+}
+
+// ExplainStep is one subquery of an explanation.
+type ExplainStep struct {
+	Text          string
+	Kind          string // "pattern", "cold" or "global"
+	EstimatedCard int
+	Fragments     []FragmentRef
+}
+
+// FragmentRef names a fragment and its site.
+type FragmentRef struct {
+	ID   int
+	Site int
+	Size int
+}
+
+// Explain plans a query without executing it: decomposition, join order
+// and fragment routing.
+func (dep *Deployment) Explain(query string) (*Explanation, error) {
+	q, err := sparql.NewParser(dep.db.graph.Dict).Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := dep.engine.Explain(q)
+	if err != nil {
+		return nil, err
+	}
+	ex := &Explanation{
+		JoinOrder:         inner.JoinOrder,
+		DecompositionCost: inner.DecompositionCost,
+		PlanCost:          inner.PlanCost,
+	}
+	for _, st := range inner.Subqueries {
+		step := ExplainStep{
+			Kind:          "pattern",
+			EstimatedCard: st.Card,
+			Text:          q.EdgeSubgraph(st.Edges).StringWithDict(dep.db.graph.Dict),
+		}
+		if st.Cold {
+			step.Kind = "cold"
+		} else if st.Global {
+			step.Kind = "global"
+		}
+		for _, f := range st.Fragments {
+			step.Fragments = append(step.Fragments, FragmentRef{ID: f.ID, Site: f.Site, Size: f.Size})
+		}
+		ex.Subqueries = append(ex.Subqueries, step)
+	}
+	return ex, nil
+}
+
+// String renders the explanation as indented text.
+func (ex *Explanation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "decomposition cost %.0f, plan cost %.0f, join order %v\n",
+		ex.DecompositionCost, ex.PlanCost, ex.JoinOrder)
+	for i, st := range ex.Subqueries {
+		fmt.Fprintf(&b, "  q%d [%s, card≈%d] %s\n", i, st.Kind, st.EstimatedCard, st.Text)
+		for _, f := range st.Fragments {
+			fmt.Fprintf(&b, "      fragment %d @ site %d (%d edges)\n", f.ID, f.Site, f.Size)
+		}
+	}
+	return b.String()
+}
+
+// NetworkStats returns cumulative simulated network traffic.
+func (dep *Deployment) NetworkStats() (messages, bytes int64) {
+	return dep.cluster.Net.Snapshot()
+}
+
+// ResetNetworkStats zeroes the traffic counters.
+func (dep *Deployment) ResetNetworkStats() { dep.cluster.Net.Reset() }
+
+// Describe renders a human-readable deployment summary.
+func (dep *Deployment) Describe() string {
+	s := dep.Stats()
+	return fmt.Sprintf(
+		"strategy=%s sites=%d triples=%d (hot %d / cold %d) mined=%d selected=%d fragments=%d redundancy=%.2f coverage=%.1f%% balance=%.2f",
+		s.Strategy, s.Sites, s.Triples, s.HotTriples, s.ColdTriples,
+		s.MinedPatterns, s.SelectedPatterns, s.Fragments, s.Redundancy,
+		100*s.WorkloadCoverage, s.Balance)
+}

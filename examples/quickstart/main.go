@@ -1,0 +1,57 @@
+// Quickstart: load a tiny RDF graph, deploy with a workload, run a query.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"rdffrag"
+)
+
+const data = `
+<alice> <knows> <bob> .
+<alice> <name> "Alice" .
+<bob> <knows> <carol> .
+<bob> <name> "Bob" .
+<carol> <name> "Carol" .
+<carol> <worksAt> <acme> .
+<acme> <name> "ACME Corp" .
+<acme> <located> <berlin> .
+`
+
+// The workload teaches the system which shapes matter: here, name lookups
+// joined with the social graph.
+var workload = []string{
+	`SELECT ?x ?n WHERE { ?x <knows> ?y . ?x <name> ?n . }`,
+	`SELECT ?x ?n WHERE { ?x <knows> ?y . ?x <name> ?n . }`,
+	`SELECT ?x ?n WHERE { ?x <knows> ?y . ?x <name> ?n . }`,
+	`SELECT ?c WHERE { ?x <worksAt> ?c . ?c <name> ?m . }`,
+	`SELECT ?c WHERE { ?x <worksAt> ?c . ?c <name> ?m . }`,
+}
+
+func main() {
+	db := rdffrag.Open(rdffrag.Config{Sites: 2, MinSupport: 0.2})
+	if _, err := db.LoadNTriples(strings.NewReader(data)); err != nil {
+		log.Fatal(err)
+	}
+
+	dep, err := db.Deploy(workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("deployment:", dep.Describe())
+
+	res, err := dep.Query(`SELECT ?who ?n WHERE { ?who <knows> ?other . ?other <name> ?n . }`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nwho knows whom (by name):")
+	for _, row := range res.Rows {
+		fmt.Printf("  %s -> %s\n", row[0], row[1])
+	}
+	fmt.Printf("\nexecuted as %d subqueries touching %d site(s)\n",
+		res.Stats.Subqueries, res.Stats.SitesTouched)
+}

@@ -1,0 +1,72 @@
+// WatDiv example: generate a WatDiv-like benchmark dataset, deploy both
+// fragmentation strategies, and compare the 20 benchmark queries
+// (Figure 12 at example scale).
+//
+//	go run ./examples/watdiv
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"rdffrag"
+	"rdffrag/internal/watdiv"
+)
+
+func main() {
+	ds := watdiv.Generate(watdiv.Options{Triples: 5000, Seed: 42})
+	fmt.Printf("generated WatDiv-like dataset: %d triples\n", ds.Graph.NumTriples())
+
+	// Render the dataset as strings through the public API.
+	db := map[rdffrag.Strategy]*rdffrag.DB{}
+	for _, s := range []rdffrag.Strategy{rdffrag.Vertical, rdffrag.Horizontal} {
+		db[s] = rdffrag.Open(rdffrag.Config{Strategy: s, Sites: 5, MinSupport: 0.01})
+	}
+	for _, t := range ds.Graph.Triples() {
+		s := ds.Graph.Dict.Decode(t.S).Value
+		p := ds.Graph.Dict.Decode(t.P).Value
+		o := ds.Graph.Dict.Decode(t.O)
+		for _, d := range db {
+			if o.Kind == 1 { // literal
+				d.AddTripleLit(s, p, o.Value)
+			} else {
+				d.AddTriple(s, p, o.Value)
+			}
+		}
+	}
+
+	// Workload: 300 template-instantiated queries.
+	wl, err := ds.GenerateWorkload(300, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var wlText []string
+	for _, q := range wl {
+		wlText = append(wlText, "SELECT * WHERE { "+q.StringWithDict(ds.Graph.Dict)+" }")
+	}
+
+	bench, names, err := ds.BenchmarkQueries(11)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, s := range []rdffrag.Strategy{rdffrag.Vertical, rdffrag.Horizontal} {
+		dep, err := db[s].Deploy(wlText)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n--- %s ---\n%s\n", s, dep.Describe())
+		fmt.Printf("%-5s %10s %6s %6s\n", "query", "time", "rows", "sites")
+		for i, q := range bench {
+			text := "SELECT * WHERE { " + q.StringWithDict(ds.Graph.Dict) + " }"
+			t0 := time.Now()
+			res, err := dep.Query(text)
+			if err != nil {
+				log.Fatalf("%s: %v", names[i], err)
+			}
+			fmt.Printf("%-5s %10s %6d %6d\n", names[i], time.Since(t0).Round(10*time.Microsecond),
+				len(res.Rows), res.Stats.SitesTouched)
+		}
+	}
+}

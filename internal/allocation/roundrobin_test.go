@@ -1,0 +1,59 @@
+package allocation
+
+import (
+	"testing"
+)
+
+func TestRoundRobinCompleteAndDisjoint(t *testing.T) {
+	fr, _, _ := buildFragmentation(t)
+	alloc := RoundRobin(fr, 3)
+	if len(alloc.Sites) != 3 {
+		t.Fatalf("sites = %d", len(alloc.Sites))
+	}
+	seen := map[int]bool{}
+	for _, site := range alloc.Sites {
+		for _, f := range site {
+			if seen[f.ID] {
+				t.Errorf("fragment %d allocated twice", f.ID)
+			}
+			seen[f.ID] = true
+		}
+	}
+	want := len(fr.Fragments)
+	if fr.Cold != nil && fr.Cold.Graph.NumTriples() > 0 {
+		want++
+	}
+	if len(seen) != want {
+		t.Errorf("allocated %d, want %d", len(seen), want)
+	}
+	// Round-robin spreads counts evenly (±1, plus possibly the cold one).
+	counts := make([]int, 3)
+	for s, site := range alloc.Sites {
+		counts[s] = len(site)
+	}
+	max, min := counts[0], counts[0]
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+		if c < min {
+			min = c
+		}
+	}
+	if max-min > 2 {
+		t.Errorf("round robin uneven: %v", counts)
+	}
+}
+
+func TestRoundRobinSingleSite(t *testing.T) {
+	fr, _, _ := buildFragmentation(t)
+	alloc := RoundRobin(fr, 1)
+	if len(alloc.Sites) != 1 {
+		t.Fatalf("sites = %d", len(alloc.Sites))
+	}
+	for id, s := range alloc.SiteOf {
+		if s != 0 {
+			t.Errorf("fragment %d on site %d", id, s)
+		}
+	}
+}

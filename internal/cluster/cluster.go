@@ -1,0 +1,212 @@
+// Package cluster simulates the distributed substrate of the paper's
+// evaluation (Section 8.1: a 10-machine cluster running gStore per site
+// with MPI joins). Sites are worker-pool goroutines holding fragment
+// graphs; the network layer is channel-based RPC with byte and message
+// accounting, so experiments can compare the communication behaviour of
+// fragmentation strategies without real sockets. See DESIGN.md §3 for the
+// substitution rationale.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rdffrag/internal/match"
+	"rdffrag/internal/rdf"
+	"rdffrag/internal/sparql"
+)
+
+// Delay models network cost: every message pays PerMessage, plus PerKB
+// per kilobyte shipped. Zero values mean an idealized free network (the
+// default, used by unit tests); the benchmark harness configures LAN-like
+// delays so that communication cost — the quantity the paper's
+// fragmentation strategies optimize — actually shows up in measurements.
+type Delay struct {
+	PerMessage time.Duration
+	PerKB      time.Duration
+}
+
+func (d Delay) wait(bytes int) {
+	if d.PerMessage == 0 && d.PerKB == 0 {
+		return
+	}
+	time.Sleep(d.PerMessage + time.Duration(bytes/1024)*d.PerKB)
+}
+
+// NetStats accumulates simulated network traffic.
+type NetStats struct {
+	Messages atomic.Int64
+	Bytes    atomic.Int64
+}
+
+// Snapshot returns the current counters.
+func (n *NetStats) Snapshot() (messages, bytes int64) {
+	return n.Messages.Load(), n.Bytes.Load()
+}
+
+// Reset zeroes the counters.
+func (n *NetStats) Reset() {
+	n.Messages.Store(0)
+	n.Bytes.Store(0)
+}
+
+// Cluster is a set of sites plus the control site's view of the network.
+type Cluster struct {
+	Sites []*Site
+	Net   NetStats
+	// Latency simulates network transfer cost per Eval round trip. Set
+	// it before issuing queries; LAN-like values are ~100–500µs per
+	// message. Transfers serialize on the control site's full-duplex
+	// link: a broadcast to m sites pays m request transfers on the way
+	// out and m response transfers on the way back — the communication
+	// cost the paper's fragmentation strategies compete on.
+	Latency Delay
+
+	outLink sync.Mutex // control site's send link
+	inLink  sync.Mutex // control site's receive link
+}
+
+func (c *Cluster) sendRequest(bytes int) {
+	if c.Latency.PerMessage == 0 && c.Latency.PerKB == 0 {
+		return
+	}
+	c.outLink.Lock()
+	c.Latency.wait(bytes)
+	c.outLink.Unlock()
+}
+
+func (c *Cluster) receiveResponse(bytes int) {
+	if c.Latency.PerMessage == 0 && c.Latency.PerKB == 0 {
+		return
+	}
+	c.inLink.Lock()
+	c.Latency.wait(bytes)
+	c.inLink.Unlock()
+}
+
+// Site is one computing node: a set of fragment graphs and a bounded
+// worker pool serializing local work, which models per-machine capacity
+// for the throughput experiments.
+type Site struct {
+	ID    int
+	frags map[int]*rdf.Graph
+	mu    sync.RWMutex
+	sem   chan struct{} // limits concurrent local evaluations
+}
+
+// New creates a cluster of m sites with the given per-site worker count
+// (the paper's machines have 4 cores; workers models that capacity).
+func New(m, workersPerSite int) *Cluster {
+	if m < 1 {
+		m = 1
+	}
+	if workersPerSite < 1 {
+		workersPerSite = 1
+	}
+	c := &Cluster{Sites: make([]*Site, m)}
+	for i := range c.Sites {
+		c.Sites[i] = &Site{
+			ID:    i,
+			frags: make(map[int]*rdf.Graph),
+			sem:   make(chan struct{}, workersPerSite),
+		}
+	}
+	return c
+}
+
+// Place stores a fragment graph at a site.
+func (c *Cluster) Place(siteID, fragID int, g *rdf.Graph) error {
+	if siteID < 0 || siteID >= len(c.Sites) {
+		return fmt.Errorf("cluster: site %d out of range", siteID)
+	}
+	s := c.Sites[siteID]
+	s.mu.Lock()
+	s.frags[fragID] = g
+	s.mu.Unlock()
+	return nil
+}
+
+// FragmentIDs lists the fragments stored at a site.
+func (c *Cluster) FragmentIDs(siteID int) []int {
+	s := c.Sites[siteID]
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := make([]int, 0, len(s.frags))
+	for id := range s.frags {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// EvalRequest asks one site to evaluate a subquery over some of its
+// fragments and ship the variable bindings back.
+type EvalRequest struct {
+	SiteID  int
+	FragIDs []int
+	Query   *sparql.Graph
+	// Filter optionally restricts vertex bindings (minterm push-down).
+	Filter func(qv int, id rdf.ID) bool
+}
+
+// Eval performs a synchronous request/response round trip to a site: one
+// request message, local evaluation under the site's worker pool, one
+// response message carrying the bindings. Results from multiple fragments
+// are unioned and deduplicated (fragments may overlap).
+func (c *Cluster) Eval(req EvalRequest) (*match.Bindings, error) {
+	if req.SiteID < 0 || req.SiteID >= len(c.Sites) {
+		return nil, fmt.Errorf("cluster: site %d out of range", req.SiteID)
+	}
+	s := c.Sites[req.SiteID]
+	reqBytes := estimateQueryBytes(req.Query)
+	c.Net.Messages.Add(1)
+	c.Net.Bytes.Add(int64(reqBytes))
+	c.sendRequest(reqBytes)
+
+	// Resolve fragment graphs up front.
+	s.mu.RLock()
+	graphs := make([]*rdf.Graph, len(req.FragIDs))
+	for i, fid := range req.FragIDs {
+		g, ok := s.frags[fid]
+		if !ok {
+			s.mu.RUnlock()
+			return nil, fmt.Errorf("cluster: fragment %d not at site %d", fid, req.SiteID)
+		}
+		graphs[i] = g
+	}
+	s.mu.RUnlock()
+
+	// Evaluate fragments in parallel under the site's worker pool: the
+	// paper's horizontal fragmentation wins latency exactly because a
+	// site's (or cluster's) cores scan several small fragments at once
+	// instead of one big one.
+	found := make([][]match.Match, len(graphs))
+	var wg sync.WaitGroup
+	for i, g := range graphs {
+		wg.Add(1)
+		go func(i int, g *rdf.Graph) {
+			defer wg.Done()
+			s.sem <- struct{}{} // acquire a worker
+			found[i] = match.Find(req.Query, g, match.Options{VertexFilter: req.Filter})
+			<-s.sem
+		}(i, g)
+	}
+	wg.Wait()
+	var all []match.Match
+	for _, f := range found {
+		all = append(all, f...)
+	}
+
+	b := match.ToBindings(req.Query, all)
+	b.Dedup()
+	respBytes := len(b.Rows) * len(b.Vars) * 4
+	c.Net.Messages.Add(1)
+	c.Net.Bytes.Add(int64(respBytes))
+	c.receiveResponse(respBytes)
+	return b, nil
+}
+
+func estimateQueryBytes(q *sparql.Graph) int {
+	return 16*len(q.Edges) + 8*len(q.Verts)
+}

@@ -1,0 +1,157 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+
+	"rdffrag/internal/match"
+	"rdffrag/internal/rdf"
+	"rdffrag/internal/sparql"
+)
+
+func TestPlaceAndEval(t *testing.T) {
+	c := New(2, 2)
+	g := rdf.NewGraph(nil)
+	g.AddTerms(rdf.NewIRI("a"), rdf.NewIRI("p"), rdf.NewIRI("b"))
+	g.AddTerms(rdf.NewIRI("c"), rdf.NewIRI("p"), rdf.NewIRI("d"))
+	if err := c.Place(1, 7, g); err != nil {
+		t.Fatalf("Place: %v", err)
+	}
+	q := sparql.MustParse(g.Dict, `SELECT ?x WHERE { ?x <p> ?y . }`)
+	b, err := c.Eval(EvalRequest{SiteID: 1, FragIDs: []int{7}, Query: q})
+	if err != nil {
+		t.Fatalf("Eval: %v", err)
+	}
+	if len(b.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(b.Rows))
+	}
+	msgs, bytes := c.Net.Snapshot()
+	if msgs != 2 {
+		t.Errorf("messages = %d, want 2 (request+response)", msgs)
+	}
+	if bytes <= 0 {
+		t.Errorf("bytes = %d", bytes)
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	c := New(1, 1)
+	d := rdf.NewDict()
+	q := sparql.MustParse(d, `SELECT ?x WHERE { ?x <p> ?y . }`)
+	if _, err := c.Eval(EvalRequest{SiteID: 5, Query: q}); err == nil {
+		t.Error("out-of-range site accepted")
+	}
+	if _, err := c.Eval(EvalRequest{SiteID: 0, FragIDs: []int{1}, Query: q}); err == nil {
+		t.Error("missing fragment accepted")
+	}
+	if err := c.Place(9, 0, rdf.NewGraph(d)); err == nil {
+		t.Error("Place out of range accepted")
+	}
+}
+
+func TestEvalDedupAcrossFragments(t *testing.T) {
+	c := New(1, 1)
+	d := rdf.NewDict()
+	g1 := rdf.NewGraph(d)
+	g1.AddTerms(rdf.NewIRI("a"), rdf.NewIRI("p"), rdf.NewIRI("b"))
+	g2 := rdf.NewGraph(d)
+	g2.AddTerms(rdf.NewIRI("a"), rdf.NewIRI("p"), rdf.NewIRI("b")) // overlap
+	g2.AddTerms(rdf.NewIRI("x"), rdf.NewIRI("p"), rdf.NewIRI("y"))
+	c.Place(0, 1, g1)
+	c.Place(0, 2, g2)
+	q := sparql.MustParse(d, `SELECT * WHERE { ?s <p> ?o . }`)
+	b, err := c.Eval(EvalRequest{SiteID: 0, FragIDs: []int{1, 2}, Query: q})
+	if err != nil {
+		t.Fatalf("Eval: %v", err)
+	}
+	if len(b.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 after dedup", len(b.Rows))
+	}
+}
+
+func TestEvalConcurrentSafety(t *testing.T) {
+	c := New(4, 2)
+	d := rdf.NewDict()
+	g := rdf.NewGraph(d)
+	for i := 0; i < 50; i++ {
+		g.AddTerms(rdf.NewIRI(string(rune('a'+i%26))), rdf.NewIRI("p"), rdf.NewIRI("o"))
+	}
+	for s := 0; s < 4; s++ {
+		c.Place(s, s, g)
+	}
+	q := sparql.MustParse(d, `SELECT ?x WHERE { ?x <p> ?o . }`)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := c.Eval(EvalRequest{SiteID: i % 4, FragIDs: []int{i % 4}, Query: q}); err != nil {
+				t.Errorf("Eval: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func mkBindings(vars []string, rows ...[]rdf.ID) *match.Bindings {
+	return &match.Bindings{Vars: vars, Rows: rows}
+}
+
+func TestHashJoinShared(t *testing.T) {
+	l := mkBindings([]string{"x", "y"}, []rdf.ID{1, 2}, []rdf.ID{3, 4})
+	r := mkBindings([]string{"y", "z"}, []rdf.ID{2, 9}, []rdf.ID{2, 8}, []rdf.ID{5, 7})
+	j := HashJoin(l, r)
+	if len(j.Vars) != 3 || j.Vars[2] != "z" {
+		t.Fatalf("vars = %v", j.Vars)
+	}
+	if len(j.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(j.Rows))
+	}
+	for _, row := range j.Rows {
+		if row[0] != 1 || row[1] != 2 {
+			t.Errorf("unexpected row %v", row)
+		}
+	}
+}
+
+func TestHashJoinCartesian(t *testing.T) {
+	l := mkBindings([]string{"a"}, []rdf.ID{1}, []rdf.ID{2})
+	r := mkBindings([]string{"b"}, []rdf.ID{3}, []rdf.ID{4})
+	j := HashJoin(l, r)
+	if len(j.Rows) != 4 {
+		t.Fatalf("cartesian rows = %d, want 4", len(j.Rows))
+	}
+}
+
+func TestHashJoinEmpty(t *testing.T) {
+	l := mkBindings([]string{"a"})
+	r := mkBindings([]string{"a"}, []rdf.ID{1})
+	if j := HashJoin(l, r); len(j.Rows) != 0 {
+		t.Errorf("join with empty side produced %d rows", len(j.Rows))
+	}
+}
+
+func TestUnionDedups(t *testing.T) {
+	a := mkBindings([]string{"x"}, []rdf.ID{1}, []rdf.ID{2})
+	b := mkBindings([]string{"x"}, []rdf.ID{2}, []rdf.ID{3})
+	u := Union(a, b, nil)
+	if len(u.Rows) != 3 {
+		t.Fatalf("union rows = %d, want 3", len(u.Rows))
+	}
+}
+
+func TestProject(t *testing.T) {
+	b := mkBindings([]string{"x", "y"}, []rdf.ID{1, 9}, []rdf.ID{1, 8}, []rdf.ID{2, 7})
+	p := Project(b, []string{"x"})
+	if len(p.Vars) != 1 || p.Vars[0] != "x" {
+		t.Fatalf("vars = %v", p.Vars)
+	}
+	if len(p.Rows) != 2 {
+		t.Fatalf("projected rows = %d, want 2 (dedup)", len(p.Rows))
+	}
+	// Projecting onto an unknown var keeps known ones only.
+	p2 := Project(b, []string{"z", "y"})
+	if len(p2.Vars) != 1 || p2.Vars[0] != "y" {
+		t.Errorf("vars = %v", p2.Vars)
+	}
+}

@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"rdffrag/internal/match"
+	"rdffrag/internal/rdf"
+)
+
+// HashJoin joins two binding tables on their shared variables, the
+// control-site join of Section 7.3. With no shared variables it degrades
+// to a Cartesian product. Output columns are left's variables followed by
+// right's non-shared variables.
+func HashJoin(left, right *match.Bindings) *match.Bindings {
+	shared, rightOnly := alignVars(left.Vars, right.Vars)
+
+	out := &match.Bindings{Vars: append(append([]string(nil), left.Vars...), names(right.Vars, rightOnly)...)}
+	if len(left.Rows) == 0 || len(right.Rows) == 0 {
+		return out
+	}
+
+	if len(shared) == 0 {
+		for _, lr := range left.Rows {
+			for _, rr := range right.Rows {
+				out.Rows = append(out.Rows, mergeRows(lr, rr, rightOnly))
+			}
+		}
+		return out
+	}
+
+	// Hash the right side on the shared columns, probe with the left.
+	table := make(map[string][]int, len(right.Rows))
+	for i, rr := range right.Rows {
+		k := joinKey(rr, shared, false)
+		table[k] = append(table[k], i)
+	}
+	for _, lr := range left.Rows {
+		for _, ri := range table[joinKey(lr, shared, true)] {
+			out.Rows = append(out.Rows, mergeRows(lr, right.Rows[ri], rightOnly))
+		}
+	}
+	return out
+}
+
+// colPair pairs the positions of one shared variable in both tables.
+type colPair struct{ l, r int }
+
+// alignVars returns (shared pairs of column indices, right-only columns).
+func alignVars(lv, rv []string) (shared []colPair, rightOnly []int) {
+	pos := make(map[string]int, len(lv))
+	for i, v := range lv {
+		pos[v] = i
+	}
+	for j, v := range rv {
+		if i, ok := pos[v]; ok {
+			shared = append(shared, colPair{i, j})
+		} else {
+			rightOnly = append(rightOnly, j)
+		}
+	}
+	return
+}
+
+func names(vars []string, idx []int) []string {
+	out := make([]string, len(idx))
+	for i, j := range idx {
+		out[i] = vars[j]
+	}
+	return out
+}
+
+func joinKey(row []rdf.ID, keys []colPair, left bool) string {
+	b := make([]byte, 0, len(keys)*4)
+	for _, k := range keys {
+		var v rdf.ID
+		if left {
+			v = row[k.l]
+		} else {
+			v = row[k.r]
+		}
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}
+
+func mergeRows(lr, rr []rdf.ID, rightOnly []int) []rdf.ID {
+	out := make([]rdf.ID, 0, len(lr)+len(rightOnly))
+	out = append(out, lr...)
+	for _, j := range rightOnly {
+		out = append(out, rr[j])
+	}
+	return out
+}
+
+// Union merges binding tables with identical variable sets, deduplicating
+// rows; used when a subquery is evaluated on several fragments or sites.
+func Union(bs ...*match.Bindings) *match.Bindings {
+	var out *match.Bindings
+	for _, b := range bs {
+		if b == nil {
+			continue
+		}
+		if out == nil {
+			out = &match.Bindings{Vars: b.Vars}
+		}
+		out.Rows = append(out.Rows, b.Rows...)
+	}
+	if out == nil {
+		return &match.Bindings{}
+	}
+	out.Dedup()
+	return out
+}
+
+// Project keeps only the named columns, deduplicating rows. Variables not
+// present in the table are ignored.
+func Project(b *match.Bindings, vars []string) *match.Bindings {
+	if len(vars) == 0 {
+		return b
+	}
+	var idx []int
+	var kept []string
+	pos := make(map[string]int, len(b.Vars))
+	for i, v := range b.Vars {
+		pos[v] = i
+	}
+	for _, v := range vars {
+		if i, ok := pos[v]; ok {
+			idx = append(idx, i)
+			kept = append(kept, v)
+		}
+	}
+	out := &match.Bindings{Vars: kept}
+	for _, r := range b.Rows {
+		row := make([]rdf.ID, len(idx))
+		for i, j := range idx {
+			row[i] = r[j]
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	out.Dedup()
+	return out
+}

@@ -1,0 +1,40 @@
+package cluster
+
+import (
+	"testing"
+
+	"rdffrag/internal/match"
+	"rdffrag/internal/rdf"
+)
+
+func benchTable(n int, vars []string) *match.Bindings {
+	b := &match.Bindings{Vars: vars}
+	for i := 0; i < n; i++ {
+		row := make([]rdf.ID, len(vars))
+		for j := range row {
+			row[j] = rdf.ID((i*7 + j*13) % 97)
+		}
+		b.Rows = append(b.Rows, row)
+	}
+	return b
+}
+
+func BenchmarkHashJoin(b *testing.B) {
+	l := benchTable(2000, []string{"x", "y"})
+	r := benchTable(2000, []string{"y", "z"})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		HashJoin(l, r)
+	}
+}
+
+func BenchmarkUnionDedup(b *testing.B) {
+	x := benchTable(3000, []string{"x", "y"})
+	y := benchTable(3000, []string{"x", "y"})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Union(x, y)
+	}
+}

@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"rdffrag/internal/match"
+	"rdffrag/internal/rdf"
+)
+
+// randomBindings builds a small random binding table over the given vars.
+func randomBindings(seed int64, vars []string, rows int) *match.Bindings {
+	r := rand.New(rand.NewSource(seed))
+	b := &match.Bindings{Vars: vars}
+	for i := 0; i < rows; i++ {
+		row := make([]rdf.ID, len(vars))
+		for j := range row {
+			row[j] = rdf.ID(r.Intn(4))
+		}
+		b.Rows = append(b.Rows, row)
+	}
+	return b
+}
+
+// canonicalRows renders a binding table as a sorted multiset of
+// var=value strings, so tables can be compared independent of row and
+// column order.
+func canonicalRows(b *match.Bindings) []string {
+	out := make([]string, 0, len(b.Rows))
+	order := make([]int, len(b.Vars))
+	names := append([]string(nil), b.Vars...)
+	sort.Strings(names)
+	pos := map[string]int{}
+	for i, v := range b.Vars {
+		pos[v] = i
+	}
+	for i, v := range names {
+		order[i] = pos[v]
+	}
+	for _, r := range b.Rows {
+		s := ""
+		for i, v := range names {
+			s += v + "=" + string(rune('0'+int(r[order[i]]))) + ";"
+		}
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalMultiset(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestHashJoinCommutativeProperty: A ⋈ B ≡ B ⋈ A up to column order.
+func TestHashJoinCommutativeProperty(t *testing.T) {
+	f := func(s1, s2 int64) bool {
+		a := randomBindings(s1, []string{"x", "y"}, 6)
+		b := randomBindings(s2, []string{"y", "z"}, 6)
+		ab := HashJoin(a, b)
+		ba := HashJoin(b, a)
+		return equalMultiset(canonicalRows(ab), canonicalRows(ba))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHashJoinAssociativeProperty: (A ⋈ B) ⋈ C ≡ A ⋈ (B ⋈ C).
+func TestHashJoinAssociativeProperty(t *testing.T) {
+	f := func(s1, s2, s3 int64) bool {
+		a := randomBindings(s1, []string{"x", "y"}, 5)
+		b := randomBindings(s2, []string{"y", "z"}, 5)
+		c := randomBindings(s3, []string{"z", "w"}, 5)
+		l := HashJoin(HashJoin(a, b), c)
+		r := HashJoin(a, HashJoin(b, c))
+		return equalMultiset(canonicalRows(l), canonicalRows(r))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHashJoinMatchesNestedLoopProperty: the hash join agrees with a
+// naive nested-loop join oracle.
+func TestHashJoinMatchesNestedLoopProperty(t *testing.T) {
+	f := func(s1, s2 int64) bool {
+		a := randomBindings(s1, []string{"x", "y"}, 6)
+		b := randomBindings(s2, []string{"y", "z"}, 6)
+		got := HashJoin(a, b)
+		var oracle match.Bindings
+		oracle.Vars = []string{"x", "y", "z"}
+		for _, ra := range a.Rows {
+			for _, rb := range b.Rows {
+				if ra[1] == rb[0] {
+					oracle.Rows = append(oracle.Rows, []rdf.ID{ra[0], ra[1], rb[1]})
+				}
+			}
+		}
+		return equalMultiset(canonicalRows(got), canonicalRows(&oracle))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestUnionIdempotentProperty: Union(A, A) has the same distinct rows as
+// Union(A).
+func TestUnionIdempotentProperty(t *testing.T) {
+	f := func(s int64) bool {
+		a := randomBindings(s, []string{"x", "y"}, 8)
+		once := Union(a)
+		twice := Union(a, a)
+		return equalMultiset(canonicalRows(once), canonicalRows(twice))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestProjectThenProjectProperty: projecting twice equals projecting once
+// onto the narrower set.
+func TestProjectThenProjectProperty(t *testing.T) {
+	f := func(s int64) bool {
+		a := randomBindings(s, []string{"x", "y", "z"}, 8)
+		p1 := Project(Project(a, []string{"x", "y"}), []string{"x"})
+		p2 := Project(a, []string{"x"})
+		return equalMultiset(canonicalRows(p1), canonicalRows(p2))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,56 @@
+package decompose_test
+
+import (
+	"testing"
+
+	"rdffrag/internal/decompose"
+	"rdffrag/internal/sparql"
+)
+
+func TestNaiveDecomposition(t *testing.T) {
+	d, env := newDecomposer(t, false)
+	d.Naive = true
+	q := sparql.MustParse(env.G.Dict,
+		`SELECT ?x WHERE { ?x <name> ?n . ?x <mainInterest> ?i . ?x <viaf> ?v . }`)
+	dcp, err := d.Decompose(q)
+	if err != nil {
+		t.Fatalf("Decompose: %v", err)
+	}
+	// 2 hot single-edge subqueries + 1 cold.
+	if len(dcp.Subqueries) != 3 {
+		t.Fatalf("subqueries = %d, want 3", len(dcp.Subqueries))
+	}
+	for _, sq := range dcp.Subqueries {
+		if len(sq.EdgeIdx) != 1 {
+			t.Errorf("naive subquery covers %d edges", len(sq.EdgeIdx))
+		}
+	}
+}
+
+func TestNaiveNeverCheaperThanOptimal(t *testing.T) {
+	opt, env := newDecomposer(t, false)
+	naive := &decompose.Decomposer{Dict: env.Dict, HC: env.HC, Naive: true}
+	queries := []string{
+		`SELECT ?x WHERE { ?x <name> ?n . ?x <mainInterest> ?i . }`,
+		`SELECT ?x WHERE { ?x <placeOfDeath> ?c . ?c <country> ?k . ?c <postalCode> ?z . }`,
+		`SELECT ?x WHERE { ?x <name> ?n . ?x <influencedBy> <Person1> . }`,
+	}
+	for _, qs := range queries {
+		q := sparql.MustParse(env.G.Dict, qs)
+		od, err := opt.Decompose(q)
+		if err != nil {
+			t.Fatalf("optimal Decompose(%s): %v", qs, err)
+		}
+		nd, err := naive.Decompose(q)
+		if err != nil {
+			t.Fatalf("naive Decompose(%s): %v", qs, err)
+		}
+		if od.Cost > nd.Cost {
+			t.Errorf("query %q: optimal cost %f exceeds naive %f", qs, od.Cost, nd.Cost)
+		}
+		if len(od.Subqueries) > len(nd.Subqueries) {
+			t.Errorf("query %q: optimal produced more subqueries (%d) than naive (%d)",
+				qs, len(od.Subqueries), len(nd.Subqueries))
+		}
+	}
+}

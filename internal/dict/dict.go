@@ -1,0 +1,218 @@
+// Package dict implements the data dictionary of Section 7.1: the global
+// statistics file produced at fragmentation/allocation time. Each fragment
+// is represented by its generating frequent access pattern (with or
+// without minterm constraints), keyed by the pattern's canonical code —
+// the DFS-coding hash table of the paper — and associated with fragment
+// definitions, sizes, site mappings, access frequencies and cardinalities.
+package dict
+
+import (
+	"sort"
+
+	"rdffrag/internal/allocation"
+	"rdffrag/internal/fragment"
+	"rdffrag/internal/match"
+	"rdffrag/internal/mining"
+	"rdffrag/internal/rdf"
+	"rdffrag/internal/sparql"
+)
+
+// Entry is the dictionary record for one fragment.
+type Entry struct {
+	Fragment *fragment.Fragment
+	// Site is the site index holding the fragment (-1 if unallocated).
+	Site int
+	// Size is |E(F)|.
+	Size int
+	// Cardinality is the number of matches of the generating pattern
+	// within the fragment — the card() statistic behind Algorithm 3's
+	// cost model.
+	Cardinality int
+	// AccessFreq is the number of workload queries that touch the
+	// fragment (acc of the pattern or minterm).
+	AccessFreq int
+}
+
+// Dictionary indexes fragments by the canonical code of their generating
+// pattern. Several horizontal fragments share one pattern code.
+type Dictionary struct {
+	entries []*Entry
+	byCode  map[string][]*Entry
+	// patterns holds the distinct selected patterns by code.
+	patterns map[string]*mining.Pattern
+	// coldStats holds per-predicate triple counts of the cold graph for
+	// cold subquery estimation.
+	coldPredCount map[rdf.ID]int
+	coldTriples   int
+	// selectivity divisor applied per constant vertex during cardinality
+	// estimation (see EstimateCard).
+	constSelectivity int
+	// hotStats provides per-predicate distinct counts for precise
+	// single-edge estimates.
+	hotStats *rdf.Stats
+}
+
+// Build scans a fragmentation + allocation and materializes the
+// dictionary. The workload is used for fragment access frequencies; pass
+// nil to skip that statistic.
+func Build(fr *fragment.Fragmentation, alloc *allocation.Allocation, workload []*sparql.Graph) *Dictionary {
+	d := &Dictionary{
+		byCode:           make(map[string][]*Entry),
+		patterns:         make(map[string]*mining.Pattern),
+		coldPredCount:    make(map[rdf.ID]int),
+		constSelectivity: 10,
+	}
+	if fr.Hot != nil {
+		d.hotStats = rdf.NewStats(fr.Hot)
+	}
+	for _, f := range fr.Fragments {
+		e := &Entry{
+			Fragment:    f,
+			Site:        -1,
+			Size:        f.Graph.NumTriples(),
+			Cardinality: match.Count(f.Pattern.Graph, f.Graph, match.Options{}),
+		}
+		if alloc != nil {
+			if s, ok := alloc.SiteOf[f.ID]; ok {
+				e.Site = s
+			}
+		}
+		for _, q := range workload {
+			if f.RelevantTo(q) {
+				e.AccessFreq++
+			}
+		}
+		d.entries = append(d.entries, e)
+		d.byCode[f.Pattern.Code] = append(d.byCode[f.Pattern.Code], e)
+		d.patterns[f.Pattern.Code] = f.Pattern
+	}
+	if fr.Cold != nil {
+		d.coldTriples = fr.Cold.Graph.NumTriples()
+		for _, p := range fr.Cold.Graph.Predicates() {
+			d.coldPredCount[p] = fr.Cold.Graph.PredicateCount(p)
+		}
+	}
+	return d
+}
+
+// Entries returns all dictionary entries.
+func (d *Dictionary) Entries() []*Entry { return d.entries }
+
+// Patterns returns the distinct selected patterns sorted by code.
+func (d *Dictionary) Patterns() []*mining.Pattern {
+	codes := make([]string, 0, len(d.patterns))
+	for c := range d.patterns {
+		codes = append(codes, c)
+	}
+	sort.Strings(codes)
+	ps := make([]*mining.Pattern, len(codes))
+	for i, c := range codes {
+		ps[i] = d.patterns[c]
+	}
+	return ps
+}
+
+// Lookup retrieves the entries for a pattern code (the DFS-code hash-table
+// probe of Section 7.1).
+func (d *Dictionary) Lookup(code string) []*Entry { return d.byCode[code] }
+
+// LookupGraph canonicalizes a query subgraph and retrieves its entries.
+func (d *Dictionary) LookupGraph(g *sparql.Graph) []*Entry {
+	return d.byCode[mining.CanonicalCode(g.Generalize())]
+}
+
+// HasPattern reports whether a subquery maps to some selected pattern.
+func (d *Dictionary) HasPattern(g *sparql.Graph) bool {
+	return len(d.LookupGraph(g)) > 0
+}
+
+// RelevantEntries returns the entries for the subquery's pattern whose
+// fragments are relevant to the (constant-bearing) subquery — the
+// fragment-pruning step of Sections 5.1/5.2.
+func (d *Dictionary) RelevantEntries(sub *sparql.Graph) []*Entry {
+	var out []*Entry
+	for _, e := range d.LookupGraph(sub) {
+		if e.Fragment.RelevantTo(sub) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// EstimateCard estimates card(q) for a subquery that maps to a selected
+// pattern: the sum of pattern cardinalities over relevant fragments,
+// shrunk by a per-constant selectivity divisor (constants restrict matches
+// beyond what vertical fragments record). Returns at least 1 so the
+// multiplicative cost model of Algorithm 3 stays meaningful, and a false
+// flag if the subquery maps to no pattern.
+func (d *Dictionary) EstimateCard(sub *sparql.Graph) (int, bool) {
+	entries := d.LookupGraph(sub)
+	if len(entries) == 0 {
+		return 0, false
+	}
+	// Single triple pattern with a constant endpoint: use per-predicate
+	// distinct counts for a sharper estimate than the generic divisor.
+	if d.hotStats != nil && len(sub.Edges) == 1 && !sub.Edges[0].IsPredVar() {
+		e := sub.Edges[0]
+		sBound := !sub.Verts[e.From].IsVar()
+		oBound := !sub.Verts[e.To].IsVar()
+		if sBound || oBound {
+			if est := d.hotStats.EstimateTriplePattern(e.Pred, sBound, oBound); est > 0 {
+				return est, true
+			}
+			return 1, true
+		}
+	}
+	total := 0
+	constrained := false
+	for _, e := range entries {
+		if e.Fragment.RelevantTo(sub) {
+			total += e.Cardinality
+			if e.Fragment.Minterm != nil {
+				constrained = true
+			}
+		}
+	}
+	// Horizontal relevance already accounts for minterm constants; apply
+	// the generic constant selectivity only when it did not.
+	nConst := 0
+	for _, v := range sub.Verts {
+		if !v.IsVar() {
+			nConst++
+		}
+	}
+	if nConst > 0 && !constrained {
+		div := 1
+		for i := 0; i < nConst; i++ {
+			div *= d.constSelectivity
+		}
+		total /= div
+	}
+	if total < 1 {
+		total = 1
+	}
+	return total, true
+}
+
+// EstimateColdCard estimates card(q) for an all-cold subquery from the
+// cold graph's per-predicate counts: the minimum predicate count bounds
+// the matches of a connected pattern from above far better than the
+// product, and stays monotone for the cost comparison.
+func (d *Dictionary) EstimateColdCard(sub *sparql.Graph) int {
+	est := -1
+	for _, e := range sub.Edges {
+		var c int
+		if e.IsPredVar() {
+			c = d.coldTriples
+		} else {
+			c = d.coldPredCount[e.Pred]
+		}
+		if est == -1 || c < est {
+			est = c
+		}
+	}
+	if est < 1 {
+		est = 1
+	}
+	return est
+}

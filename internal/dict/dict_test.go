@@ -1,0 +1,162 @@
+package dict_test
+
+import (
+	"testing"
+
+	"rdffrag/internal/dict"
+	"rdffrag/internal/sparql"
+	"rdffrag/internal/testenv"
+)
+
+func TestBuildEntries(t *testing.T) {
+	env, err := testenv.Build(testenv.Options{})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	d := env.Dict
+	if len(d.Entries()) != len(env.Frag.Fragments) {
+		t.Fatalf("entries = %d, fragments = %d", len(d.Entries()), len(env.Frag.Fragments))
+	}
+	for _, e := range d.Entries() {
+		if e.Site < 0 {
+			t.Errorf("fragment %d unallocated in dictionary", e.Fragment.ID)
+		}
+		if e.Size != e.Fragment.Graph.NumTriples() {
+			t.Errorf("size mismatch for fragment %d", e.Fragment.ID)
+		}
+		if e.Cardinality < 0 {
+			t.Errorf("negative cardinality for fragment %d", e.Fragment.ID)
+		}
+	}
+}
+
+func TestLookupByPatternCode(t *testing.T) {
+	env, err := testenv.Build(testenv.Options{})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	for _, p := range env.Dict.Patterns() {
+		if len(env.Dict.Lookup(p.Code)) == 0 {
+			t.Errorf("pattern %q has no dictionary entries", p.Code)
+		}
+	}
+	if len(env.Dict.Lookup("no-such-code")) != 0 {
+		t.Error("bogus code returned entries")
+	}
+}
+
+func TestLookupGraphGeneralizes(t *testing.T) {
+	env, err := testenv.Build(testenv.Options{})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	// A subquery with constants must still find its pattern's entries.
+	sub := sparql.MustParse(env.G.Dict,
+		`SELECT ?x WHERE { ?x <name> ?n . ?x <influencedBy> <Person0> . }`)
+	if !env.Dict.HasPattern(sub) {
+		t.Skip("2-edge name+influencedBy pattern not selected in this configuration")
+	}
+	if len(env.Dict.LookupGraph(sub)) == 0 {
+		t.Error("constant-bearing subquery found no entries")
+	}
+}
+
+func TestEstimateCardPositive(t *testing.T) {
+	env, err := testenv.Build(testenv.Options{})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	sub := sparql.MustParse(env.G.Dict, `SELECT ?x WHERE { ?x <name> ?n . }`)
+	card, ok := env.Dict.EstimateCard(sub)
+	if !ok {
+		t.Fatal("one-edge subquery not mapped")
+	}
+	if card != 40 {
+		t.Errorf("card = %d, want 40 (one name per person)", card)
+	}
+	// Constants shrink the estimate.
+	cSub := sparql.MustParse(env.G.Dict, `SELECT ?x WHERE { ?x <influencedBy> <Person3> . }`)
+	cCard, ok := env.Dict.EstimateCard(cSub)
+	if !ok {
+		t.Fatal("constant subquery not mapped")
+	}
+	plain := sparql.MustParse(env.G.Dict, `SELECT ?x WHERE { ?x <influencedBy> ?y . }`)
+	pCard, _ := env.Dict.EstimateCard(plain)
+	if cCard >= pCard {
+		t.Errorf("constant did not shrink estimate: %d >= %d", cCard, pCard)
+	}
+}
+
+func TestEstimateCardUnknownPattern(t *testing.T) {
+	env, err := testenv.Build(testenv.Options{})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	// viaf is cold: no pattern.
+	sub := sparql.MustParse(env.G.Dict, `SELECT ?x WHERE { ?x <viaf> ?v . }`)
+	if _, ok := env.Dict.EstimateCard(sub); ok {
+		t.Error("cold subquery mapped to a pattern")
+	}
+	if env.Dict.EstimateColdCard(sub) < 1 {
+		t.Error("cold estimate below 1")
+	}
+}
+
+func TestRelevantEntriesHorizontalPruning(t *testing.T) {
+	env, err := testenv.Build(testenv.Options{Horizontal: true})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	// influencedBy with a constant that exists in the data (Person1 is an
+	// influencedBy target in the fixture): relevant horizontal fragments
+	// must be a subset of all fragments for the pattern.
+	withConst := sparql.MustParse(env.G.Dict, `SELECT ?x WHERE { ?x <name> ?n . ?x <influencedBy> <Person1> . }`)
+	all := env.Dict.LookupGraph(withConst)
+	if len(all) == 0 {
+		t.Skip("pattern not selected")
+	}
+	rel := env.Dict.RelevantEntries(withConst)
+	if len(rel) == 0 {
+		t.Fatal("no relevant entries for constant query")
+	}
+	if len(rel) > len(all) {
+		t.Errorf("relevant (%d) exceeds total (%d)", len(rel), len(all))
+	}
+	// A constant absent from the data prunes every fragment: empty result
+	// can be answered without touching any site.
+	ghost := sparql.MustParse(env.G.Dict, `SELECT ?x WHERE { ?x <name> ?n . ?x <influencedBy> <Person0> . }`)
+	if got := env.Dict.RelevantEntries(ghost); len(got) != 0 {
+		// Person0 is a workload constant but never an influencedBy target,
+		// so its equality fragment is empty and was dropped.
+		for _, e := range got {
+			if e.Fragment.Minterm != nil && !compatibleWithGhost(e) {
+				t.Errorf("incompatible fragment %d deemed relevant", e.Fragment.ID)
+			}
+		}
+	}
+}
+
+// compatibleWithGhost is a loose check used above: entries surviving for
+// the ghost query must at least not carry an equality on another constant.
+func compatibleWithGhost(e *dict.Entry) bool {
+	return e.Fragment.Minterm == nil || len(e.Fragment.Minterm.Constraints) > 0
+}
+
+func TestAccessFrequencies(t *testing.T) {
+	env, err := testenv.Build(testenv.Options{})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	anyAccessed := false
+	for _, e := range env.Dict.Entries() {
+		if e.AccessFreq > len(env.Workload) {
+			t.Errorf("access freq %d exceeds workload size", e.AccessFreq)
+		}
+		if e.AccessFreq > 0 {
+			anyAccessed = true
+		}
+	}
+	if !anyAccessed {
+		t.Error("no fragment is accessed by any workload query")
+	}
+}

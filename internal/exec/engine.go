@@ -1,0 +1,281 @@
+// Package exec is the distributed SPARQL engine of Section 7: it deploys
+// a fragmentation + allocation onto a simulated cluster, decomposes each
+// incoming query (Algorithm 3), optimizes the join order (Algorithm 4),
+// evaluates subqueries on the relevant sites in parallel, and joins the
+// shipped bindings at the control site.
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"rdffrag/internal/allocation"
+	"rdffrag/internal/cluster"
+	"rdffrag/internal/decompose"
+	"rdffrag/internal/dict"
+	"rdffrag/internal/fragment"
+	"rdffrag/internal/match"
+	"rdffrag/internal/plan"
+	"rdffrag/internal/sparql"
+)
+
+// Engine executes SPARQL queries over a deployed fragmentation.
+type Engine struct {
+	Cluster *cluster.Cluster
+	Dict    *dict.Dictionary
+	Frag    *fragment.Fragmentation
+	Alloc   *allocation.Allocation
+
+	dec *decompose.Decomposer
+}
+
+// QueryStats reports per-query execution metrics.
+type QueryStats struct {
+	Subqueries   int
+	SitesTouched int
+	// DecompositionCost is Algorithm 3's Π card estimate.
+	DecompositionCost float64
+	// PlanCost is Algorithm 4's estimated intermediate size total.
+	PlanCost float64
+	// IntermediateRows counts actual binding rows shipped to the control
+	// site before joining.
+	IntermediateRows int
+}
+
+// New wires an engine and deploys every fragment to its allocated site.
+func New(c *cluster.Cluster, d *dict.Dictionary, fr *fragment.Fragmentation, alloc *allocation.Allocation, hc *fragment.HotCold) (*Engine, error) {
+	e := &Engine{
+		Cluster: c,
+		Dict:    d,
+		Frag:    fr,
+		Alloc:   alloc,
+		dec:     &decompose.Decomposer{Dict: d, HC: hc},
+	}
+	for _, f := range fr.All() {
+		site, ok := alloc.SiteOf[f.ID]
+		if !ok {
+			return nil, fmt.Errorf("exec: fragment %d has no site", f.ID)
+		}
+		if err := c.Place(site, f.ID, f.Graph); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// SetNaiveDecomposition switches the engine to single-edge decompositions
+// (the decomposition ablation); pass false to restore Algorithm 3.
+func (e *Engine) SetNaiveDecomposition(naive bool) { e.dec.Naive = naive }
+
+// Query evaluates q and returns the projected bindings.
+func (e *Engine) Query(q *sparql.Graph) (*match.Bindings, *QueryStats, error) {
+	dcp, err := e.dec.Decompose(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	pl, err := plan.Optimize(dcp)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats := &QueryStats{
+		Subqueries:        len(dcp.Subqueries),
+		DecompositionCost: dcp.Cost,
+		PlanCost:          pl.Cost,
+	}
+
+	// Evaluate all subqueries in parallel across their sites.
+	results := make([]*match.Bindings, len(dcp.Subqueries))
+	sitesTouched := make(map[int]bool)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var firstErr error
+	for i, sq := range dcp.Subqueries {
+		wg.Add(1)
+		go func(i int, sq *decompose.Subquery) {
+			defer wg.Done()
+			b, sites, err := e.evalSubquery(sq)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = err
+				return
+			}
+			results[i] = b
+			for _, s := range sites {
+				sitesTouched[s] = true
+			}
+		}(i, sq)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	stats.SitesTouched = len(sitesTouched)
+	for _, b := range results {
+		stats.IntermediateRows += len(b.Rows)
+	}
+
+	// Join at the control site in optimizer order.
+	joined := results[pl.Order[0]]
+	for _, idx := range pl.Order[1:] {
+		joined = cluster.HashJoin(joined, results[idx])
+	}
+	if len(q.Select) > 0 {
+		joined = cluster.Project(joined, q.Select)
+	} else {
+		joined.Dedup()
+	}
+	// ORDER BY is applied by the caller on decoded terms; truncating
+	// here would change which rows survive, so only limit unordered
+	// queries.
+	if q.Limit > 0 && len(q.OrderBy) == 0 && len(joined.Rows) > q.Limit {
+		joined.Rows = joined.Rows[:q.Limit]
+	}
+	return joined, stats, nil
+}
+
+// Explain reports how a query would execute without running it: the
+// chosen decomposition (Algorithm 3), the join order (Algorithm 4), and
+// the fragments/sites each subquery would touch.
+func (e *Engine) Explain(q *sparql.Graph) (*Explanation, error) {
+	dcp, err := e.dec.Decompose(q)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := plan.Optimize(dcp)
+	if err != nil {
+		return nil, err
+	}
+	ex := &Explanation{
+		DecompositionCost: dcp.Cost,
+		PlanCost:          pl.Cost,
+		JoinOrder:         pl.Order,
+	}
+	for _, sq := range dcp.Subqueries {
+		step := ExplainStep{
+			PatternCode: sq.PatternCode,
+			Cold:        sq.Cold,
+			Global:      sq.Global,
+			Card:        sq.Card,
+			Edges:       append([]int(nil), sq.EdgeIdx...),
+		}
+		switch {
+		case sq.Cold:
+			if e.Alloc.ColdSite >= 0 {
+				step.Fragments = []ExplainFragment{{
+					ID:   e.Frag.Cold.ID,
+					Site: e.Alloc.ColdSite,
+					Size: e.Frag.Cold.Graph.NumTriples(),
+				}}
+			}
+		case sq.Global:
+			for _, f := range e.Frag.All() {
+				step.Fragments = append(step.Fragments, ExplainFragment{
+					ID:   f.ID,
+					Site: e.Alloc.SiteOf[f.ID],
+					Size: f.Graph.NumTriples(),
+				})
+			}
+		default:
+			for _, entry := range e.Dict.RelevantEntries(sq.Graph) {
+				step.Fragments = append(step.Fragments, ExplainFragment{
+					ID:   entry.Fragment.ID,
+					Site: entry.Site,
+					Size: entry.Size,
+				})
+			}
+		}
+		ex.Subqueries = append(ex.Subqueries, step)
+	}
+	return ex, nil
+}
+
+// Explanation describes a query's distributed execution plan.
+type Explanation struct {
+	Subqueries        []ExplainStep
+	JoinOrder         []int
+	DecompositionCost float64
+	PlanCost          float64
+}
+
+// ExplainStep is one subquery of the plan.
+type ExplainStep struct {
+	PatternCode string
+	Cold        bool
+	Global      bool
+	Card        int
+	Edges       []int
+	Fragments   []ExplainFragment
+}
+
+// ExplainFragment identifies a fragment the step would read.
+type ExplainFragment struct {
+	ID   int
+	Site int
+	Size int
+}
+
+// evalSubquery routes one subquery to the sites holding its relevant
+// fragments, evaluating per site in parallel.
+func (e *Engine) evalSubquery(sq *decompose.Subquery) (*match.Bindings, []int, error) {
+	bySite := make(map[int][]int) // site -> fragment IDs
+	switch {
+	case sq.Cold:
+		if e.Frag.Cold == nil || e.Alloc.ColdSite < 0 {
+			return match.ToBindings(sq.Graph, nil), nil, nil
+		}
+		bySite[e.Alloc.ColdSite] = []int{e.Frag.Cold.ID}
+	case sq.Global:
+		for _, f := range e.Frag.All() {
+			s := e.Alloc.SiteOf[f.ID]
+			bySite[s] = append(bySite[s], f.ID)
+		}
+	default:
+		for _, entry := range e.Dict.RelevantEntries(sq.Graph) {
+			s := entry.Site
+			if s < 0 {
+				return nil, nil, fmt.Errorf("exec: fragment %d unallocated", entry.Fragment.ID)
+			}
+			bySite[s] = append(bySite[s], entry.Fragment.ID)
+		}
+	}
+
+	sites := make([]int, 0, len(bySite))
+	for s := range bySite {
+		sites = append(sites, s)
+	}
+	sort.Ints(sites)
+
+	parts := make([]*match.Bindings, len(sites))
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for i, s := range sites {
+		wg.Add(1)
+		go func(i, s int) {
+			defer wg.Done()
+			b, err := e.Cluster.Eval(cluster.EvalRequest{
+				SiteID:  s,
+				FragIDs: bySite[s],
+				Query:   sq.Graph,
+			})
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = err
+				return
+			}
+			parts[i] = b
+		}(i, s)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	union := cluster.Union(parts...)
+	if len(union.Vars) == 0 {
+		union = match.ToBindings(sq.Graph, nil)
+	}
+	return union, sites, nil
+}

@@ -1,0 +1,217 @@
+// Package fap implements frequent access pattern selection (Section 4.1,
+// Algorithm 1): choosing the subset of mined patterns that maximizes the
+// workload benefit (Definitions 8–9) under a storage constraint. The
+// problem is NP-hard (Theorem 1); this greedy selection carries the
+// min{1/max|E(p)|, ½(1−1/e)} guarantee of Theorem 2.
+package fap
+
+import (
+	"fmt"
+	"sort"
+
+	"rdffrag/internal/match"
+	"rdffrag/internal/mining"
+	"rdffrag/internal/rdf"
+	"rdffrag/internal/sparql"
+)
+
+// Selection is the outcome of Algorithm 1.
+type Selection struct {
+	// Patterns is the final selected set P' ∪ P1|P2, one-edge patterns
+	// first. These become the vertical fragmentation units.
+	Patterns []*mining.Pattern
+	// OneEdge is the integrity subset: one single-edge pattern per
+	// frequent property (every hot edge has at least one home).
+	OneEdge []*mining.Pattern
+	// Benefit is Benefit(Patterns, Q).
+	Benefit int
+	// TotalSize is Σ |E(⟦p⟧G)| over the selected patterns, in edges.
+	TotalSize int
+	// FragSize maps pattern code -> |E(⟦p⟧G)|.
+	FragSize map[string]int
+}
+
+// Selector configures the selection.
+type Selector struct {
+	// StorageCapacity is SC, in edges. The paper assumes SC is at least
+	// the hot graph size so every hot edge fits once; Select enforces
+	// this and errors otherwise. 0 means 2×|E(hot)|.
+	StorageCapacity int
+}
+
+// Select runs Algorithm 1 over the mined patterns, the workload and the
+// hot graph.
+func (s *Selector) Select(patterns []*mining.Pattern, workload []*sparql.Graph, hot *rdf.Graph) (*Selection, error) {
+	sc := s.StorageCapacity
+	if sc == 0 {
+		sc = 2 * hot.NumTriples()
+	}
+	if sc < hot.NumTriples() {
+		return nil, fmt.Errorf("fap: storage capacity %d below hot graph size %d; data integrity impossible", sc, hot.NumTriples())
+	}
+
+	uniq, weights := mining.Normalize(workload)
+
+	sel := &Selection{FragSize: make(map[string]int)}
+	fragSize := func(p *mining.Pattern) int {
+		if sz, ok := sel.FragSize[p.Code]; ok {
+			return sz
+		}
+		sz := match.MatchedGraph(p.Graph, hot, match.Options{}).NumTriples()
+		sel.FragSize[p.Code] = sz
+		return sz
+	}
+
+	// use(Q, p) matrix over unique queries, weighted by multiplicity.
+	contains := func(p *mining.Pattern) []bool {
+		row := make([]bool, len(uniq))
+		for i, q := range uniq {
+			row[i] = sparql.Embeds(p.Graph, q)
+		}
+		return row
+	}
+
+	// Lines 3–6: one-edge pattern per frequent property in the hot graph.
+	oneEdgeCodes := make(map[string]bool)
+	totalSize := 0
+	for _, pred := range hot.Predicates() {
+		g := sparql.NewGraph()
+		g.AddTriplePattern(sparql.Vertex{Var: "a"}, sparql.Edge{Pred: pred}, sparql.Vertex{Var: "b"})
+		code := mining.CanonicalCode(g)
+		p := &mining.Pattern{Graph: g, Code: code}
+		row := contains(p)
+		for i, ok := range row {
+			if ok {
+				p.Support += weights[i]
+			}
+		}
+		sel.OneEdge = append(sel.OneEdge, p)
+		oneEdgeCodes[code] = true
+		totalSize += fragSize(p)
+	}
+
+	// Candidate multi-edge patterns.
+	type cand struct {
+		p    *mining.Pattern
+		row  []bool
+		size int
+	}
+	var cands []cand
+	for _, p := range patterns {
+		if p.Size() <= 1 || oneEdgeCodes[p.Code] {
+			continue
+		}
+		cands = append(cands, cand{p: p, row: contains(p), size: fragSize(p)})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].p.Code < cands[j].p.Code })
+
+	oneEdgeRows := make([][]bool, len(sel.OneEdge))
+	oneEdgeSizes := make([]int, len(sel.OneEdge))
+	for i, p := range sel.OneEdge {
+		oneEdgeRows[i] = contains(p)
+		oneEdgeSizes[i] = p.Size()
+	}
+
+	// benefitWith computes Benefit(P' ∪ extra, Q) where best holds the
+	// current per-query maximum |E(p)| over the chosen set.
+	benefit := func(best []int) int {
+		total := 0
+		for i, b := range best {
+			total += b * weights[i]
+		}
+		return total
+	}
+	baseBest := make([]int, len(uniq))
+	for i := range sel.OneEdge {
+		for qi, ok := range oneEdgeRows[i] {
+			if ok && oneEdgeSizes[i] > baseBest[qi] {
+				baseBest[qi] = oneEdgeSizes[i]
+			}
+		}
+	}
+	applyCand := func(best []int, c cand) []int {
+		out := append([]int(nil), best...)
+		sz := c.p.Size()
+		for qi, ok := range c.row {
+			if ok && sz > out[qi] {
+				out[qi] = sz
+			}
+		}
+		return out
+	}
+
+	budget := sc - totalSize
+
+	// Line 7: P1 = the single best-by-density pattern that fits.
+	bestP1 := -1
+	var bestP1Density float64
+	for i, c := range cands {
+		if c.size > budget || c.size == 0 {
+			continue
+		}
+		b := benefit(applyCand(baseBest, c)) - benefit(baseBest)
+		d := float64(b) / float64(c.size)
+		if bestP1 == -1 || d > bestP1Density {
+			bestP1, bestP1Density = i, d
+		}
+	}
+
+	// Lines 8–14: greedy accumulation P2 by marginal benefit density.
+	curBest := append([]int(nil), baseBest...)
+	curBenefit := benefit(curBest)
+	var p2 []int
+	used := make([]bool, len(cands))
+	sizeP2 := 0
+	for {
+		pick := -1
+		var pickDensity float64
+		var pickBest []int
+		var pickBenefit int
+		for i, c := range cands {
+			if used[i] || c.size == 0 || sizeP2+c.size > budget {
+				continue
+			}
+			nb := applyCand(curBest, c)
+			gain := benefit(nb) - curBenefit
+			if gain <= 0 {
+				continue
+			}
+			d := float64(gain) / float64(c.size)
+			if pick == -1 || d > pickDensity {
+				pick, pickDensity, pickBest, pickBenefit = i, d, nb, benefit(nb)
+			}
+		}
+		if pick == -1 {
+			break
+		}
+		used[pick] = true
+		p2 = append(p2, pick)
+		sizeP2 += cands[pick].size
+		curBest = pickBest
+		curBenefit = pickBenefit
+	}
+
+	// Lines 15–17: choose the better of P' ∪ P1 and P' ∪ P2.
+	benefitP1 := benefit(baseBest)
+	if bestP1 >= 0 {
+		benefitP1 = benefit(applyCand(baseBest, cands[bestP1]))
+	}
+	benefitP2 := curBenefit
+
+	sel.Patterns = append(sel.Patterns, sel.OneEdge...)
+	if benefitP1 >= benefitP2 {
+		if bestP1 >= 0 {
+			sel.Patterns = append(sel.Patterns, cands[bestP1].p)
+			totalSize += cands[bestP1].size
+		}
+		sel.Benefit = benefitP1
+	} else {
+		for _, i := range p2 {
+			sel.Patterns = append(sel.Patterns, cands[i].p)
+		}
+		totalSize += sizeP2
+		sel.Benefit = benefitP2
+	}
+	sel.TotalSize = totalSize
+	return sel, nil
+}

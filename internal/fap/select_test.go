@@ -1,0 +1,129 @@
+package fap
+
+import (
+	"fmt"
+	"testing"
+
+	"rdffrag/internal/mining"
+	"rdffrag/internal/rdf"
+	"rdffrag/internal/sparql"
+)
+
+func testData() (*rdf.Graph, []*sparql.Graph) {
+	g := rdf.NewGraph(nil)
+	add := func(s, p, o string) { g.AddTerms(rdf.NewIRI(s), rdf.NewIRI(p), rdf.NewIRI(o)) }
+	for i := 0; i < 20; i++ {
+		person := fmt.Sprintf("P%d", i)
+		add(person, "name", fmt.Sprintf("N%d", i))
+		add(person, "mainInterest", fmt.Sprintf("I%d", i%3))
+		if i%2 == 0 {
+			add(person, "influencedBy", fmt.Sprintf("P%d", (i+1)%20))
+		}
+	}
+	var w []*sparql.Graph
+	for i := 0; i < 12; i++ {
+		w = append(w, sparql.MustParse(g.Dict,
+			`SELECT ?x WHERE { ?x <name> ?n . ?x <mainInterest> ?i . }`))
+	}
+	for i := 0; i < 5; i++ {
+		w = append(w, sparql.MustParse(g.Dict,
+			`SELECT ?x WHERE { ?x <influencedBy> ?y . }`))
+	}
+	return g, w
+}
+
+func TestSelectIncludesAllOneEdgePatterns(t *testing.T) {
+	g, w := testData()
+	ps := (&mining.Miner{MinSup: 3}).Mine(w)
+	sel, err := (&Selector{}).Select(ps, w, g)
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	if len(sel.OneEdge) != len(g.Predicates()) {
+		t.Fatalf("one-edge patterns = %d, want %d (one per property)",
+			len(sel.OneEdge), len(g.Predicates()))
+	}
+	// Every hot edge must be coverable: union of one-edge fragment sizes
+	// equals the graph size.
+	total := 0
+	for _, p := range sel.OneEdge {
+		total += sel.FragSize[p.Code]
+	}
+	if total != g.NumTriples() {
+		t.Errorf("one-edge fragments cover %d edges, graph has %d", total, g.NumTriples())
+	}
+}
+
+func TestSelectPrefersLargerPatternsWhenSpaceAllows(t *testing.T) {
+	g, w := testData()
+	ps := (&mining.Miner{MinSup: 3}).Mine(w)
+	sel, err := (&Selector{StorageCapacity: 10 * g.NumTriples()}).Select(ps, w, g)
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	hasMulti := false
+	for _, p := range sel.Patterns {
+		if p.Size() > 1 {
+			hasMulti = true
+		}
+	}
+	if !hasMulti {
+		t.Error("ample storage but no multi-edge pattern selected")
+	}
+	// Benefit must exceed the one-edge-only benefit (17 queries × 1 edge).
+	if sel.Benefit <= 17 {
+		t.Errorf("benefit = %d, want > 17", sel.Benefit)
+	}
+}
+
+func TestSelectRespectsStorageConstraint(t *testing.T) {
+	g, w := testData()
+	ps := (&mining.Miner{MinSup: 3}).Mine(w)
+	sc := g.NumTriples() + 5 // barely above the integrity minimum
+	sel, err := (&Selector{StorageCapacity: sc}).Select(ps, w, g)
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	if sel.TotalSize > sc {
+		t.Errorf("TotalSize %d exceeds SC %d", sel.TotalSize, sc)
+	}
+}
+
+func TestSelectErrorsBelowIntegrity(t *testing.T) {
+	g, w := testData()
+	ps := (&mining.Miner{MinSup: 3}).Mine(w)
+	if _, err := (&Selector{StorageCapacity: 1}).Select(ps, w, g); err == nil {
+		t.Fatal("expected integrity error for tiny SC")
+	}
+}
+
+func TestSelectMonotoneInCapacity(t *testing.T) {
+	g, w := testData()
+	ps := (&mining.Miner{MinSup: 3}).Mine(w)
+	prevBenefit := -1
+	for _, mult := range []int{1, 2, 4, 8} {
+		sel, err := (&Selector{StorageCapacity: mult * g.NumTriples()}).Select(ps, w, g)
+		if err != nil {
+			t.Fatalf("Select(mult=%d): %v", mult, err)
+		}
+		if sel.Benefit < prevBenefit {
+			t.Errorf("benefit decreased with more storage: %d -> %d", prevBenefit, sel.Benefit)
+		}
+		prevBenefit = sel.Benefit
+	}
+}
+
+func TestSelectBenefitDefinition(t *testing.T) {
+	// A query containing a selected 2-edge pattern contributes 2, not 3,
+	// even if it also contains a 1-edge pattern (max, not sum).
+	g, w := testData()
+	ps := (&mining.Miner{MinSup: 3}).Mine(w)
+	sel, err := (&Selector{StorageCapacity: 10 * g.NumTriples()}).Select(ps, w, g)
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	// Upper bound: every query contributes at most its own edge count ≤ 2.
+	if sel.Benefit > 2*17 {
+		t.Errorf("benefit %d exceeds per-query max bound %d", sel.Benefit, 2*17)
+	}
+}

@@ -1,0 +1,189 @@
+// Package fragment implements Sections 3 and 5 of the paper: the hot/cold
+// graph split, vertical fragmentation from frequent access patterns
+// (Definition 10), and horizontal fragmentation from structural minterm
+// predicates (Definitions 11–12).
+package fragment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rdffrag/internal/mining"
+	"rdffrag/internal/rdf"
+)
+
+// Kind distinguishes how a fragment was generated.
+type Kind uint8
+
+const (
+	// VerticalKind fragments hold all matches of one access pattern.
+	VerticalKind Kind = iota
+	// HorizontalKind fragments hold the matches of one access pattern
+	// restricted by a structural minterm predicate.
+	HorizontalKind
+	// ColdKind is the single fragment holding the cold graph.
+	ColdKind
+)
+
+func (k Kind) String() string {
+	switch k {
+	case VerticalKind:
+		return "vertical"
+	case HorizontalKind:
+		return "horizontal"
+	case ColdKind:
+		return "cold"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Fragment is one fragment of the RDF graph (Definition 3 allows overlap).
+type Fragment struct {
+	ID      int
+	Kind    Kind
+	Pattern *mining.Pattern // generating FAP; nil for the cold fragment
+	Minterm *Minterm        // non-nil only for horizontal fragments
+	Graph   *rdf.Graph      // the fragment's triples
+}
+
+// Key identifies the fragment's generating pattern (with constraints) in
+// the data dictionary.
+func (f *Fragment) Key() string {
+	switch {
+	case f.Kind == ColdKind:
+		return "cold"
+	case f.Minterm != nil:
+		return f.Minterm.Key()
+	default:
+		return f.Pattern.Code
+	}
+}
+
+// Fragmentation is a complete fragmentation F of the RDF graph.
+type Fragmentation struct {
+	Kind      Kind
+	Fragments []*Fragment
+	Hot       *rdf.Graph
+	Cold      *Fragment // cold graph as a single black-box fragment
+}
+
+// All returns hot fragments plus the cold fragment (if non-empty).
+func (fr *Fragmentation) All() []*Fragment {
+	out := append([]*Fragment(nil), fr.Fragments...)
+	if fr.Cold != nil && fr.Cold.Graph.NumTriples() > 0 {
+		out = append(out, fr.Cold)
+	}
+	return out
+}
+
+// Redundancy returns the ratio of the total number of edges over all
+// fragments (hot + cold) to the number of edges in the original graph
+// (Table 1's metric).
+func (fr *Fragmentation) Redundancy(original *rdf.Graph) float64 {
+	total := 0
+	for _, f := range fr.All() {
+		total += f.Graph.NumTriples()
+	}
+	if original.NumTriples() == 0 {
+		return 0
+	}
+	return float64(total) / float64(original.NumTriples())
+}
+
+// CoversHotGraph verifies data integrity: every hot edge appears in at
+// least one hot fragment. It returns the missing triples (nil when
+// complete).
+func (fr *Fragmentation) CoversHotGraph() []rdf.Triple {
+	var missing []rdf.Triple
+	for _, t := range fr.Hot.Triples() {
+		found := false
+		for _, f := range fr.Fragments {
+			if f.Graph.Has(t) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			missing = append(missing, t)
+		}
+	}
+	return missing
+}
+
+// Constraint is one structural simple predicate p(var) θ Value bound to a
+// pattern vertex (Section 5.2.1), in positive (Equal) or negated form.
+type Constraint struct {
+	Vertex int // pattern vertex index
+	Equal  bool
+	Value  rdf.ID
+}
+
+// Minterm is a structural minterm predicate: a conjunction of simple
+// predicates over one access pattern.
+type Minterm struct {
+	Pattern     *mining.Pattern
+	Constraints []Constraint
+}
+
+// Key renders a canonical dictionary key: pattern code plus sorted
+// constraint terms.
+func (m *Minterm) Key() string {
+	parts := make([]string, len(m.Constraints))
+	for i, c := range m.Constraints {
+		op := "!="
+		if c.Equal {
+			op = "="
+		}
+		parts[i] = fmt.Sprintf("v%d%s%d", c.Vertex, op, c.Value)
+	}
+	sort.Strings(parts)
+	return m.Pattern.Code + "|" + strings.Join(parts, "&")
+}
+
+// Satisfies reports whether a full vertex binding of the pattern satisfies
+// the minterm.
+func (m *Minterm) Satisfies(binding []rdf.ID) bool {
+	for _, c := range m.Constraints {
+		got := binding[c.Vertex]
+		if c.Equal && got != c.Value {
+			return false
+		}
+		if !c.Equal && got == c.Value {
+			return false
+		}
+	}
+	return true
+}
+
+// VertexFilter adapts the minterm to match.Options.VertexFilter.
+func (m *Minterm) VertexFilter() func(qv int, id rdf.ID) bool {
+	byVertex := make(map[int][]Constraint)
+	for _, c := range m.Constraints {
+		byVertex[c.Vertex] = append(byVertex[c.Vertex], c)
+	}
+	return func(qv int, id rdf.ID) bool {
+		for _, c := range byVertex[qv] {
+			if c.Equal && id != c.Value {
+				return false
+			}
+			if !c.Equal && id == c.Value {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// String renders the minterm with decoded constants for debugging.
+func (m *Minterm) String() string {
+	parts := make([]string, len(m.Constraints))
+	for i, c := range m.Constraints {
+		op := "≠"
+		if c.Equal {
+			op = "="
+		}
+		parts[i] = fmt.Sprintf("p(v%d)%s%d", c.Vertex, op, c.Value)
+	}
+	return strings.Join(parts, " ∧ ")
+}

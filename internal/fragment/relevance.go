@@ -1,0 +1,44 @@
+package fragment
+
+import (
+	"rdffrag/internal/sparql"
+)
+
+// RelevantTo reports whether evaluating query q may need this fragment:
+// the fragment's generating pattern embeds in q, and — for horizontal
+// fragments — some embedding's constant assignments are compatible with
+// the minterm (a query variable is compatible with any constraint; a query
+// constant must not contradict it). This is the use(Q, p) / use(Q, mp)
+// notion driving both allocation affinity and fragment pruning during
+// query processing.
+func (f *Fragment) RelevantTo(q *sparql.Graph) bool {
+	if f.Kind == ColdKind {
+		return true // cold relevance is decided by the decomposer
+	}
+	if f.Minterm == nil {
+		return sparql.Embeds(f.Pattern.Graph, q)
+	}
+	for _, emb := range sparql.FindEmbeddings(f.Pattern.Graph, q, 0) {
+		if f.mintermCompatible(q, emb) {
+			return true
+		}
+	}
+	return false
+}
+
+func (f *Fragment) mintermCompatible(q *sparql.Graph, emb sparql.Embedding) bool {
+	for _, c := range f.Minterm.Constraints {
+		qv := emb.VertexMap[c.Vertex]
+		vert := q.Verts[qv]
+		if vert.IsVar() {
+			continue // unbound: every fragment of the split may hold matches
+		}
+		if c.Equal && vert.Term != c.Value {
+			return false
+		}
+		if !c.Equal && vert.Term == c.Value {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,38 @@
+package fragment
+
+import (
+	"rdffrag/internal/fap"
+	"rdffrag/internal/match"
+	"rdffrag/internal/rdf"
+)
+
+// Vertical builds the vertical fragmentation (Definition 10): one fragment
+// per selected frequent access pattern, containing the subgraph of the hot
+// graph induced by all matches of the pattern. The cold graph becomes one
+// black-box fragment.
+func Vertical(sel *fap.Selection, hc *HotCold) *Fragmentation {
+	fr := &Fragmentation{Kind: VerticalKind, Hot: hc.Hot}
+	id := 0
+	for _, p := range sel.Patterns {
+		g := match.MatchedGraph(p.Graph, hc.Hot, match.Options{})
+		if g.NumTriples() == 0 && p.Size() > 1 {
+			continue // multi-edge pattern with no matches adds nothing
+		}
+		fr.Fragments = append(fr.Fragments, &Fragment{
+			ID:      id,
+			Kind:    VerticalKind,
+			Pattern: p,
+			Graph:   g,
+		})
+		id++
+	}
+	fr.Cold = &Fragment{ID: id, Kind: ColdKind, Graph: coldGraph(hc)}
+	return fr
+}
+
+func coldGraph(hc *HotCold) *rdf.Graph {
+	if hc.Cold != nil {
+		return hc.Cold
+	}
+	return rdf.NewGraph(hc.Hot.Dict)
+}

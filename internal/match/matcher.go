@@ -1,0 +1,360 @@
+// Package match finds SPARQL matches: subgraph homomorphisms from a query
+// graph into an RDF data graph (Section 2.1 of the paper). It powers
+// fragment construction (all matches of an access pattern), per-site
+// subquery evaluation and cardinality statistics.
+package match
+
+import (
+	"sort"
+
+	"rdffrag/internal/rdf"
+	"rdffrag/internal/sparql"
+)
+
+// Match is one homomorphism from the query graph into the data graph.
+type Match struct {
+	// Vertex maps query vertex index -> data vertex ID.
+	Vertex []rdf.ID
+	// Pred maps variable predicate names -> data property ID.
+	Pred map[string]rdf.ID
+	// Triples holds the matched data triple per query edge, aligned to
+	// the query's edge order.
+	Triples []rdf.Triple
+}
+
+// Options tunes a matching run.
+type Options struct {
+	// Limit stops the search after this many matches; 0 means unlimited.
+	Limit int
+	// VertexFilter, when non-nil, must approve every binding of query
+	// vertex qv to data vertex id. Horizontal fragmentation uses this to
+	// impose structural simple predicates.
+	VertexFilter func(qv int, id rdf.ID) bool
+}
+
+// ForEach enumerates homomorphisms of q in g, invoking fn for each. The
+// Match passed to fn is reused between calls; copy what you keep. fn
+// returning false stops the enumeration early.
+func ForEach(q *sparql.Graph, g *rdf.Graph, opts Options, fn func(*Match) bool) {
+	if len(q.Edges) == 0 {
+		return
+	}
+	s := &searcher{
+		q:     q,
+		g:     g,
+		opts:  opts,
+		order: edgeOrder(q, g),
+		m: Match{
+			Vertex:  make([]rdf.ID, len(q.Verts)),
+			Pred:    make(map[string]rdf.ID),
+			Triples: make([]rdf.Triple, len(q.Edges)),
+		},
+		bound: make([]bool, len(q.Verts)),
+		fn:    fn,
+	}
+	// Pre-bind constant vertices; bail out if a constant is absent from g.
+	for i, v := range q.Verts {
+		if !v.IsVar() {
+			s.m.Vertex[i] = v.Term
+			s.bound[i] = true
+		}
+	}
+	s.search(0)
+}
+
+// Find collects up to opts.Limit matches (all if 0).
+func Find(q *sparql.Graph, g *rdf.Graph, opts Options) []Match {
+	var out []Match
+	ForEach(q, g, opts, func(m *Match) bool {
+		c := Match{
+			Vertex:  append([]rdf.ID(nil), m.Vertex...),
+			Triples: append([]rdf.Triple(nil), m.Triples...),
+		}
+		if len(m.Pred) > 0 {
+			c.Pred = make(map[string]rdf.ID, len(m.Pred))
+			for k, v := range m.Pred {
+				c.Pred[k] = v
+			}
+		}
+		out = append(out, c)
+		return true
+	})
+	return out
+}
+
+// Count returns the number of matches, stopping at opts.Limit if set.
+func Count(q *sparql.Graph, g *rdf.Graph, opts Options) int {
+	n := 0
+	ForEach(q, g, opts, func(*Match) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+// MatchedGraph returns the subgraph of g induced by all matches of q: the
+// union of matched triples (Definition 10's vertical fragment content).
+func MatchedGraph(q *sparql.Graph, g *rdf.Graph, opts Options) *rdf.Graph {
+	sub := rdf.NewGraph(g.Dict)
+	ForEach(q, g, opts, func(m *Match) bool {
+		for _, t := range m.Triples {
+			sub.Add(t)
+		}
+		return true
+	})
+	return sub
+}
+
+type searcher struct {
+	q     *sparql.Graph
+	g     *rdf.Graph
+	opts  Options
+	order []int
+	m     Match
+	bound []bool
+	fn    func(*Match) bool
+	found int
+	done  bool
+}
+
+// edgeOrder sorts query edges so that (a) the search stays connected and
+// (b) the most selective edge (fewest candidate triples) comes first.
+func edgeOrder(q *sparql.Graph, g *rdf.Graph) []int {
+	n := len(q.Edges)
+	selectivity := make([]int, n)
+	for i, e := range q.Edges {
+		switch {
+		case !q.Verts[e.From].IsVar() || !q.Verts[e.To].IsVar():
+			selectivity[i] = 1 // constant-anchored: very selective
+		case e.IsPredVar():
+			selectivity[i] = g.NumTriples() + 1
+		default:
+			selectivity[i] = g.PredicateCount(e.Pred) + 1
+		}
+	}
+	order := make([]int, 0, n)
+	used := make([]bool, n)
+	covered := make(map[int]bool)
+	for len(order) < n {
+		best := -1
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			e := q.Edges[i]
+			connected := len(order) == 0 || covered[e.From] || covered[e.To]
+			if !connected {
+				continue
+			}
+			if best == -1 || selectivity[i] < selectivity[best] {
+				best = i
+			}
+		}
+		if best == -1 { // disconnected query: start cheapest remaining
+			for i := 0; i < n; i++ {
+				if !used[i] && (best == -1 || selectivity[i] < selectivity[best]) {
+					best = i
+				}
+			}
+		}
+		used[best] = true
+		order = append(order, best)
+		covered[q.Edges[best].From] = true
+		covered[q.Edges[best].To] = true
+	}
+	return order
+}
+
+func (s *searcher) search(depth int) {
+	if s.done {
+		return
+	}
+	if depth == len(s.order) {
+		s.found++
+		if !s.fn(&s.m) {
+			s.done = true
+		}
+		if s.opts.Limit > 0 && s.found >= s.opts.Limit {
+			s.done = true
+		}
+		return
+	}
+	ei := s.order[depth]
+	e := s.q.Edges[ei]
+	for _, t := range s.candidateTriples(e) {
+		if s.done {
+			return
+		}
+		if !s.predOK(e, t.P) {
+			continue
+		}
+		undoS, ok := s.bind(e.From, t.S)
+		if !ok {
+			continue
+		}
+		undoO, ok := s.bind(e.To, t.O)
+		if !ok {
+			undoS()
+			continue
+		}
+		undoP := s.bindPred(e, t.P)
+		s.m.Triples[ei] = t
+		s.search(depth + 1)
+		undoP()
+		undoO()
+		undoS()
+	}
+}
+
+// candidateTriples picks the cheapest index to drive the scan for edge e
+// given the current bindings.
+func (s *searcher) candidateTriples(e sparql.Edge) []rdf.Triple {
+	fromBound := s.bound[e.From]
+	toBound := s.bound[e.To]
+	switch {
+	case fromBound && toBound:
+		// Both endpoints fixed: check adjacency of the smaller side.
+		sub := s.m.Vertex[e.From]
+		obj := s.m.Vertex[e.To]
+		var out []rdf.Triple
+		for _, h := range s.g.Out(sub) {
+			if h.Other == obj {
+				out = append(out, rdf.Triple{S: sub, P: h.P, O: obj})
+			}
+		}
+		return out
+	case fromBound:
+		sub := s.m.Vertex[e.From]
+		hs := s.g.Out(sub)
+		out := make([]rdf.Triple, 0, len(hs))
+		for _, h := range hs {
+			out = append(out, rdf.Triple{S: sub, P: h.P, O: h.Other})
+		}
+		return out
+	case toBound:
+		obj := s.m.Vertex[e.To]
+		hs := s.g.In(obj)
+		out := make([]rdf.Triple, 0, len(hs))
+		for _, h := range hs {
+			out = append(out, rdf.Triple{S: h.Other, P: h.P, O: obj})
+		}
+		return out
+	case !e.IsPredVar():
+		return s.g.ByPredicate(e.Pred)
+	default:
+		return s.g.Triples()
+	}
+}
+
+func (s *searcher) predOK(e sparql.Edge, p rdf.ID) bool {
+	if !e.IsPredVar() {
+		return e.Pred == p
+	}
+	if cur, ok := s.m.Pred[e.PredVar]; ok {
+		return cur == p
+	}
+	return true
+}
+
+// bind maps query vertex qv to data vertex id (homomorphism: several query
+// variables may map to the same data vertex, but one variable maps to one
+// vertex). It returns an undo closure and success.
+func (s *searcher) bind(qv int, id rdf.ID) (func(), bool) {
+	if s.bound[qv] {
+		if s.m.Vertex[qv] != id {
+			return nil, false
+		}
+		return func() {}, true
+	}
+	if s.opts.VertexFilter != nil && !s.opts.VertexFilter(qv, id) {
+		return nil, false
+	}
+	s.bound[qv] = true
+	s.m.Vertex[qv] = id
+	return func() { s.bound[qv] = false }, true
+}
+
+func (s *searcher) bindPred(e sparql.Edge, p rdf.ID) func() {
+	if !e.IsPredVar() {
+		return func() {}
+	}
+	if _, ok := s.m.Pred[e.PredVar]; ok {
+		return func() {}
+	}
+	s.m.Pred[e.PredVar] = p
+	return func() { delete(s.m.Pred, e.PredVar) }
+}
+
+// Bindings converts matches into a variable-name-keyed tabular form used
+// by the distributed join executor.
+type Bindings struct {
+	Vars []string
+	Rows [][]rdf.ID
+}
+
+// ToBindings projects matches onto the query's variables (vertex variables
+// plus variable predicates), in sorted variable order.
+func ToBindings(q *sparql.Graph, ms []Match) *Bindings {
+	vars := q.Vars()
+	vpos := make(map[string]int, len(vars))
+	for i, v := range vars {
+		vpos[v] = i
+	}
+	// Map each var to a vertex index (first occurrence) or pred var.
+	vertOf := make(map[string]int)
+	for i, v := range q.Verts {
+		if v.IsVar() {
+			if _, ok := vertOf[v.Var]; !ok {
+				vertOf[v.Var] = i
+			}
+		}
+	}
+	b := &Bindings{Vars: vars, Rows: make([][]rdf.ID, 0, len(ms))}
+	for _, m := range ms {
+		row := make([]rdf.ID, len(vars))
+		for _, v := range vars {
+			if vi, ok := vertOf[v]; ok {
+				row[vpos[v]] = m.Vertex[vi]
+			} else if p, ok := m.Pred[v]; ok {
+				row[vpos[v]] = p
+			} else {
+				row[vpos[v]] = rdf.NoID
+			}
+		}
+		b.Rows = append(b.Rows, row)
+	}
+	return b
+}
+
+// Dedup removes duplicate rows in place (matches can repeat a projection).
+func (b *Bindings) Dedup() {
+	if len(b.Rows) <= 1 {
+		return
+	}
+	sort.Slice(b.Rows, func(i, j int) bool { return rowLess(b.Rows[i], b.Rows[j]) })
+	out := b.Rows[:1]
+	for _, r := range b.Rows[1:] {
+		if !rowEq(out[len(out)-1], r) {
+			out = append(out, r)
+		}
+	}
+	b.Rows = out
+}
+
+func rowLess(a, b []rdf.ID) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func rowEq(a, b []rdf.ID) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,101 @@
+package mining
+
+import (
+	"testing"
+
+	"rdffrag/internal/rdf"
+	"rdffrag/internal/sparql"
+)
+
+func TestCanonicalCodeInvariance(t *testing.T) {
+	d := rdf.NewDict()
+	// Same shape with renamed variables and reordered triple patterns.
+	a := sparql.MustParse(d, `SELECT * WHERE { ?x <p> ?y . ?y <q> ?z . }`)
+	b := sparql.MustParse(d, `SELECT * WHERE { ?b <q> ?c . ?a <p> ?b . }`)
+	if CanonicalCode(a) != CanonicalCode(b) {
+		t.Errorf("isomorphic graphs got different codes:\n%s\n%s", CanonicalCode(a), CanonicalCode(b))
+	}
+}
+
+func TestCanonicalCodeDistinguishesShape(t *testing.T) {
+	d := rdf.NewDict()
+	chain := sparql.MustParse(d, `SELECT * WHERE { ?x <p> ?y . ?y <p> ?z . }`)
+	star := sparql.MustParse(d, `SELECT * WHERE { ?x <p> ?y . ?x <p> ?z . }`)
+	sink := sparql.MustParse(d, `SELECT * WHERE { ?x <p> ?z . ?y <p> ?z . }`)
+	codes := map[string]string{
+		"chain": CanonicalCode(chain),
+		"star":  CanonicalCode(star),
+		"sink":  CanonicalCode(sink),
+	}
+	if codes["chain"] == codes["star"] || codes["chain"] == codes["sink"] || codes["star"] == codes["sink"] {
+		t.Errorf("distinct shapes share codes: %v", codes)
+	}
+}
+
+func TestCanonicalCodeDistinguishesLabels(t *testing.T) {
+	d := rdf.NewDict()
+	p := sparql.MustParse(d, `SELECT * WHERE { ?x <p> ?y . }`)
+	q := sparql.MustParse(d, `SELECT * WHERE { ?x <q> ?y . }`)
+	if CanonicalCode(p) == CanonicalCode(q) {
+		t.Error("different predicates share a code")
+	}
+	// Direction matters.
+	fwd := sparql.MustParse(d, `SELECT * WHERE { ?x <p> ?y . ?x <q> ?y . }`)
+	rev := sparql.MustParse(d, `SELECT * WHERE { ?x <p> ?y . ?y <q> ?x . }`)
+	if CanonicalCode(fwd) == CanonicalCode(rev) {
+		t.Error("edge direction ignored by code")
+	}
+}
+
+func TestCanonicalCodeConstants(t *testing.T) {
+	d := rdf.NewDict()
+	c1 := sparql.MustParse(d, `SELECT * WHERE { ?x <p> <Aristotle> . }`)
+	c2 := sparql.MustParse(d, `SELECT * WHERE { ?x <p> <Plato> . }`)
+	v := sparql.MustParse(d, `SELECT * WHERE { ?x <p> ?y . }`)
+	if CanonicalCode(c1) == CanonicalCode(c2) {
+		t.Error("different constants share a code")
+	}
+	if CanonicalCode(c1) == CanonicalCode(v) {
+		t.Error("constant and variable share a code")
+	}
+}
+
+func TestCanonicalCodeTriangleRotations(t *testing.T) {
+	d := rdf.NewDict()
+	t1 := sparql.MustParse(d, `SELECT * WHERE { ?a <p> ?b . ?b <p> ?c . ?c <p> ?a . }`)
+	t2 := sparql.MustParse(d, `SELECT * WHERE { ?z <p> ?x . ?x <p> ?y . ?y <p> ?z . }`)
+	if CanonicalCode(t1) != CanonicalCode(t2) {
+		t.Error("triangle rotations differ")
+	}
+}
+
+func TestCanonicalCodeSelfLoop(t *testing.T) {
+	d := rdf.NewDict()
+	loop := sparql.MustParse(d, `SELECT * WHERE { ?x <p> ?x . }`)
+	edge := sparql.MustParse(d, `SELECT * WHERE { ?x <p> ?y . }`)
+	if CanonicalCode(loop) == CanonicalCode(edge) {
+		t.Error("self loop equals plain edge")
+	}
+	if CanonicalCode(loop) == "" {
+		t.Error("self loop got empty code")
+	}
+}
+
+func TestCanonicalCodeEmpty(t *testing.T) {
+	if CanonicalCode(sparql.NewGraph()) != "" {
+		t.Error("empty graph should have empty code")
+	}
+}
+
+func TestCanonicalCodeVariablePredicate(t *testing.T) {
+	d := rdf.NewDict()
+	v1 := sparql.MustParse(d, `SELECT * WHERE { ?x ?p ?y . }`)
+	v2 := sparql.MustParse(d, `SELECT * WHERE { ?a ?q ?b . }`)
+	c := sparql.MustParse(d, `SELECT * WHERE { ?x <p> ?y . }`)
+	if CanonicalCode(v1) != CanonicalCode(v2) {
+		t.Error("var-pred graphs with renamed vars differ")
+	}
+	if CanonicalCode(v1) == CanonicalCode(c) {
+		t.Error("var pred equals const pred")
+	}
+}

@@ -1,0 +1,40 @@
+package mining
+
+import (
+	"testing"
+
+	"rdffrag/internal/workload"
+)
+
+func BenchmarkMineDBpediaLog(b *testing.B) {
+	db, err := workload.GenerateDBpedia(workload.DBpediaOptions{Triples: 4000, Queries: 500, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	minSup := len(db.Log) / 100
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		(&Miner{MinSup: minSup}).Mine(db.Log)
+	}
+}
+
+func BenchmarkCanonicalCode(b *testing.B) {
+	g := randomPattern(7, 6)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		CanonicalCode(g)
+	}
+}
+
+func BenchmarkNormalize(b *testing.B) {
+	db, err := workload.GenerateDBpedia(workload.DBpediaOptions{Triples: 4000, Queries: 500, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Normalize(db.Log)
+	}
+}

@@ -1,0 +1,21 @@
+package partition
+
+import "testing"
+
+func BenchmarkPartitionRing(b *testing.B) {
+	g := ring(2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Partition(8, Options{Seed: uint64(i + 1)})
+	}
+}
+
+func BenchmarkPartitionClusters(b *testing.B) {
+	g := twoClusters(40)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Partition(2, Options{Seed: uint64(i + 1)})
+	}
+}

@@ -1,0 +1,138 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"rdffrag/internal/allocation"
+	"rdffrag/internal/fragment"
+	"rdffrag/internal/rdf"
+	"rdffrag/internal/testenv"
+)
+
+func buildState(t *testing.T, horizontal bool) *State {
+	t.Helper()
+	env, err := testenv.Build(testenv.Options{Horizontal: horizontal})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return &State{
+		Graph: env.G,
+		HC:    env.HC,
+		Frag:  env.Frag,
+		Alloc: env.Alloc,
+		Sites: len(env.Alloc.Sites),
+	}
+}
+
+func TestRoundTripStructure(t *testing.T) {
+	for _, horizontal := range []bool{false, true} {
+		st := buildState(t, horizontal)
+		var buf bytes.Buffer
+		if err := Save(&buf, st); err != nil {
+			t.Fatalf("Save: %v", err)
+		}
+		got, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("Load: %v", err)
+		}
+		if got.Graph.NumTriples() != st.Graph.NumTriples() {
+			t.Errorf("graph triples %d vs %d", got.Graph.NumTriples(), st.Graph.NumTriples())
+		}
+		if got.HC.Hot.NumTriples() != st.HC.Hot.NumTriples() {
+			t.Errorf("hot triples %d vs %d", got.HC.Hot.NumTriples(), st.HC.Hot.NumTriples())
+		}
+		if len(got.Frag.Fragments) != len(st.Frag.Fragments) {
+			t.Fatalf("fragments %d vs %d", len(got.Frag.Fragments), len(st.Frag.Fragments))
+		}
+		if got.Frag.Kind != st.Frag.Kind {
+			t.Errorf("kind %v vs %v", got.Frag.Kind, st.Frag.Kind)
+		}
+		for i, f := range st.Frag.Fragments {
+			g := got.Frag.Fragments[i]
+			if g.ID != f.ID || g.Graph.NumTriples() != f.Graph.NumTriples() {
+				t.Errorf("fragment %d drifted", f.ID)
+			}
+			if (g.Minterm == nil) != (f.Minterm == nil) {
+				t.Errorf("fragment %d minterm presence drifted", f.ID)
+			}
+			if f.Pattern != nil && g.Pattern.Code != f.Pattern.Code {
+				t.Errorf("fragment %d pattern code drifted", f.ID)
+			}
+			if got.Alloc.SiteOf[g.ID] != st.Alloc.SiteOf[f.ID] {
+				t.Errorf("fragment %d site drifted", f.ID)
+			}
+		}
+		// Term dictionary must round trip ID-for-ID.
+		for i := 0; i < st.Graph.Dict.Len(); i++ {
+			if got.Graph.Dict.Decode(rdf.ID(i)) != st.Graph.Dict.Decode(rdf.ID(i)) {
+				t.Fatalf("term %d drifted", i)
+			}
+		}
+	}
+}
+
+func TestVersionMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&Snapshot{Version: 99}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf); err == nil {
+		t.Error("future version accepted")
+	}
+}
+
+func TestInvalidSiteRejected(t *testing.T) {
+	st := buildState(t, false)
+	var buf bytes.Buffer
+	if err := Save(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := gob.NewDecoder(&buf).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	snap.Fragments[0].Site = 99
+	var buf2 bytes.Buffer
+	if err := gob.NewEncoder(&buf2).Encode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf2); err == nil {
+		t.Error("invalid site accepted")
+	}
+}
+
+func TestLoadedMintermStillFilters(t *testing.T) {
+	st := buildState(t, true)
+	var buf bytes.Buffer
+	if err := Save(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var withMinterm *fragment.Fragment
+	for _, f := range got.Frag.Fragments {
+		if f.Minterm != nil {
+			withMinterm = f
+			break
+		}
+	}
+	if withMinterm == nil {
+		t.Skip("no minterm fragments in this configuration")
+	}
+	filter := withMinterm.Minterm.VertexFilter()
+	c := withMinterm.Minterm.Constraints[0]
+	if c.Equal {
+		if !filter(c.Vertex, c.Value) {
+			t.Error("equality constraint rejects its own value after reload")
+		}
+	} else {
+		if filter(c.Vertex, c.Value) {
+			t.Error("negation constraint accepts its excluded value after reload")
+		}
+	}
+	_ = allocation.Allocation{}
+}

@@ -1,0 +1,112 @@
+// Package plan implements query optimization (Section 7.3, Algorithm 4):
+// a System-R style dynamic program over subquery subsets that picks the
+// join order minimizing estimated intermediate result sizes.
+package plan
+
+import (
+	"fmt"
+	"math"
+
+	"rdffrag/internal/decompose"
+)
+
+// Plan is a left-deep join order over the decomposition's subqueries:
+// (...((q[Order[0]] ⋈ q[Order[1]]) ⋈ q[Order[2]]) ⋈ ...).
+type Plan struct {
+	Order []int
+	// Cost is the estimated total size of intermediate results.
+	Cost float64
+}
+
+// sharedVarReduction is the selectivity credited to each join variable
+// shared between two sides: every shared variable is assumed to shrink
+// the cross product tenfold. Crude, but monotone and enough to prefer
+// connected join orders over Cartesian products.
+const sharedVarReduction = 10.0
+
+// Optimize runs the subset dynamic program. With t subqueries it explores
+// O(2^t · t) states; decompositions are small (t ≤ ~12).
+func Optimize(d *decompose.Decomposition) (*Plan, error) {
+	t := len(d.Subqueries)
+	if t == 0 {
+		return nil, fmt.Errorf("plan: empty decomposition")
+	}
+	if t == 1 {
+		return &Plan{Order: []int{0}, Cost: float64(d.Subqueries[0].Card)}, nil
+	}
+	if t > 20 {
+		return nil, fmt.Errorf("plan: %d subqueries exceed the optimizer's subset limit", t)
+	}
+
+	vars := make([]map[string]bool, t)
+	for i, sq := range d.Subqueries {
+		vars[i] = make(map[string]bool)
+		for _, v := range sq.Graph.Vars() {
+			vars[i][v] = true
+		}
+	}
+
+	type state struct {
+		cost  float64 // accumulated intermediate sizes
+		card  float64 // estimated result size of the joined subset
+		last  int     // subquery joined last
+		prev  uint32  // previous subset
+		valid bool
+	}
+	states := make([]state, 1<<t)
+	for i := 0; i < t; i++ {
+		m := uint32(1) << i
+		states[m] = state{cost: 0, card: float64(d.Subqueries[i].Card), last: i, prev: 0, valid: true}
+	}
+	for mask := uint32(1); mask < uint32(1)<<t; mask++ {
+		if !states[mask].valid || bitsOnes(mask) == t {
+			continue
+		}
+		for k := 0; k < t; k++ {
+			kb := uint32(1) << k
+			if mask&kb != 0 {
+				continue
+			}
+			shared := 0
+			for v := range vars[k] {
+				for i := 0; i < t; i++ {
+					if mask&(1<<i) != 0 && vars[i][v] {
+						shared++
+						break
+					}
+				}
+			}
+			outCard := states[mask].card * float64(d.Subqueries[k].Card) /
+				math.Pow(sharedVarReduction, float64(shared))
+			if outCard < 1 {
+				outCard = 1
+			}
+			newCost := states[mask].cost + outCard
+			nm := mask | kb
+			if !states[nm].valid || newCost < states[nm].cost {
+				states[nm] = state{cost: newCost, card: outCard, last: k, prev: mask, valid: true}
+			}
+		}
+	}
+	full := uint32(1)<<t - 1
+	if !states[full].valid {
+		return nil, fmt.Errorf("plan: dynamic program failed to cover all subqueries")
+	}
+	order := make([]int, 0, t)
+	for m := full; m != 0; m = states[m].prev {
+		order = append(order, states[m].last)
+	}
+	// Reverse into execution order.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return &Plan{Order: order, Cost: states[full].cost}, nil
+}
+
+func bitsOnes(x uint32) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,118 @@
+package plan
+
+import (
+	"testing"
+
+	"rdffrag/internal/decompose"
+	"rdffrag/internal/rdf"
+	"rdffrag/internal/sparql"
+)
+
+func sq(d *rdf.Dict, query string, card int) *decompose.Subquery {
+	return &decompose.Subquery{Graph: sparql.MustParse(d, query), Card: card}
+}
+
+func TestOptimizeSingle(t *testing.T) {
+	d := rdf.NewDict()
+	dcp := &decompose.Decomposition{Subqueries: []*decompose.Subquery{
+		sq(d, `SELECT * WHERE { ?x <p> ?y . }`, 5),
+	}}
+	p, err := Optimize(dcp)
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	if len(p.Order) != 1 || p.Order[0] != 0 {
+		t.Errorf("order = %v", p.Order)
+	}
+}
+
+func TestOptimizePrefersSelectiveFirst(t *testing.T) {
+	d := rdf.NewDict()
+	dcp := &decompose.Decomposition{Subqueries: []*decompose.Subquery{
+		sq(d, `SELECT * WHERE { ?x <p> ?y . }`, 1000),
+		sq(d, `SELECT * WHERE { ?y <q> ?z . }`, 2),
+		sq(d, `SELECT * WHERE { ?z <r> ?w . }`, 50),
+	}}
+	p, err := Optimize(dcp)
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	if len(p.Order) != 3 {
+		t.Fatalf("order = %v", p.Order)
+	}
+	// Every subquery appears exactly once.
+	seen := map[int]bool{}
+	for _, i := range p.Order {
+		if seen[i] {
+			t.Fatalf("duplicate subquery in order %v", p.Order)
+		}
+		seen[i] = true
+	}
+	if p.Cost <= 0 {
+		t.Errorf("cost = %f", p.Cost)
+	}
+}
+
+func TestOptimizeAvoidsCartesian(t *testing.T) {
+	d := rdf.NewDict()
+	// q0 and q2 share no variables; q1 bridges them. A good order never
+	// joins q0 with q2 first.
+	dcp := &decompose.Decomposition{Subqueries: []*decompose.Subquery{
+		sq(d, `SELECT * WHERE { ?a <p> ?b . }`, 100),
+		sq(d, `SELECT * WHERE { ?b <q> ?c . }`, 100),
+		sq(d, `SELECT * WHERE { ?c <r> ?e . }`, 100),
+	}}
+	p, err := Optimize(dcp)
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	first, second := p.Order[0], p.Order[1]
+	if (first == 0 && second == 2) || (first == 2 && second == 0) {
+		t.Errorf("optimizer chose Cartesian-first order %v", p.Order)
+	}
+}
+
+func TestOptimizeEmpty(t *testing.T) {
+	if _, err := Optimize(&decompose.Decomposition{}); err == nil {
+		t.Error("empty decomposition accepted")
+	}
+}
+
+func TestOptimizeTooLarge(t *testing.T) {
+	d := rdf.NewDict()
+	var sqs []*decompose.Subquery
+	for i := 0; i < 21; i++ {
+		sqs = append(sqs, sq(d, `SELECT * WHERE { ?x <p> ?y . }`, 1))
+	}
+	if _, err := Optimize(&decompose.Decomposition{Subqueries: sqs}); err == nil {
+		t.Error("oversized decomposition accepted")
+	}
+}
+
+func TestOptimizeDeterministic(t *testing.T) {
+	d := rdf.NewDict()
+	dcp := &decompose.Decomposition{Subqueries: []*decompose.Subquery{
+		sq(d, `SELECT * WHERE { ?a <p> ?b . }`, 10),
+		sq(d, `SELECT * WHERE { ?b <q> ?c . }`, 20),
+		sq(d, `SELECT * WHERE { ?c <r> ?e . }`, 30),
+		sq(d, `SELECT * WHERE { ?e <s> ?f . }`, 40),
+	}}
+	p1, err := Optimize(dcp)
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		p2, err := Optimize(dcp)
+		if err != nil {
+			t.Fatalf("Optimize: %v", err)
+		}
+		if p2.Cost != p1.Cost {
+			t.Fatalf("nondeterministic cost: %f vs %f", p1.Cost, p2.Cost)
+		}
+		for j := range p1.Order {
+			if p1.Order[j] != p2.Order[j] {
+				t.Fatalf("nondeterministic order: %v vs %v", p1.Order, p2.Order)
+			}
+		}
+	}
+}

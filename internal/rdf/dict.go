@@ -1,0 +1,80 @@
+package rdf
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ID is a dense dictionary-encoded identifier for a term.
+type ID uint32
+
+// NoID is the invalid identifier.
+const NoID = ID(^uint32(0))
+
+// Dict interns RDF terms to dense IDs and back. It is safe for concurrent
+// use; lookups take a read lock, inserts a write lock.
+type Dict struct {
+	mu    sync.RWMutex
+	byKey map[string]ID
+	terms []Term
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{byKey: make(map[string]ID)}
+}
+
+// Encode interns t and returns its ID, allocating one if necessary.
+func (d *Dict) Encode(t Term) ID {
+	key := t.Key()
+	d.mu.RLock()
+	id, ok := d.byKey[key]
+	d.mu.RUnlock()
+	if ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok = d.byKey[key]; ok {
+		return id
+	}
+	id = ID(len(d.terms))
+	d.byKey[key] = id
+	d.terms = append(d.terms, t)
+	return id
+}
+
+// Lookup returns the ID for t without inserting. The second result reports
+// whether the term is present.
+func (d *Dict) Lookup(t Term) (ID, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	id, ok := d.byKey[t.Key()]
+	return id, ok
+}
+
+// Decode returns the term for id. It panics if id was not allocated by this
+// dictionary, mirroring slice indexing semantics.
+func (d *Dict) Decode(id ID) Term {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.terms[id]
+}
+
+// Len reports the number of interned terms.
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.terms)
+}
+
+// MustIRI interns an IRI given by its lexical value.
+func (d *Dict) MustIRI(v string) ID { return d.Encode(NewIRI(v)) }
+
+// MustLiteral interns a literal given by its lexical value.
+func (d *Dict) MustLiteral(v string) ID { return d.Encode(NewLiteral(v)) }
+
+// String renders an ID for debugging.
+func (d *Dict) String() string {
+	return fmt.Sprintf("Dict(%d terms)", d.Len())
+}

@@ -1,0 +1,202 @@
+package rdf
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Triple is a dictionary-encoded RDF triple 〈subject, property, object〉.
+type Triple struct {
+	S, P, O ID
+}
+
+// String renders the triple with raw IDs; use Graph.TripleString for terms.
+func (t Triple) String() string {
+	return fmt.Sprintf("(%d %d %d)", t.S, t.P, t.O)
+}
+
+// Edge is one directed labelled edge as seen from one endpoint.
+type Edge struct {
+	P     ID   // property (edge label)
+	Other ID   // the vertex on the far end
+	Out   bool // true if the edge leaves the vertex owning this adjacency entry
+}
+
+// Graph is an in-memory RDF graph (Definition 1): vertices are all subjects
+// and objects, directed edges are triples labelled by property. It keeps
+// SPO-ordered triples plus adjacency and per-property indexes for matching.
+//
+// Graph is not safe for concurrent mutation; concurrent reads are fine once
+// loading has finished.
+type Graph struct {
+	Dict *Dict
+
+	triples map[Triple]struct{}
+	order   []Triple // insertion order, for deterministic iteration
+
+	out    map[ID][]halfEdge // subject -> (P,O)
+	in     map[ID][]halfEdge // object  -> (P,S)
+	byPred map[ID][]Triple   // property -> triples
+}
+
+type halfEdge struct {
+	P     ID
+	Other ID
+}
+
+// NewGraph returns an empty graph sharing the given dictionary. A nil dict
+// allocates a fresh one.
+func NewGraph(d *Dict) *Graph {
+	if d == nil {
+		d = NewDict()
+	}
+	return &Graph{
+		Dict:    d,
+		triples: make(map[Triple]struct{}),
+		out:     make(map[ID][]halfEdge),
+		in:      make(map[ID][]halfEdge),
+		byPred:  make(map[ID][]Triple),
+	}
+}
+
+// Add inserts a triple; duplicates are ignored. It reports whether the
+// triple was new.
+func (g *Graph) Add(t Triple) bool {
+	if _, ok := g.triples[t]; ok {
+		return false
+	}
+	g.triples[t] = struct{}{}
+	g.order = append(g.order, t)
+	g.out[t.S] = append(g.out[t.S], halfEdge{P: t.P, Other: t.O})
+	g.in[t.O] = append(g.in[t.O], halfEdge{P: t.P, Other: t.S})
+	g.byPred[t.P] = append(g.byPred[t.P], t)
+	return true
+}
+
+// AddTerms interns the three terms and inserts the resulting triple.
+func (g *Graph) AddTerms(s, p, o Term) Triple {
+	t := Triple{S: g.Dict.Encode(s), P: g.Dict.Encode(p), O: g.Dict.Encode(o)}
+	g.Add(t)
+	return t
+}
+
+// Has reports whether the triple is present.
+func (g *Graph) Has(t Triple) bool {
+	_, ok := g.triples[t]
+	return ok
+}
+
+// NumTriples returns |E(G)|.
+func (g *Graph) NumTriples() int { return len(g.order) }
+
+// NumVertices returns |V(G)| (distinct subjects and objects).
+func (g *Graph) NumVertices() int {
+	seen := make(map[ID]struct{}, len(g.out)+len(g.in))
+	for v := range g.out {
+		seen[v] = struct{}{}
+	}
+	for v := range g.in {
+		seen[v] = struct{}{}
+	}
+	return len(seen)
+}
+
+// Triples returns the triples in insertion order. The returned slice is
+// owned by the graph and must not be mutated.
+func (g *Graph) Triples() []Triple { return g.order }
+
+// Out returns the outgoing (P, O) pairs of vertex s.
+func (g *Graph) Out(s ID) []Edge {
+	hs := g.out[s]
+	es := make([]Edge, len(hs))
+	for i, h := range hs {
+		es[i] = Edge{P: h.P, Other: h.Other, Out: true}
+	}
+	return es
+}
+
+// In returns the incoming (P, S) pairs of vertex o.
+func (g *Graph) In(o ID) []Edge {
+	hs := g.in[o]
+	es := make([]Edge, len(hs))
+	for i, h := range hs {
+		es[i] = Edge{P: h.P, Other: h.Other, Out: false}
+	}
+	return es
+}
+
+// Degree returns the total degree (in+out) of v.
+func (g *Graph) Degree(v ID) int { return len(g.out[v]) + len(g.in[v]) }
+
+// ByPredicate returns all triples whose property is p. The slice is owned
+// by the graph.
+func (g *Graph) ByPredicate(p ID) []Triple { return g.byPred[p] }
+
+// PredicateCount returns the number of triples labelled p.
+func (g *Graph) PredicateCount(p ID) int { return len(g.byPred[p]) }
+
+// Predicates returns the distinct properties in ascending ID order.
+func (g *Graph) Predicates() []ID {
+	ps := make([]ID, 0, len(g.byPred))
+	for p := range g.byPred {
+		ps = append(ps, p)
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	return ps
+}
+
+// Vertices returns the distinct vertices in ascending ID order.
+func (g *Graph) Vertices() []ID {
+	seen := make(map[ID]struct{}, len(g.out)+len(g.in))
+	for v := range g.out {
+		seen[v] = struct{}{}
+	}
+	for v := range g.in {
+		seen[v] = struct{}{}
+	}
+	vs := make([]ID, 0, len(seen))
+	for v := range seen {
+		vs = append(vs, v)
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	return vs
+}
+
+// TripleString renders a triple with decoded terms.
+func (g *Graph) TripleString(t Triple) string {
+	return fmt.Sprintf("%s %s %s .", g.Dict.Decode(t.S), g.Dict.Decode(t.P), g.Dict.Decode(t.O))
+}
+
+// Clone returns a deep copy of the graph structure sharing the dictionary.
+func (g *Graph) Clone() *Graph {
+	c := NewGraph(g.Dict)
+	for _, t := range g.order {
+		c.Add(t)
+	}
+	return c
+}
+
+// Merge inserts all triples of other into g (dictionaries must be shared).
+func (g *Graph) Merge(other *Graph) {
+	if other == nil {
+		return
+	}
+	if other.Dict != g.Dict {
+		panic("rdf: Merge requires a shared dictionary")
+	}
+	for _, t := range other.order {
+		g.Add(t)
+	}
+}
+
+// SubgraphByPredicates returns a new graph (sharing the dictionary)
+// containing exactly the triples whose property is in keep.
+func (g *Graph) SubgraphByPredicates(keep map[ID]bool) *Graph {
+	sub := NewGraph(g.Dict)
+	for _, t := range g.order {
+		if keep[t.P] {
+			sub.Add(t)
+		}
+	}
+	return sub
+}

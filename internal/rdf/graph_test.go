@@ -1,0 +1,226 @@
+package rdf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDictRoundTrip(t *testing.T) {
+	d := NewDict()
+	terms := []Term{
+		NewIRI("http://ex/a"),
+		NewLiteral("Aristotle"),
+		NewBlank("b0"),
+		NewIRI("Aristotle"), // must not collide with the literal
+	}
+	ids := make([]ID, len(terms))
+	for i, tm := range terms {
+		ids[i] = d.Encode(tm)
+	}
+	if ids[1] == ids[3] {
+		t.Fatalf("literal and IRI with same lexical form collided: %v", ids)
+	}
+	for i, tm := range terms {
+		if got := d.Decode(ids[i]); got != tm {
+			t.Errorf("Decode(%d) = %v, want %v", ids[i], got, tm)
+		}
+	}
+	if d.Len() != 4 {
+		t.Errorf("Len = %d, want 4", d.Len())
+	}
+	// Re-encoding is idempotent.
+	if id := d.Encode(terms[0]); id != ids[0] {
+		t.Errorf("re-Encode changed ID: %d vs %d", id, ids[0])
+	}
+}
+
+func TestDictLookup(t *testing.T) {
+	d := NewDict()
+	if _, ok := d.Lookup(NewIRI("x")); ok {
+		t.Fatal("Lookup on empty dict returned ok")
+	}
+	id := d.MustIRI("x")
+	got, ok := d.Lookup(NewIRI("x"))
+	if !ok || got != id {
+		t.Fatalf("Lookup = (%d,%v), want (%d,true)", got, ok, id)
+	}
+}
+
+func TestTermKeyRoundTrip(t *testing.T) {
+	for _, tm := range []Term{NewIRI("http://a"), NewLiteral(`he said "hi"`), NewBlank("n1")} {
+		back, err := TermFromKey(tm.Key())
+		if err != nil {
+			t.Fatalf("TermFromKey(%q): %v", tm.Key(), err)
+		}
+		if back != tm {
+			t.Errorf("round trip %v -> %v", tm, back)
+		}
+	}
+	if _, err := TermFromKey(""); err == nil {
+		t.Error("TermFromKey(\"\") should fail")
+	}
+}
+
+func TestGraphAddAndIndexes(t *testing.T) {
+	g := NewGraph(nil)
+	a := g.Dict.MustIRI("a")
+	b := g.Dict.MustIRI("b")
+	c := g.Dict.MustIRI("c")
+	p := g.Dict.MustIRI("p")
+	q := g.Dict.MustIRI("q")
+
+	if !g.Add(Triple{a, p, b}) {
+		t.Fatal("first Add returned false")
+	}
+	if g.Add(Triple{a, p, b}) {
+		t.Fatal("duplicate Add returned true")
+	}
+	g.Add(Triple{b, q, c})
+	g.Add(Triple{a, q, c})
+
+	if g.NumTriples() != 3 {
+		t.Errorf("NumTriples = %d, want 3", g.NumTriples())
+	}
+	if g.NumVertices() != 3 {
+		t.Errorf("NumVertices = %d, want 3", g.NumVertices())
+	}
+	if got := len(g.Out(a)); got != 2 {
+		t.Errorf("Out(a) = %d edges, want 2", got)
+	}
+	if got := len(g.In(c)); got != 2 {
+		t.Errorf("In(c) = %d edges, want 2", got)
+	}
+	if got := g.PredicateCount(p); got != 1 {
+		t.Errorf("PredicateCount(p) = %d, want 1", got)
+	}
+	if got := g.PredicateCount(q); got != 2 {
+		t.Errorf("PredicateCount(q) = %d, want 2", got)
+	}
+	if got := g.Degree(a); got != 2 {
+		t.Errorf("Degree(a) = %d, want 2", got)
+	}
+	if !g.Has(Triple{a, p, b}) || g.Has(Triple{c, p, b}) {
+		t.Error("Has gave wrong answers")
+	}
+	preds := g.Predicates()
+	if len(preds) != 2 {
+		t.Errorf("Predicates = %v, want 2 entries", preds)
+	}
+}
+
+func TestGraphCloneAndMerge(t *testing.T) {
+	g := NewGraph(nil)
+	a, p, b := g.Dict.MustIRI("a"), g.Dict.MustIRI("p"), g.Dict.MustIRI("b")
+	g.Add(Triple{a, p, b})
+
+	c := g.Clone()
+	c.Add(Triple{b, p, a})
+	if g.NumTriples() != 1 || c.NumTriples() != 2 {
+		t.Fatalf("clone mutated original: g=%d c=%d", g.NumTriples(), c.NumTriples())
+	}
+
+	g.Merge(c)
+	if g.NumTriples() != 2 {
+		t.Errorf("after Merge NumTriples = %d, want 2", g.NumTriples())
+	}
+}
+
+func TestSubgraphByPredicates(t *testing.T) {
+	g := NewGraph(nil)
+	a, b := g.Dict.MustIRI("a"), g.Dict.MustIRI("b")
+	p, q := g.Dict.MustIRI("p"), g.Dict.MustIRI("q")
+	g.Add(Triple{a, p, b})
+	g.Add(Triple{a, q, b})
+	sub := g.SubgraphByPredicates(map[ID]bool{p: true})
+	if sub.NumTriples() != 1 || !sub.Has(Triple{a, p, b}) {
+		t.Errorf("subgraph wrong: %v", sub.Triples())
+	}
+}
+
+func TestNTriplesRoundTrip(t *testing.T) {
+	src := strings.Join([]string{
+		`<http://ex/Aristotle> <http://ex/name> "Aristotle" .`,
+		`# a comment`,
+		``,
+		`<http://ex/Aristotle> <http://ex/influencedBy> <http://ex/Plato> .`,
+		`_:b1 <http://ex/p> "line\nbreak" .`,
+		`<http://ex/x> <http://ex/age> "42"^^<http://www.w3.org/2001/XMLSchema#integer> .`,
+		`<http://ex/x> <http://ex/label> "hi"@en .`,
+	}, "\n")
+	g := NewGraph(nil)
+	n, err := ReadNTriples(g, strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("ReadNTriples: %v", err)
+	}
+	if n != 5 {
+		t.Fatalf("parsed %d triples, want 5", n)
+	}
+	var buf bytes.Buffer
+	if err := WriteNTriples(g, &buf); err != nil {
+		t.Fatalf("WriteNTriples: %v", err)
+	}
+	g2 := NewGraph(nil)
+	if _, err := ReadNTriples(g2, &buf); err != nil {
+		t.Fatalf("re-read: %v", err)
+	}
+	if g2.NumTriples() != g.NumTriples() {
+		t.Errorf("round trip triple count %d != %d", g2.NumTriples(), g.NumTriples())
+	}
+}
+
+func TestNTriplesErrors(t *testing.T) {
+	for _, bad := range []string{
+		`<http://ex/a <http://ex/p> <http://ex/b> .`,
+		`<http://ex/a> "lit" .`,
+		`<a> <p> "unterminated .`,
+		`<a> <p> <b> extra .`,
+	} {
+		g := NewGraph(nil)
+		if _, err := ReadNTriples(g, strings.NewReader(bad)); err == nil {
+			t.Errorf("expected error for %q", bad)
+		}
+	}
+}
+
+func TestEscapeLiteralProperty(t *testing.T) {
+	f := func(s string) bool {
+		return unescapeLiteral(escapeLiteral(s)) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDictEncodeDecodeProperty(t *testing.T) {
+	d := NewDict()
+	f := func(v string, kind uint8) bool {
+		tm := Term{Kind: TermKind(kind % 3), Value: v}
+		return d.Decode(d.Encode(tm)) == tm
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGraphAddIdempotentProperty(t *testing.T) {
+	g := NewGraph(nil)
+	f := func(s, p, o uint16) bool {
+		tr := Triple{ID(s % 64), ID(p % 8), ID(o % 64)}
+		before := g.NumTriples()
+		first := g.Add(tr)
+		second := g.Add(tr)
+		after := g.NumTriples()
+		if second {
+			return false
+		}
+		if first {
+			return after == before+1
+		}
+		return after == before
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,70 @@
+package rdf
+
+import "sync"
+
+// Stats caches per-predicate statistics of a graph: triple counts and
+// distinct subject/object counts. The cost models use these to estimate
+// constant selectivities (a triple pattern with a bound object matches
+// count/distinctObjects triples on average). Build once after loading;
+// the underlying graph must not change afterwards.
+type Stats struct {
+	g    *Graph
+	once sync.Once
+
+	perPred map[ID]PredStats
+}
+
+// PredStats summarizes one property.
+type PredStats struct {
+	Count            int
+	DistinctSubjects int
+	DistinctObjects  int
+}
+
+// NewStats wraps a graph; computation happens lazily on first use.
+func NewStats(g *Graph) *Stats { return &Stats{g: g} }
+
+func (s *Stats) compute() {
+	s.perPred = make(map[ID]PredStats)
+	for _, p := range s.g.Predicates() {
+		subs := make(map[ID]struct{})
+		objs := make(map[ID]struct{})
+		ts := s.g.ByPredicate(p)
+		for _, t := range ts {
+			subs[t.S] = struct{}{}
+			objs[t.O] = struct{}{}
+		}
+		s.perPred[p] = PredStats{
+			Count:            len(ts),
+			DistinctSubjects: len(subs),
+			DistinctObjects:  len(objs),
+		}
+	}
+}
+
+// Predicate returns the statistics for property p (zero value if absent).
+func (s *Stats) Predicate(p ID) PredStats {
+	s.once.Do(s.compute)
+	return s.perPred[p]
+}
+
+// EstimateTriplePattern estimates the matches of a single triple pattern
+// with optional bound endpoints: count scaled by 1/distinct per bound
+// side. Always at least 1 when the predicate exists.
+func (s *Stats) EstimateTriplePattern(p ID, subjectBound, objectBound bool) int {
+	ps := s.Predicate(p)
+	if ps.Count == 0 {
+		return 0
+	}
+	est := float64(ps.Count)
+	if subjectBound && ps.DistinctSubjects > 0 {
+		est /= float64(ps.DistinctSubjects)
+	}
+	if objectBound && ps.DistinctObjects > 0 {
+		est /= float64(ps.DistinctObjects)
+	}
+	if est < 1 {
+		est = 1
+	}
+	return int(est)
+}

@@ -1,0 +1,59 @@
+package rdf
+
+import "testing"
+
+func statsGraph() *Graph {
+	g := NewGraph(nil)
+	add := func(s, p, o string) { g.AddTerms(NewIRI(s), NewIRI(p), NewIRI(o)) }
+	// p: 6 triples, 3 distinct subjects, 2 distinct objects.
+	add("s1", "p", "o1")
+	add("s1", "p", "o2")
+	add("s2", "p", "o1")
+	add("s2", "p", "o2")
+	add("s3", "p", "o1")
+	add("s3", "p", "o2")
+	// q: 2 triples, 2 subjects, 1 object.
+	add("a", "q", "x")
+	add("b", "q", "x")
+	return g
+}
+
+func TestPredicateStats(t *testing.T) {
+	g := statsGraph()
+	st := NewStats(g)
+	p, _ := g.Dict.Lookup(NewIRI("p"))
+	ps := st.Predicate(p)
+	if ps.Count != 6 || ps.DistinctSubjects != 3 || ps.DistinctObjects != 2 {
+		t.Errorf("stats = %+v", ps)
+	}
+	q, _ := g.Dict.Lookup(NewIRI("q"))
+	qs := st.Predicate(q)
+	if qs.Count != 2 || qs.DistinctSubjects != 2 || qs.DistinctObjects != 1 {
+		t.Errorf("stats = %+v", qs)
+	}
+	// Unknown predicate: zero value.
+	if st.Predicate(9999).Count != 0 {
+		t.Error("unknown predicate has non-zero count")
+	}
+}
+
+func TestEstimateTriplePattern(t *testing.T) {
+	g := statsGraph()
+	st := NewStats(g)
+	p, _ := g.Dict.Lookup(NewIRI("p"))
+	if got := st.EstimateTriplePattern(p, false, false); got != 6 {
+		t.Errorf("unbound = %d, want 6", got)
+	}
+	if got := st.EstimateTriplePattern(p, true, false); got != 2 {
+		t.Errorf("subject bound = %d, want 6/3=2", got)
+	}
+	if got := st.EstimateTriplePattern(p, false, true); got != 3 {
+		t.Errorf("object bound = %d, want 6/2=3", got)
+	}
+	if got := st.EstimateTriplePattern(p, true, true); got != 1 {
+		t.Errorf("both bound = %d, want 1", got)
+	}
+	if got := st.EstimateTriplePattern(9999, false, false); got != 0 {
+		t.Errorf("unknown predicate = %d, want 0", got)
+	}
+}

@@ -1,0 +1,149 @@
+// Package rdf implements the RDF data model used throughout the repository:
+// terms, dictionary encoding, triples and an in-memory indexed RDF graph
+// (Definition 1 of the paper). All strings are interned through a Dict so
+// the rest of the system works on dense integer IDs.
+package rdf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TermKind classifies an RDF term.
+type TermKind uint8
+
+const (
+	// IRI is an absolute or prefixed IRI reference, e.g. <http://ex/a>.
+	IRI TermKind = iota
+	// Literal is an RDF literal, e.g. "Aristotle" (datatype/lang folded in).
+	Literal
+	// Blank is a blank node, e.g. _:b1.
+	Blank
+)
+
+func (k TermKind) String() string {
+	switch k {
+	case IRI:
+		return "iri"
+	case Literal:
+		return "literal"
+	case Blank:
+		return "blank"
+	}
+	return fmt.Sprintf("TermKind(%d)", uint8(k))
+}
+
+// Term is a single RDF term. Value holds the lexical form without
+// surrounding syntax markers (no angle brackets, no quotes).
+type Term struct {
+	Kind  TermKind
+	Value string
+}
+
+// NewIRI returns an IRI term.
+func NewIRI(v string) Term { return Term{Kind: IRI, Value: v} }
+
+// NewLiteral returns a literal term.
+func NewLiteral(v string) Term { return Term{Kind: Literal, Value: v} }
+
+// NewBlank returns a blank-node term.
+func NewBlank(v string) Term { return Term{Kind: Blank, Value: v} }
+
+// String renders the term in N-Triples syntax.
+func (t Term) String() string {
+	switch t.Kind {
+	case IRI:
+		return "<" + t.Value + ">"
+	case Literal:
+		return `"` + escapeLiteral(t.Value) + `"`
+	case Blank:
+		return "_:" + t.Value
+	}
+	return t.Value
+}
+
+// Key returns a string that uniquely identifies the term across kinds,
+// suitable for dictionary interning. IRIs and literals with identical
+// lexical forms must not collide.
+func (t Term) Key() string {
+	switch t.Kind {
+	case IRI:
+		return "<" + t.Value
+	case Literal:
+		return `"` + t.Value
+	case Blank:
+		return "_" + t.Value
+	}
+	return t.Value
+}
+
+// TermFromKey reverses Term.Key.
+func TermFromKey(k string) (Term, error) {
+	if k == "" {
+		return Term{}, fmt.Errorf("rdf: empty term key")
+	}
+	switch k[0] {
+	case '<':
+		return NewIRI(k[1:]), nil
+	case '"':
+		return NewLiteral(k[1:]), nil
+	case '_':
+		return NewBlank(k[1:]), nil
+	}
+	return Term{}, fmt.Errorf("rdf: malformed term key %q", k)
+}
+
+func escapeLiteral(s string) string {
+	if !strings.ContainsAny(s, "\"\\\n\r\t") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func unescapeLiteral(s string) string {
+	if !strings.Contains(s, `\`) {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c != '\\' || i+1 >= len(s) {
+			b.WriteByte(c)
+			continue
+		}
+		i++
+		switch s[i] {
+		case 'n':
+			b.WriteByte('\n')
+		case 'r':
+			b.WriteByte('\r')
+		case 't':
+			b.WriteByte('\t')
+		case '"':
+			b.WriteByte('"')
+		case '\\':
+			b.WriteByte('\\')
+		default:
+			b.WriteByte('\\')
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,173 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+
+	"rdffrag/internal/rdf"
+)
+
+func TestParseBasicSelect(t *testing.T) {
+	d := rdf.NewDict()
+	q, err := NewParser(d).Parse(`
+		SELECT ?x ?n WHERE {
+			?x <http://ex/name> ?n .
+			?x <http://ex/influencedBy> <http://ex/Aristotle> .
+		}`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if q.NumEdges() != 2 {
+		t.Fatalf("edges = %d, want 2", q.NumEdges())
+	}
+	if q.NumVerts() != 3 {
+		t.Fatalf("verts = %d, want 3 (?x ?n Aristotle)", q.NumVerts())
+	}
+	if len(q.Select) != 2 || q.Select[0] != "x" || q.Select[1] != "n" {
+		t.Errorf("Select = %v", q.Select)
+	}
+	// ?x must be shared between the two patterns.
+	if q.Edges[0].From != q.Edges[1].From {
+		t.Errorf("shared variable not merged: %+v", q.Edges)
+	}
+	// Constant object must be a non-var vertex.
+	obj := q.Verts[q.Edges[1].To]
+	if obj.IsVar() || d.Decode(obj.Term).Value != "http://ex/Aristotle" {
+		t.Errorf("object vertex = %+v", obj)
+	}
+}
+
+func TestParsePrefixes(t *testing.T) {
+	d := rdf.NewDict()
+	q, err := NewParser(d).Parse(`
+		PREFIX ex: <http://ex/>
+		SELECT * WHERE { ?x ex:name "Aristotle" . }`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	e := q.Edges[0]
+	if d.Decode(e.Pred).Value != "http://ex/name" {
+		t.Errorf("pred = %v", d.Decode(e.Pred))
+	}
+	o := q.Verts[e.To]
+	if o.IsVar() || d.Decode(o.Term) != rdf.NewLiteral("Aristotle") {
+		t.Errorf("object = %+v", o)
+	}
+}
+
+func TestParsePredicateObjectLists(t *testing.T) {
+	d := rdf.NewDict()
+	q := MustParse(d, `SELECT ?x WHERE { ?x <p> ?a ; <q> ?b , ?c . }`)
+	if q.NumEdges() != 3 {
+		t.Fatalf("edges = %d, want 3", q.NumEdges())
+	}
+	for _, e := range q.Edges[1:] {
+		if e.From != q.Edges[0].From {
+			t.Errorf("subject not shared across ';' list")
+		}
+	}
+}
+
+func TestParseFilterSkipped(t *testing.T) {
+	d := rdf.NewDict()
+	q, err := NewParser(d).Parse(`
+		SELECT ?x WHERE {
+			?x <p> ?y .
+			FILTER(?y > 3 && (?y < 10))
+			?y <q> ?z .
+		}`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if q.NumEdges() != 2 {
+		t.Errorf("edges = %d, want 2 (FILTER ignored)", q.NumEdges())
+	}
+}
+
+func TestParseVariablePredicate(t *testing.T) {
+	d := rdf.NewDict()
+	q := MustParse(d, `SELECT ?p WHERE { <a> ?p <b> . }`)
+	if !q.Edges[0].IsPredVar() || q.Edges[0].PredVar != "p" {
+		t.Errorf("edge = %+v", q.Edges[0])
+	}
+}
+
+func TestParseAKeyword(t *testing.T) {
+	d := rdf.NewDict()
+	q := MustParse(d, `SELECT ?x WHERE { ?x a <http://ex/Person> . }`)
+	if !strings.Contains(d.Decode(q.Edges[0].Pred).Value, "rdf-syntax-ns#type") {
+		t.Errorf("pred = %v", d.Decode(q.Edges[0].Pred))
+	}
+}
+
+func TestParseTypedAndTaggedLiterals(t *testing.T) {
+	d := rdf.NewDict()
+	q := MustParse(d, `SELECT ?x WHERE { ?x <p> "42"^^<http://www.w3.org/2001/XMLSchema#int> . ?x <q> "hi"@en . ?x <r> 7 . }`)
+	if q.NumEdges() != 3 {
+		t.Fatalf("edges = %d, want 3", q.NumEdges())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	d := rdf.NewDict()
+	for _, bad := range []string{
+		`SELECT ?x WHERE { ?x <p> ?y`,                // unterminated BGP
+		`SELECT ?x WHERE { ?x <p ?y . }`,             // unterminated IRI
+		`SELECT ?x WHERE { OPTIONAL { ?x <p> ?y } }`, // unsupported
+		`ASK { ?x <p> ?y }`,                          // not SELECT
+		`SELECT ?x WHERE { ?x ex:name ?y . }`,        // undeclared prefix
+	} {
+		if _, err := NewParser(d).Parse(bad); err == nil {
+			t.Errorf("expected error for %q", bad)
+		}
+	}
+}
+
+func TestGeneralize(t *testing.T) {
+	d := rdf.NewDict()
+	q := MustParse(d, `SELECT ?x WHERE { ?x <name> "Aristotle" . ?x <mainInterest> <Ethics> . }`)
+	g := q.Generalize()
+	if g.NumEdges() != 2 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+	for _, v := range g.Verts {
+		if !v.IsVar() {
+			t.Errorf("constant survived generalization: %+v", v)
+		}
+	}
+	// Predicates must be preserved.
+	if len(g.Predicates()) != 2 {
+		t.Errorf("predicates = %v", g.Predicates())
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	d := rdf.NewDict()
+	q := MustParse(d, `SELECT * WHERE { ?x <p> ?y . ?a <q> ?b . ?y <r> ?z . }`)
+	if q.Connected() {
+		t.Error("graph with two components reported connected")
+	}
+	comps := q.ConnectedComponents()
+	if len(comps) != 2 {
+		t.Fatalf("components = %d, want 2", len(comps))
+	}
+	total := 0
+	for _, c := range comps {
+		total += len(c)
+	}
+	if total != 3 {
+		t.Errorf("component edges sum = %d, want 3", total)
+	}
+}
+
+func TestEdgeSubgraph(t *testing.T) {
+	d := rdf.NewDict()
+	q := MustParse(d, `SELECT * WHERE { ?x <p> ?y . ?y <q> ?z . ?z <r> ?x . }`)
+	sub := q.EdgeSubgraph([]int{0, 1})
+	if sub.NumEdges() != 2 || sub.NumVerts() != 3 {
+		t.Fatalf("sub = %d edges %d verts", sub.NumEdges(), sub.NumVerts())
+	}
+	if !sub.Connected() {
+		t.Error("subgraph should be connected")
+	}
+}

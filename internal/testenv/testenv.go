@@ -1,0 +1,125 @@
+// Package testenv builds a small but complete deployment (graph →
+// workload → mining → selection → fragmentation → allocation → dictionary)
+// shared by the tests of the higher-level packages. It is not part of the
+// public API.
+package testenv
+
+import (
+	"fmt"
+
+	"rdffrag/internal/allocation"
+	"rdffrag/internal/dict"
+	"rdffrag/internal/fap"
+	"rdffrag/internal/fragment"
+	"rdffrag/internal/mining"
+	"rdffrag/internal/rdf"
+	"rdffrag/internal/sparql"
+)
+
+// Env bundles one fully-built deployment.
+type Env struct {
+	G        *rdf.Graph
+	Workload []*sparql.Graph
+	HC       *fragment.HotCold
+	Sel      *fap.Selection
+	Frag     *fragment.Fragmentation
+	Alloc    *allocation.Allocation
+	Dict     *dict.Dictionary
+}
+
+// Graph builds a philosopher-style graph with hot and cold properties:
+// n persons with name/mainInterest/influencedBy, n/2 cities with
+// country/postalCode, persons linked to cities by placeOfDeath, and cold
+// viaf/wappen edges.
+func Graph(n int) *rdf.Graph {
+	g := rdf.NewGraph(nil)
+	iri := func(s string) rdf.Term { return rdf.NewIRI(s) }
+	lit := func(s string) rdf.Term { return rdf.NewLiteral(s) }
+	for i := 0; i < n; i++ {
+		p := fmt.Sprintf("Person%d", i)
+		g.AddTerms(iri(p), iri("name"), lit(fmt.Sprintf("Name %d", i)))
+		g.AddTerms(iri(p), iri("mainInterest"), iri(fmt.Sprintf("Interest%d", i%5)))
+		if i%2 == 0 {
+			g.AddTerms(iri(p), iri("influencedBy"), iri(fmt.Sprintf("Person%d", (i+3)%n)))
+		}
+		city := fmt.Sprintf("City%d", i%(n/2+1))
+		g.AddTerms(iri(p), iri("placeOfDeath"), iri(city))
+		g.AddTerms(iri(city), iri("country"), iri(fmt.Sprintf("Country%d", i%3)))
+		g.AddTerms(iri(city), iri("postalCode"), lit(fmt.Sprintf("%05d", i)))
+		if i%4 == 0 {
+			g.AddTerms(iri(p), iri("viaf"), lit(fmt.Sprintf("%09d", i)))
+		}
+		if i%5 == 0 {
+			g.AddTerms(iri(city), iri("wappen"), iri(fmt.Sprintf("Wappen%d.svg", i)))
+		}
+	}
+	return g
+}
+
+// Workload builds a mixed workload over the graph's hot properties plus a
+// couple of queries touching cold properties.
+func Workload(d *rdf.Dict) []*sparql.Graph {
+	var w []*sparql.Graph
+	for i := 0; i < 12; i++ {
+		w = append(w, sparql.MustParse(d,
+			`SELECT ?x ?n WHERE { ?x <name> ?n . ?x <mainInterest> ?i . }`))
+	}
+	for i := 0; i < 9; i++ {
+		w = append(w, sparql.MustParse(d,
+			`SELECT ?x WHERE { ?x <placeOfDeath> ?c . ?c <country> ?k . ?c <postalCode> ?z . }`))
+	}
+	for i := 0; i < 6; i++ {
+		w = append(w, sparql.MustParse(d, fmt.Sprintf(
+			`SELECT ?x WHERE { ?x <name> ?n . ?x <influencedBy> <Person%d> . }`, i%3)))
+	}
+	// Rare: cold property queries (below any sensible theta).
+	w = append(w, sparql.MustParse(d, `SELECT ?x WHERE { ?x <viaf> ?v . }`))
+	return w
+}
+
+// Options tunes Build.
+type Options struct {
+	Persons    int
+	Theta      int
+	MinSup     int
+	Horizontal bool
+	Sites      int
+	StorageMul int // multiples of the hot graph size; 0 = 4
+}
+
+// Build assembles the full pipeline.
+func Build(o Options) (*Env, error) {
+	if o.Persons == 0 {
+		o.Persons = 40
+	}
+	if o.Theta == 0 {
+		o.Theta = 3
+	}
+	if o.MinSup == 0 {
+		o.MinSup = 3
+	}
+	if o.Sites == 0 {
+		o.Sites = 4
+	}
+	if o.StorageMul == 0 {
+		o.StorageMul = 4
+	}
+	env := &Env{G: Graph(o.Persons)}
+	env.Workload = Workload(env.G.Dict)
+	env.HC = fragment.SplitHotCold(env.G, env.Workload, o.Theta)
+	patterns := (&mining.Miner{MinSup: o.MinSup}).Mine(env.Workload)
+	sel, err := (&fap.Selector{StorageCapacity: o.StorageMul * env.HC.Hot.NumTriples()}).
+		Select(patterns, env.Workload, env.HC.Hot)
+	if err != nil {
+		return nil, err
+	}
+	env.Sel = sel
+	if o.Horizontal {
+		env.Frag = fragment.Horizontal(sel, env.Workload, env.HC, fragment.HorizontalOptions{})
+	} else {
+		env.Frag = fragment.Vertical(sel, env.HC)
+	}
+	env.Alloc = allocation.Allocate(env.Frag, env.Workload, o.Sites)
+	env.Dict = dict.Build(env.Frag, env.Alloc, env.Workload)
+	return env, nil
+}

@@ -1,0 +1,99 @@
+package watdiv
+
+import (
+	"testing"
+
+	"rdffrag/internal/rdf"
+)
+
+func rdfIRI(s string) rdf.Term { return rdf.NewIRI(s) }
+
+func TestGenerateSize(t *testing.T) {
+	for _, target := range []int{1000, 5000, 20000} {
+		ds := Generate(Options{Triples: target, Seed: 7})
+		n := ds.Graph.NumTriples()
+		if n < target/2 || n > target*2 {
+			t.Errorf("target %d produced %d triples", target, n)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Options{Triples: 2000, Seed: 42})
+	b := Generate(Options{Triples: 2000, Seed: 42})
+	if a.Graph.NumTriples() != b.Graph.NumTriples() {
+		t.Fatalf("same seed, different sizes: %d vs %d", a.Graph.NumTriples(), b.Graph.NumTriples())
+	}
+	ta, tb := a.Graph.Triples(), b.Graph.Triples()
+	for i := range ta {
+		if a.Graph.TripleString(ta[i]) != b.Graph.TripleString(tb[i]) {
+			t.Fatalf("triple %d differs", i)
+		}
+	}
+	c := Generate(Options{Triples: 2000, Seed: 43})
+	if c.Graph.NumTriples() == 0 {
+		t.Fatal("seed 43 generated nothing")
+	}
+}
+
+func TestAttributeDiversity(t *testing.T) {
+	ds := Generate(Options{Triples: 5000, Seed: 1})
+	g := ds.Graph
+	descr, ok := g.Dict.Lookup(rdfIRI(PropDescrip))
+	if !ok {
+		t.Fatal("no descriptions generated")
+	}
+	caption, _ := g.Dict.Lookup(rdfIRI(PropCaption))
+	// Every product has a caption but only ~40% have descriptions.
+	nc, nd := g.PredicateCount(caption), g.PredicateCount(descr)
+	if nd >= nc {
+		t.Errorf("descriptions (%d) not sparser than captions (%d)", nd, nc)
+	}
+	if nd == 0 {
+		t.Error("no attribute diversity: zero descriptions")
+	}
+}
+
+func TestTemplatesCount(t *testing.T) {
+	ts := Templates()
+	if len(ts) != 20 {
+		t.Fatalf("templates = %d, want 20", len(ts))
+	}
+	cat := map[string]int{}
+	for _, tpl := range ts {
+		cat[tpl.Category]++
+	}
+	if cat["linear"] != 5 || cat["star"] != 7 || cat["snowflake"] != 5 || cat["complex"] != 3 {
+		t.Errorf("category counts = %v, want L5 S7 F5 C3", cat)
+	}
+}
+
+func TestGenerateWorkloadParses(t *testing.T) {
+	ds := Generate(Options{Triples: 3000, Seed: 5})
+	w, err := ds.GenerateWorkload(100, 9)
+	if err != nil {
+		t.Fatalf("GenerateWorkload: %v", err)
+	}
+	if len(w) != 100 {
+		t.Fatalf("workload = %d queries", len(w))
+	}
+	for i, q := range w {
+		if q.NumEdges() == 0 {
+			t.Errorf("query %d has no edges", i)
+		}
+	}
+}
+
+func TestBenchmarkQueriesOnePerTemplate(t *testing.T) {
+	ds := Generate(Options{Triples: 3000, Seed: 5})
+	qs, names, err := ds.BenchmarkQueries(11)
+	if err != nil {
+		t.Fatalf("BenchmarkQueries: %v", err)
+	}
+	if len(qs) != 20 || len(names) != 20 {
+		t.Fatalf("got %d queries %d names", len(qs), len(names))
+	}
+	if names[0] != "L1" || names[19] != "C3" {
+		t.Errorf("names = %v", names)
+	}
+}

@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"testing"
+
+	"rdffrag/internal/fragment"
+	"rdffrag/internal/mining"
+	"rdffrag/internal/rdf"
+)
+
+func TestGenerateDBpediaSizes(t *testing.T) {
+	db, err := GenerateDBpedia(DBpediaOptions{Triples: 5000, Queries: 200, Seed: 3})
+	if err != nil {
+		t.Fatalf("GenerateDBpedia: %v", err)
+	}
+	n := db.Graph.NumTriples()
+	if n < 2500 || n > 10000 {
+		t.Errorf("triples = %d, want near 5000", n)
+	}
+	if len(db.Log) != 200 {
+		t.Errorf("log = %d queries", len(db.Log))
+	}
+}
+
+func TestGenerateDBpediaDeterministic(t *testing.T) {
+	a, _ := GenerateDBpedia(DBpediaOptions{Triples: 2000, Queries: 50, Seed: 9})
+	b, _ := GenerateDBpedia(DBpediaOptions{Triples: 2000, Queries: 50, Seed: 9})
+	if a.Graph.NumTriples() != b.Graph.NumTriples() || len(a.Log) != len(b.Log) {
+		t.Fatal("same seed produced different corpora")
+	}
+}
+
+func TestLogIsTemplateDominated(t *testing.T) {
+	db, err := GenerateDBpedia(DBpediaOptions{Triples: 5000, Queries: 500, Seed: 1})
+	if err != nil {
+		t.Fatalf("GenerateDBpedia: %v", err)
+	}
+	// Mining at 1% of the log must find a handful of frequent patterns
+	// that cover the overwhelming majority of queries (the 97% story).
+	minSup := len(db.Log) / 100
+	ps := (&mining.Miner{MinSup: minSup}).Mine(db.Log)
+	if len(ps) == 0 {
+		t.Fatal("no frequent patterns in template-dominated log")
+	}
+	cov := mining.Coverage(ps, db.Log)
+	if cov < 0.9 {
+		t.Errorf("coverage = %f, want >= 0.9", cov)
+	}
+}
+
+func TestHotColdSplitOnDBpedia(t *testing.T) {
+	db, err := GenerateDBpedia(DBpediaOptions{Triples: 5000, Queries: 300, Seed: 2})
+	if err != nil {
+		t.Fatalf("GenerateDBpedia: %v", err)
+	}
+	theta := len(db.Log) / 100
+	hc := fragment.SplitHotCold(db.Graph, db.Log, theta)
+	if hc.Cold.NumTriples() == 0 {
+		t.Error("no cold edges: the cold tail is missing")
+	}
+	if hc.Hot.NumTriples() == 0 {
+		t.Fatal("no hot edges")
+	}
+	// wappen must be cold, foaf:name hot.
+	if wappen, ok := db.Graph.Dict.Lookup(rdf.NewIRI("dbo:wappen")); ok && hc.FreqProps[wappen] {
+		t.Error("dbo:wappen should be cold")
+	}
+	name, _ := db.Graph.Dict.Lookup(rdf.NewIRI("foaf:name"))
+	if !hc.FreqProps[name] {
+		t.Error("foaf:name should be hot")
+	}
+}
+
+func TestLogQueriesHaveConstants(t *testing.T) {
+	db, err := GenerateDBpedia(DBpediaOptions{Triples: 3000, Queries: 100, Seed: 4})
+	if err != nil {
+		t.Fatalf("GenerateDBpedia: %v", err)
+	}
+	withConst := 0
+	for _, q := range db.Log {
+		for _, v := range q.Verts {
+			if !v.IsVar() {
+				withConst++
+				break
+			}
+		}
+	}
+	if withConst == 0 {
+		t.Error("no query carries constants; minterm harvesting would be pointless")
+	}
+}

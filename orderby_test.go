@@ -1,0 +1,81 @@
+package rdffrag
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestOrderBy(t *testing.T) {
+	db := loadPhilosophers(t, Config{Sites: 2, MinSupport: 0.2})
+	dep, err := db.Deploy(phWorkload)
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	res, err := dep.Query(`SELECT ?x ?n WHERE { ?x <name> ?n . } ORDER BY ?n`)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(res.Rows) < 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	names := make([]string, len(res.Rows))
+	for i, row := range res.Rows {
+		names[i] = row[1]
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("not sorted: %v", names)
+	}
+
+	desc, err := dep.Query(`SELECT ?x ?n WHERE { ?x <name> ?n . } ORDER BY DESC(?n)`)
+	if err != nil {
+		t.Fatalf("Query DESC: %v", err)
+	}
+	for i := 1; i < len(desc.Rows); i++ {
+		if desc.Rows[i-1][1] < desc.Rows[i][1] {
+			t.Errorf("DESC not sorted at %d: %v", i, desc.Rows)
+		}
+	}
+}
+
+func TestOrderByWithLimit(t *testing.T) {
+	db := loadPhilosophers(t, Config{Sites: 2, MinSupport: 0.2})
+	dep, err := db.Deploy(phWorkload)
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	all, err := dep.Query(`SELECT ?n WHERE { ?x <name> ?n . } ORDER BY ?n`)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	top2, err := dep.Query(`SELECT ?n WHERE { ?x <name> ?n . } ORDER BY ?n LIMIT 2`)
+	if err != nil {
+		t.Fatalf("Query LIMIT: %v", err)
+	}
+	if len(top2.Rows) != 2 {
+		t.Fatalf("rows = %d", len(top2.Rows))
+	}
+	// LIMIT must be applied after ORDER BY: top2 equals the first two
+	// rows of the full ordered result.
+	for i := 0; i < 2; i++ {
+		if top2.Rows[i][0] != all.Rows[i][0] {
+			t.Errorf("row %d: %q vs %q", i, top2.Rows[i][0], all.Rows[i][0])
+		}
+	}
+}
+
+func TestOrderByErrors(t *testing.T) {
+	db := loadPhilosophers(t, Config{Sites: 2, MinSupport: 0.2})
+	dep, err := db.Deploy(phWorkload)
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	for _, bad := range []string{
+		`SELECT ?n WHERE { ?x <name> ?n . } ORDER BY`,
+		`SELECT ?n WHERE { ?x <name> ?n . } ORDER ?n`,
+		`SELECT ?n WHERE { ?x <name> ?n . } ORDER BY DESC ?n`,
+	} {
+		if _, err := dep.Query(bad); err == nil {
+			t.Errorf("expected error for %q", bad)
+		}
+	}
+}

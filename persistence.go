@@ -1,0 +1,64 @@
+package rdffrag
+
+import (
+	"fmt"
+	"io"
+
+	"rdffrag/internal/cluster"
+	"rdffrag/internal/dict"
+	"rdffrag/internal/exec"
+	"rdffrag/internal/fragment"
+	"rdffrag/internal/persist"
+)
+
+// Save serializes the deployment — term dictionary, hot/cold split,
+// fragments with their generating patterns and minterms, and the
+// allocation — so it can be reloaded with LoadDeployment without
+// re-running the offline pipeline.
+func (dep *Deployment) Save(w io.Writer) error {
+	return persist.Save(w, &persist.State{
+		Graph: dep.db.graph,
+		HC:    dep.hc,
+		Frag:  dep.frag,
+		Alloc: dep.alloc,
+		Sites: dep.cfg.Sites,
+	})
+}
+
+// LoadDeployment reconstructs a query-ready deployment from a snapshot
+// written by Save. Only runtime knobs of cfg apply (WorkersPerSite);
+// structural settings (Sites, Strategy) come from the snapshot.
+func LoadDeployment(r io.Reader, cfg Config) (*Deployment, error) {
+	cfg = cfg.withDefaults()
+	st, err := persist.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	if st.Sites < 1 {
+		return nil, fmt.Errorf("rdffrag: snapshot has no sites")
+	}
+	db := &DB{cfg: cfg, graph: st.Graph}
+	db.cfg.Sites = st.Sites
+	if st.Frag.Kind == fragment.HorizontalKind {
+		db.cfg.Strategy = Horizontal
+	} else {
+		db.cfg.Strategy = Vertical
+	}
+
+	dd := dict.Build(st.Frag, st.Alloc, nil)
+	cl := cluster.New(st.Sites, cfg.WorkersPerSite)
+	engine, err := exec.New(cl, dd, st.Frag, st.Alloc, st.HC)
+	if err != nil {
+		return nil, err
+	}
+	return &Deployment{
+		db:      db,
+		cfg:     db.cfg,
+		hc:      st.HC,
+		frag:    st.Frag,
+		alloc:   st.Alloc,
+		dict:    dd,
+		cluster: cl,
+		engine:  engine,
+	}, nil
+}

@@ -1,0 +1,181 @@
+package rdffrag
+
+import (
+	"strings"
+	"testing"
+)
+
+func loadPhilosophers(t *testing.T, cfg Config) *DB {
+	t.Helper()
+	db := Open(cfg)
+	nt := `
+<Aristotle> <influencedBy> <Plato> .
+<Aristotle> <mainInterest> <Ethics> .
+<Aristotle> <name> "Aristotle" .
+<Aristotle> <placeOfDeath> <Chalcis> .
+<Friedrich_Nietzsche> <influencedBy> <Aristotle> .
+<Friedrich_Nietzsche> <mainInterest> <Ethics> .
+<Friedrich_Nietzsche> <name> "Friedrich Nietzsche" .
+<Max_Horkheimer> <influencedBy> <Karl_Marx> .
+<Max_Horkheimer> <mainInterest> <Social_theory> .
+<Max_Horkheimer> <name> "Max Horkheimer" .
+<Boethius> <mainInterest> <Religion> .
+<Boethius> <name> "Boethius" .
+<Chalcis> <country> <Greece> .
+<Chalcis> <postalCode> "341 00" .
+<Chalcis> <imageSkyline> <Chalkida.JPG> .
+`
+	if _, err := db.LoadNTriples(strings.NewReader(nt)); err != nil {
+		t.Fatalf("LoadNTriples: %v", err)
+	}
+	return db
+}
+
+var phWorkload = []string{
+	`SELECT ?x ?n WHERE { ?x <name> ?n . ?x <mainInterest> ?i . }`,
+	`SELECT ?x ?n WHERE { ?x <name> ?n . ?x <mainInterest> ?i . }`,
+	`SELECT ?x ?n WHERE { ?x <name> ?n . ?x <mainInterest> ?i . }`,
+	`SELECT ?x WHERE { ?x <name> ?n . ?x <influencedBy> <Aristotle> . }`,
+	`SELECT ?x WHERE { ?x <name> ?n . ?x <influencedBy> <Karl_Marx> . }`,
+	`SELECT ?c WHERE { ?x <placeOfDeath> ?p . ?p <country> ?c . }`,
+	`SELECT ?c WHERE { ?x <placeOfDeath> ?p . ?p <country> ?c . }`,
+}
+
+func TestEndToEndVertical(t *testing.T) {
+	db := loadPhilosophers(t, Config{Sites: 3, MinSupport: 0.2})
+	dep, err := db.Deploy(phWorkload)
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	res, err := dep.Query(`SELECT ?x WHERE { ?x <influencedBy> <Aristotle> . ?x <name> ?n . }`)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != "<Friedrich_Nietzsche>" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+	if res.Stats.Subqueries < 1 {
+		t.Error("no subqueries recorded")
+	}
+}
+
+func TestEndToEndHorizontal(t *testing.T) {
+	db := loadPhilosophers(t, Config{Strategy: Horizontal, Sites: 3, MinSupport: 0.2})
+	dep, err := db.Deploy(phWorkload)
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	res, err := dep.Query(`SELECT ?x ?n WHERE { ?x <name> ?n . ?x <mainInterest> <Ethics> . }`)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(res.Rows) != 2 {
+		t.Errorf("rows = %v, want Aristotle and Nietzsche", res.Rows)
+	}
+}
+
+func TestDeployStats(t *testing.T) {
+	db := loadPhilosophers(t, Config{Sites: 2, MinSupport: 0.2})
+	dep, err := db.Deploy(phWorkload)
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	s := dep.Stats()
+	if s.Triples != db.NumTriples() {
+		t.Errorf("stats triples = %d", s.Triples)
+	}
+	if s.HotTriples+s.ColdTriples != s.Triples {
+		t.Errorf("hot %d + cold %d != %d", s.HotTriples, s.ColdTriples, s.Triples)
+	}
+	if s.ColdTriples == 0 {
+		t.Error("imageSkyline should be cold")
+	}
+	if s.Redundancy < 1 {
+		t.Errorf("redundancy = %f", s.Redundancy)
+	}
+	if s.WorkloadCoverage <= 0.9 {
+		t.Errorf("coverage = %f", s.WorkloadCoverage)
+	}
+	if !strings.Contains(dep.Describe(), "strategy=vertical") {
+		t.Errorf("Describe = %q", dep.Describe())
+	}
+}
+
+func TestQueryColdProperty(t *testing.T) {
+	db := loadPhilosophers(t, Config{Sites: 2, MinSupport: 0.2})
+	dep, err := db.Deploy(phWorkload)
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	res, err := dep.Query(`SELECT ?x WHERE { ?x <imageSkyline> ?img . }`)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != "<Chalcis>" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestDeployEmptyWorkload(t *testing.T) {
+	db := loadPhilosophers(t, Config{})
+	if _, err := db.Deploy(nil); err == nil {
+		t.Error("empty workload accepted")
+	}
+}
+
+func TestDeployBadWorkloadQuery(t *testing.T) {
+	db := loadPhilosophers(t, Config{})
+	if _, err := db.Deploy([]string{"not sparql"}); err == nil {
+		t.Error("malformed workload query accepted")
+	}
+}
+
+func TestQueryBadSyntax(t *testing.T) {
+	db := loadPhilosophers(t, Config{Sites: 2, MinSupport: 0.2})
+	dep, err := db.Deploy(phWorkload)
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	if _, err := dep.Query(`SELECT {`); err == nil {
+		t.Error("malformed query accepted")
+	}
+}
+
+func TestAddTripleAPI(t *testing.T) {
+	db := Open(Config{Sites: 2, MinSupport: 0.5})
+	db.AddTriple("a", "p", "b")
+	db.AddTripleLit("a", "name", "A")
+	if db.NumTriples() != 2 {
+		t.Fatalf("triples = %d", db.NumTriples())
+	}
+	dep, err := db.Deploy([]string{
+		`SELECT ?x WHERE { ?x <p> ?y . }`,
+		`SELECT ?x WHERE { ?x <name> ?n . }`,
+	})
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	res, err := dep.Query(`SELECT ?x WHERE { ?x <p> ?y . }`)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(res.Rows) != 1 {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestNetworkStatsAccumulate(t *testing.T) {
+	db := loadPhilosophers(t, Config{Sites: 2, MinSupport: 0.2})
+	dep, err := db.Deploy(phWorkload)
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	dep.ResetNetworkStats()
+	if _, err := dep.Query(`SELECT ?x WHERE { ?x <name> ?n . }`); err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	msgs, _ := dep.NetworkStats()
+	if msgs == 0 {
+		t.Error("no network traffic recorded")
+	}
+}

@@ -1,0 +1,119 @@
+package rdffrag
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// This file renders query Results in the W3C SPARQL 1.1 result formats:
+// application/sparql-results+json, text/csv and text/tab-separated-values.
+// Result rows hold terms in N-Triples syntax (<iri>, "literal", _:blank);
+// the serializers classify them accordingly.
+
+type jsonResults struct {
+	Head    jsonHead   `json:"head"`
+	Results jsonResSet `json:"results"`
+}
+
+type jsonHead struct {
+	Vars []string `json:"vars"`
+}
+
+type jsonResSet struct {
+	Bindings []map[string]jsonTerm `json:"bindings"`
+}
+
+type jsonTerm struct {
+	Type  string `json:"type"`
+	Value string `json:"value"`
+}
+
+func classifyTerm(s string) (jsonTerm, bool) {
+	switch {
+	case s == "":
+		return jsonTerm{}, false
+	case strings.HasPrefix(s, "<") && strings.HasSuffix(s, ">"):
+		return jsonTerm{Type: "uri", Value: s[1 : len(s)-1]}, true
+	case strings.HasPrefix(s, `"`) && strings.HasSuffix(s, `"`) && len(s) >= 2:
+		return jsonTerm{Type: "literal", Value: unquoteResult(s[1 : len(s)-1])}, true
+	case strings.HasPrefix(s, "_:"):
+		return jsonTerm{Type: "bnode", Value: s[2:]}, true
+	default:
+		return jsonTerm{Type: "literal", Value: s}, true
+	}
+}
+
+func unquoteResult(s string) string {
+	if !strings.Contains(s, `\`) {
+		return s
+	}
+	r := strings.NewReplacer(`\"`, `"`, `\\`, `\`, `\n`, "\n", `\t`, "\t", `\r`, "\r")
+	return r.Replace(s)
+}
+
+// WriteJSON emits the result in the SPARQL 1.1 Query Results JSON format.
+func (r *Result) WriteJSON(w io.Writer) error {
+	out := jsonResults{Head: jsonHead{Vars: r.Vars}}
+	out.Results.Bindings = make([]map[string]jsonTerm, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		b := make(map[string]jsonTerm, len(r.Vars))
+		for i, v := range r.Vars {
+			if i >= len(row) {
+				continue
+			}
+			if t, ok := classifyTerm(row[i]); ok {
+				b[v] = t
+			}
+		}
+		out.Results.Bindings = append(out.Results.Bindings, b)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// WriteCSV emits the result in the SPARQL 1.1 CSV format: a header of
+// variable names, then plain term values (IRIs without brackets, literal
+// lexical forms).
+func (r *Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Vars); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		rec := make([]string, len(r.Vars))
+		for i := range r.Vars {
+			if i < len(row) {
+				if t, ok := classifyTerm(row[i]); ok {
+					rec[i] = t.Value
+				}
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTSV emits the SPARQL 1.1 TSV format, which keeps N-Triples-style
+// term syntax.
+func (r *Result) WriteTSV(w io.Writer) error {
+	header := make([]string, len(r.Vars))
+	for i, v := range r.Vars {
+		header[i] = "?" + v
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, "\t")); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintln(w, strings.Join(row, "\t")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

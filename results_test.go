@@ -1,0 +1,152 @@
+package rdffrag
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleResult() *Result {
+	return &Result{
+		Vars: []string{"x", "n"},
+		Rows: [][]string{
+			{"<http://ex/Aristotle>", `"Aristotle"`},
+			{"_:b0", `"with, comma"`},
+			{"<http://ex/Plato>", ""},
+		},
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleResult().WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var parsed struct {
+		Head struct {
+			Vars []string `json:"vars"`
+		} `json:"head"`
+		Results struct {
+			Bindings []map[string]struct {
+				Type  string `json:"type"`
+				Value string `json:"value"`
+			} `json:"bindings"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(parsed.Head.Vars) != 2 || parsed.Head.Vars[0] != "x" {
+		t.Errorf("vars = %v", parsed.Head.Vars)
+	}
+	if len(parsed.Results.Bindings) != 3 {
+		t.Fatalf("bindings = %d", len(parsed.Results.Bindings))
+	}
+	b0 := parsed.Results.Bindings[0]
+	if b0["x"].Type != "uri" || b0["x"].Value != "http://ex/Aristotle" {
+		t.Errorf("x binding = %+v", b0["x"])
+	}
+	if b0["n"].Type != "literal" || b0["n"].Value != "Aristotle" {
+		t.Errorf("n binding = %+v", b0["n"])
+	}
+	if parsed.Results.Bindings[1]["x"].Type != "bnode" {
+		t.Errorf("bnode binding = %+v", parsed.Results.Bindings[1]["x"])
+	}
+	// Unbound variable omitted from the binding map.
+	if _, ok := parsed.Results.Bindings[2]["n"]; ok {
+		t.Error("unbound variable serialized")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleResult().WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d: %q", len(lines), buf.String())
+	}
+	if lines[0] != "x,n" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "http://ex/Aristotle,Aristotle" {
+		t.Errorf("row = %q", lines[1])
+	}
+	// Commas inside values must be quoted by the CSV writer.
+	if !strings.Contains(lines[2], `"with, comma"`) {
+		t.Errorf("comma not quoted: %q", lines[2])
+	}
+}
+
+func TestWriteTSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleResult().WriteTSV(&buf); err != nil {
+		t.Fatalf("WriteTSV: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "?x\t?n" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "<http://ex/Aristotle>\t\"Aristotle\"" {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestSerializersOnLiveQuery(t *testing.T) {
+	db := loadPhilosophers(t, Config{Sites: 2, MinSupport: 0.2})
+	dep, err := db.Deploy(phWorkload)
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	res, err := dep.Query(`SELECT ?x ?n WHERE { ?x <name> ?n . ?x <mainInterest> <Ethics> . }`)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	var jsonBuf, csvBuf, tsvBuf bytes.Buffer
+	if err := res.WriteJSON(&jsonBuf); err != nil {
+		t.Errorf("JSON: %v", err)
+	}
+	if err := res.WriteCSV(&csvBuf); err != nil {
+		t.Errorf("CSV: %v", err)
+	}
+	if err := res.WriteTSV(&tsvBuf); err != nil {
+		t.Errorf("TSV: %v", err)
+	}
+	if !strings.Contains(jsonBuf.String(), "Aristotle") ||
+		!strings.Contains(csvBuf.String(), "Aristotle") ||
+		!strings.Contains(tsvBuf.String(), "Aristotle") {
+		t.Error("serialized output missing expected binding")
+	}
+}
+
+func TestLoadTurtlePublicAPI(t *testing.T) {
+	db := Open(Config{Sites: 2, MinSupport: 0.5})
+	ttl := `
+@prefix ex: <http://ex/> .
+ex:a ex:knows ex:b ; ex:name "A" .
+ex:b ex:name "B" .
+`
+	n, err := db.LoadTurtle(strings.NewReader(ttl))
+	if err != nil {
+		t.Fatalf("LoadTurtle: %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("loaded %d triples", n)
+	}
+	dep, err := db.Deploy([]string{
+		`SELECT ?x WHERE { ?x <http://ex/name> ?n . }`,
+		`SELECT ?x WHERE { ?x <http://ex/knows> ?y . }`,
+	})
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	res, err := dep.Query(`SELECT ?x ?n WHERE { ?x <http://ex/knows> ?y . ?y <http://ex/name> ?n . }`)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][1] != `"B"` {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
