@@ -20,7 +20,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id: all, fig8a, fig8b, fig9, fig10, fig11, fig12, table1, table2")
+		exp      = flag.String("exp", "all", "experiment id: all, fig8a, fig8b, fig9, fig10, fig11, fig12, table1, table2, serve")
 		dbp      = flag.Int("dbp", 12000, "DBpedia-like dataset size in triples")
 		dbpQ     = flag.Int("dbpq", 1500, "DBpedia-like query log length")
 		wd       = flag.Int("wd", 10000, "WatDiv-like dataset size in triples")
@@ -69,12 +69,13 @@ func main() {
 		"ablation-selection":     suite.AblationSelection,
 		"ablation-decomposition": suite.AblationDecomposition,
 		"ablation-allocation":    suite.AblationAllocation,
+		"serve":                  suite.ServerThroughput,
 	}
 
 	var ids []string
 	if *exp == "all" {
 		ids = []string{"fig8a", "fig8b", "fig9", "fig10", "fig11", "fig12", "table1", "table2",
-			"ablation-selection", "ablation-decomposition", "ablation-allocation"}
+			"ablation-selection", "ablation-decomposition", "ablation-allocation", "serve"}
 	} else {
 		for _, id := range strings.Split(*exp, ",") {
 			ids = append(ids, strings.TrimSpace(id))

@@ -7,10 +7,18 @@
 //
 //	rdffrag -data graph.nt -workload workload.rq [-strategy vertical|horizontal]
 //	        [-sites 4] [-minsup 0.01] [-query 'SELECT ...']
+//	rdffrag serve -data graph.nt -workload workload.rq [-addr :8090]
+//	        [-workers 8] [-queue 128] [-timeout 30s] [-cache 256]
 //
 // The workload file contains one SPARQL query per block, separated by
 // lines holding only "---". Without -query, queries are read from stdin
 // (one per line).
+//
+// The serve subcommand starts a concurrent HTTP query server over the
+// deployment: POST /query (or GET /query?q=...) answers SPARQL in the
+// W3C JSON/CSV/TSV result formats, GET /metrics reports QPS, latency
+// percentiles, queue depth and plan-cache hit rate, GET /healthz is a
+// liveness probe.
 package main
 
 import (
@@ -24,6 +32,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		serveMain(os.Args[2:])
+		return
+	}
 	var (
 		dataPath = flag.String("data", "", "N-Triples data file (required)")
 		wlPath   = flag.String("workload", "", "workload file: queries separated by '---' lines (required)")
@@ -40,34 +52,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	db := rdffrag.Open(rdffrag.Config{
-		Strategy:   rdffrag.Strategy(*strategy),
-		Sites:      *sites,
-		MinSupport: *minsup,
-	})
-
-	f, err := os.Open(*dataPath)
-	if err != nil {
-		fatal(err)
-	}
-	n, err := db.LoadNTriples(f)
-	f.Close()
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("loaded %d triples\n", n)
-
-	queries, err := readWorkload(*wlPath)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("workload: %d queries\n", len(queries))
-
-	dep, err := db.Deploy(queries)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Println(dep.Describe())
+	dep := deploy(*dataPath, *wlPath, *strategy, *sites, *minsup)
 
 	run := func(q string) {
 		if *explain {
@@ -110,6 +95,40 @@ func main() {
 		}
 		run(line)
 	}
+}
+
+// deploy loads the data and workload files and runs the offline pipeline,
+// printing progress; shared by the interactive and serve modes.
+func deploy(dataPath, wlPath, strategy string, sites int, minsup float64) *rdffrag.Deployment {
+	db := rdffrag.Open(rdffrag.Config{
+		Strategy:   rdffrag.Strategy(strategy),
+		Sites:      sites,
+		MinSupport: minsup,
+	})
+
+	f, err := os.Open(dataPath)
+	if err != nil {
+		fatal(err)
+	}
+	n, err := db.LoadNTriples(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("loaded %d triples\n", n)
+
+	queries, err := readWorkload(wlPath)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("workload: %d queries\n", len(queries))
+
+	dep, err := db.Deploy(queries)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(dep.Describe())
+	return dep
 }
 
 func readWorkload(path string) ([]string, error) {

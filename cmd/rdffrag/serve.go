@@ -1,0 +1,149 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"rdffrag"
+)
+
+// serveMain runs the `rdffrag serve` subcommand: deploy, then answer
+// SPARQL over HTTP through the concurrent query server.
+func serveMain(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	var (
+		dataPath = fs.String("data", "", "N-Triples data file (required)")
+		wlPath   = fs.String("workload", "", "workload file: queries separated by '---' lines (required)")
+		strategy = fs.String("strategy", "vertical", "fragmentation strategy: vertical or horizontal")
+		sites    = fs.Int("sites", 4, "number of simulated sites")
+		minsup   = fs.Float64("minsup", 0.01, "pattern mining support threshold (fraction of workload)")
+		addr     = fs.String("addr", ":8090", "HTTP listen address")
+		workers  = fs.Int("workers", 8, "concurrent query executions")
+		queue    = fs.Int("queue", 128, "admission queue depth (full queue → 503)")
+		timeout  = fs.Duration("timeout", 30*time.Second, "per-query execution deadline (0 disables)")
+		cache    = fs.Int("cache", 256, "plan cache capacity in entries (negative disables)")
+	)
+	fs.Parse(args)
+	if *dataPath == "" || *wlPath == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	dep := deploy(*dataPath, *wlPath, *strategy, *sites, *minsup)
+	srv := dep.StartServer(rdffrag.ServerConfig{
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		Timeout:       *timeout,
+		PlanCacheSize: *cache,
+	})
+	defer srv.Close()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		query, err := readQuery(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		res, err := srv.Query(r.Context(), query)
+		switch {
+		case errors.Is(err, rdffrag.ErrOverloaded):
+			http.Error(w, "server overloaded, retry later", http.StatusServiceUnavailable)
+			return
+		case errors.Is(err, context.DeadlineExceeded):
+			http.Error(w, err.Error(), http.StatusGatewayTimeout)
+			return
+		case errors.Is(err, context.Canceled):
+			// The client went away; the status is never seen.
+			http.Error(w, err.Error(), http.StatusRequestTimeout)
+			return
+		case err != nil && strings.HasPrefix(err.Error(), "sparql:"):
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		case err != nil:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeResult(w, r, res)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		m := srv.Metrics()
+		json.NewEncoder(w).Encode(map[string]any{
+			"uptime_seconds": m.Uptime.Seconds(),
+			"completed":      m.Completed,
+			"failed":         m.Failed,
+			"rejected":       m.Rejected,
+			"timed_out":      m.TimedOut,
+			"queue_depth":    m.QueueDepth,
+			"in_flight":      m.InFlight,
+			"qps":            m.QPS,
+			"p50_ms":         float64(m.P50) / float64(time.Millisecond),
+			"p95_ms":         float64(m.P95) / float64(time.Millisecond),
+			"p99_ms":         float64(m.P99) / float64(time.Millisecond),
+			"cache_hits":     m.CacheHits,
+			"cache_misses":   m.CacheMisses,
+			"cache_hit_rate": m.CacheHitRate,
+		})
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+
+	fmt.Printf("serving on %s (workers=%d queue=%d timeout=%s cache=%d)\n",
+		*addr, *workers, *queue, *timeout, *cache)
+	if err := http.ListenAndServe(*addr, mux); err != nil {
+		fatal(err)
+	}
+}
+
+// readQuery pulls the SPARQL text from ?q= or the request body.
+func readQuery(r *http.Request) (string, error) {
+	if q := r.URL.Query().Get("q"); q != "" {
+		return q, nil
+	}
+	if r.Body == nil {
+		return "", fmt.Errorf("missing query: pass ?q= or a request body")
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		return "", err
+	}
+	if len(body) == 0 {
+		return "", fmt.Errorf("missing query: pass ?q= or a request body")
+	}
+	return string(body), nil
+}
+
+// writeResult renders the result in the format chosen by ?format= or the
+// Accept header: json (default), csv or tsv.
+func writeResult(w http.ResponseWriter, r *http.Request, res *rdffrag.Result) {
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		switch r.Header.Get("Accept") {
+		case "text/csv":
+			format = "csv"
+		case "text/tab-separated-values":
+			format = "tsv"
+		}
+	}
+	switch format {
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv")
+		res.WriteCSV(w)
+	case "tsv":
+		w.Header().Set("Content-Type", "text/tab-separated-values")
+		res.WriteTSV(w)
+	default:
+		w.Header().Set("Content-Type", "application/sparql-results+json")
+		res.WriteJSON(w)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"rdffrag/internal/exec"
 	"rdffrag/internal/fap"
 	"rdffrag/internal/fragment"
+	"rdffrag/internal/match"
 	"rdffrag/internal/mining"
 	"rdffrag/internal/rdf"
 	"rdffrag/internal/sparql"
@@ -61,6 +62,13 @@ func (dep *Deployment) QueryParsed(q *sparql.Graph) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return dep.decodeResult(q, b, stats), nil
+}
+
+// decodeResult turns engine bindings into decoded terms and applies the
+// decoded-order ORDER BY / LIMIT step shared by Deployment.QueryParsed
+// and the concurrent Server.
+func (dep *Deployment) decodeResult(q *sparql.Graph, b *match.Bindings, stats *exec.QueryStats) *Result {
 	res := &Result{
 		Vars: b.Vars,
 		Stats: QueryStats{
@@ -87,7 +95,7 @@ func (dep *Deployment) QueryParsed(q *sparql.Graph) (*Result, error) {
 			res.Rows = res.Rows[:q.Limit]
 		}
 	}
-	return res, nil
+	return res
 }
 
 // applyOrderBy sorts decoded rows lexicographically by the given keys.

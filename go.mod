@@ -1,0 +1,3 @@
+module rdffrag
+
+go 1.24

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -72,7 +73,7 @@ func (e *Engine) Query(q *sparql.Graph) (*match.Bindings, *QueryStats, error) {
 				iwg.Add(1)
 				go func(s int) {
 					defer iwg.Done()
-					b, err := e.Cluster.Eval(cluster.EvalRequest{SiteID: s, FragIDs: []int{s}, Query: sq.Graph})
+					b, err := e.Cluster.Eval(context.Background(), cluster.EvalRequest{SiteID: s, FragIDs: []int{s}, Query: sq.Graph})
 					mu.Lock()
 					if err != nil && firstErr == nil {
 						firstErr = err

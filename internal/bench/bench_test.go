@@ -186,3 +186,28 @@ func TestTableRendering(t *testing.T) {
 func fscan(s string, dst interface{}) (int, error) {
 	return fmt.Sscan(s, dst)
 }
+
+func TestServerThroughputShapes(t *testing.T) {
+	cfg := smallCfg()
+	cfg.NetPerMessage = -1 // idealized network keeps this test fast
+	cfg.NetPerKB = -1
+	s := NewSuite(cfg)
+	tab, err := s.ServerThroughput()
+	if err != nil {
+		t.Fatalf("ServerThroughput: %v", err)
+	}
+	// VF and HF each swept over 1..Clients doubling: 3 rows apiece at
+	// Clients=4.
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		var qps float64
+		if _, err := fscan(row[2], &qps); err != nil || qps <= 0 {
+			t.Errorf("row %v: bad QPS cell", row)
+		}
+		if !strings.HasSuffix(row[4], "s") { // p95 is a duration
+			t.Errorf("row %v: bad p95 cell", row)
+		}
+	}
+}

@@ -339,7 +339,7 @@ func (s *Suite) Table2() (*Table, error) {
 func (s *Suite) All() ([]*Table, error) {
 	type exp func() (*Table, error)
 	var out []*Table
-	for _, e := range []exp{s.Fig8a, s.Fig8b, s.Fig9, s.Fig10, s.Fig11, s.Fig12, s.Table1, s.Table2} {
+	for _, e := range []exp{s.Fig8a, s.Fig8b, s.Fig9, s.Fig10, s.Fig11, s.Fig12, s.Table1, s.Table2, s.ServerThroughput} {
 		t, err := e()
 		if err != nil {
 			return out, err

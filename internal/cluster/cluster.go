@@ -8,6 +8,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -28,11 +29,18 @@ type Delay struct {
 	PerKB      time.Duration
 }
 
-func (d Delay) wait(bytes int) {
+func (d Delay) wait(ctx context.Context, bytes int) error {
 	if d.PerMessage == 0 && d.PerKB == 0 {
-		return
+		return ctx.Err()
 	}
-	time.Sleep(d.PerMessage + time.Duration(bytes/1024)*d.PerKB)
+	t := time.NewTimer(d.PerMessage + time.Duration(bytes/1024)*d.PerKB)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // NetStats accumulates simulated network traffic.
@@ -68,22 +76,22 @@ type Cluster struct {
 	inLink  sync.Mutex // control site's receive link
 }
 
-func (c *Cluster) sendRequest(bytes int) {
+func (c *Cluster) sendRequest(ctx context.Context, bytes int) error {
 	if c.Latency.PerMessage == 0 && c.Latency.PerKB == 0 {
-		return
+		return ctx.Err()
 	}
 	c.outLink.Lock()
-	c.Latency.wait(bytes)
-	c.outLink.Unlock()
+	defer c.outLink.Unlock()
+	return c.Latency.wait(ctx, bytes)
 }
 
-func (c *Cluster) receiveResponse(bytes int) {
+func (c *Cluster) receiveResponse(ctx context.Context, bytes int) error {
 	if c.Latency.PerMessage == 0 && c.Latency.PerKB == 0 {
-		return
+		return ctx.Err()
 	}
 	c.inLink.Lock()
-	c.Latency.wait(bytes)
-	c.inLink.Unlock()
+	defer c.inLink.Unlock()
+	return c.Latency.wait(ctx, bytes)
 }
 
 // Site is one computing node: a set of fragment graphs and a bounded
@@ -153,8 +161,9 @@ type EvalRequest struct {
 // Eval performs a synchronous request/response round trip to a site: one
 // request message, local evaluation under the site's worker pool, one
 // response message carrying the bindings. Results from multiple fragments
-// are unioned and deduplicated (fragments may overlap).
-func (c *Cluster) Eval(req EvalRequest) (*match.Bindings, error) {
+// are unioned and deduplicated (fragments may overlap). Cancelling ctx
+// aborts the evaluation and any simulated transfer in flight.
+func (c *Cluster) Eval(ctx context.Context, req EvalRequest) (*match.Bindings, error) {
 	if req.SiteID < 0 || req.SiteID >= len(c.Sites) {
 		return nil, fmt.Errorf("cluster: site %d out of range", req.SiteID)
 	}
@@ -162,20 +171,14 @@ func (c *Cluster) Eval(req EvalRequest) (*match.Bindings, error) {
 	reqBytes := estimateQueryBytes(req.Query)
 	c.Net.Messages.Add(1)
 	c.Net.Bytes.Add(int64(reqBytes))
-	c.sendRequest(reqBytes)
-
-	// Resolve fragment graphs up front.
-	s.mu.RLock()
-	graphs := make([]*rdf.Graph, len(req.FragIDs))
-	for i, fid := range req.FragIDs {
-		g, ok := s.frags[fid]
-		if !ok {
-			s.mu.RUnlock()
-			return nil, fmt.Errorf("cluster: fragment %d not at site %d", fid, req.SiteID)
-		}
-		graphs[i] = g
+	if err := c.sendRequest(ctx, reqBytes); err != nil {
+		return nil, err
 	}
-	s.mu.RUnlock()
+
+	graphs, err := s.resolve(req)
+	if err != nil {
+		return nil, err
+	}
 
 	// Evaluate fragments in parallel under the site's worker pool: the
 	// paper's horizontal fragmentation wins latency exactly because a
@@ -187,12 +190,19 @@ func (c *Cluster) Eval(req EvalRequest) (*match.Bindings, error) {
 		wg.Add(1)
 		go func(i int, g *rdf.Graph) {
 			defer wg.Done()
-			s.sem <- struct{}{} // acquire a worker
+			select {
+			case s.sem <- struct{}{}: // acquire a worker
+			case <-ctx.Done():
+				return
+			}
 			found[i] = match.Find(req.Query, g, match.Options{VertexFilter: req.Filter})
 			<-s.sem
 		}(i, g)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var all []match.Match
 	for _, f := range found {
 		all = append(all, f...)
@@ -203,8 +213,25 @@ func (c *Cluster) Eval(req EvalRequest) (*match.Bindings, error) {
 	respBytes := len(b.Rows) * len(b.Vars) * 4
 	c.Net.Messages.Add(1)
 	c.Net.Bytes.Add(int64(respBytes))
-	c.receiveResponse(respBytes)
+	if err := c.receiveResponse(ctx, respBytes); err != nil {
+		return nil, err
+	}
 	return b, nil
+}
+
+// resolve looks up the requested fragment graphs at the site.
+func (s *Site) resolve(req EvalRequest) ([]*rdf.Graph, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	graphs := make([]*rdf.Graph, len(req.FragIDs))
+	for i, fid := range req.FragIDs {
+		g, ok := s.frags[fid]
+		if !ok {
+			return nil, fmt.Errorf("cluster: fragment %d not at site %d", fid, req.SiteID)
+		}
+		graphs[i] = g
+	}
+	return graphs, nil
 }
 
 func estimateQueryBytes(q *sparql.Graph) int {

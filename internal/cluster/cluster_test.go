@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -18,7 +19,7 @@ func TestPlaceAndEval(t *testing.T) {
 		t.Fatalf("Place: %v", err)
 	}
 	q := sparql.MustParse(g.Dict, `SELECT ?x WHERE { ?x <p> ?y . }`)
-	b, err := c.Eval(EvalRequest{SiteID: 1, FragIDs: []int{7}, Query: q})
+	b, err := c.Eval(context.Background(), EvalRequest{SiteID: 1, FragIDs: []int{7}, Query: q})
 	if err != nil {
 		t.Fatalf("Eval: %v", err)
 	}
@@ -38,10 +39,10 @@ func TestEvalErrors(t *testing.T) {
 	c := New(1, 1)
 	d := rdf.NewDict()
 	q := sparql.MustParse(d, `SELECT ?x WHERE { ?x <p> ?y . }`)
-	if _, err := c.Eval(EvalRequest{SiteID: 5, Query: q}); err == nil {
+	if _, err := c.Eval(context.Background(), EvalRequest{SiteID: 5, Query: q}); err == nil {
 		t.Error("out-of-range site accepted")
 	}
-	if _, err := c.Eval(EvalRequest{SiteID: 0, FragIDs: []int{1}, Query: q}); err == nil {
+	if _, err := c.Eval(context.Background(), EvalRequest{SiteID: 0, FragIDs: []int{1}, Query: q}); err == nil {
 		t.Error("missing fragment accepted")
 	}
 	if err := c.Place(9, 0, rdf.NewGraph(d)); err == nil {
@@ -60,7 +61,7 @@ func TestEvalDedupAcrossFragments(t *testing.T) {
 	c.Place(0, 1, g1)
 	c.Place(0, 2, g2)
 	q := sparql.MustParse(d, `SELECT * WHERE { ?s <p> ?o . }`)
-	b, err := c.Eval(EvalRequest{SiteID: 0, FragIDs: []int{1, 2}, Query: q})
+	b, err := c.Eval(context.Background(), EvalRequest{SiteID: 0, FragIDs: []int{1, 2}, Query: q})
 	if err != nil {
 		t.Fatalf("Eval: %v", err)
 	}
@@ -85,7 +86,7 @@ func TestEvalConcurrentSafety(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			if _, err := c.Eval(EvalRequest{SiteID: i % 4, FragIDs: []int{i % 4}, Query: q}); err != nil {
+			if _, err := c.Eval(context.Background(), EvalRequest{SiteID: i % 4, FragIDs: []int{i % 4}, Query: q}); err != nil {
 				t.Errorf("Eval: %v", err)
 			}
 		}(i)

@@ -1,0 +1,195 @@
+package cluster
+
+// Streaming site RPC and the pipelined control-site join. Instead of the
+// materialize-then-ship round trip of Eval, EvalStream lets a site push
+// binding batches to the control site as the local matcher finds them, and
+// JoinStream consumes such batch streams with a symmetric (pipelined) hash
+// join: whichever input is ready first builds its hash table incrementally
+// while probing the other side's table, so join work overlaps with
+// subquery evaluation and shipping. Query latency becomes the longest
+// chain through the pipeline rather than the sum of barrier-separated
+// phases.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"rdffrag/internal/match"
+	"rdffrag/internal/rdf"
+)
+
+// DefaultBatchSize is the number of binding rows shipped per streamed
+// batch when the caller does not choose one. Large enough to amortize the
+// per-message network cost, small enough that the first batch arrives
+// quickly.
+const DefaultBatchSize = 256
+
+// BatchSink receives one shipped batch of bindings. Fragments evaluate in
+// parallel, so the sink must be safe for concurrent use. Returning an
+// error stops the stream.
+type BatchSink func(*match.Bindings) error
+
+// EvalStream evaluates a subquery at a site like Eval, but ships binding
+// batches of up to batchSize rows as soon as they are produced instead of
+// materializing the full result first. Each batch pays one response
+// message of simulated network cost. Batches are deduplicated within
+// themselves only; cross-batch duplicates (overlapping fragments) are the
+// consumer's concern, exactly as cross-site duplicates already were.
+func (c *Cluster) EvalStream(ctx context.Context, req EvalRequest, batchSize int, sink BatchSink) error {
+	if req.SiteID < 0 || req.SiteID >= len(c.Sites) {
+		return fmt.Errorf("cluster: site %d out of range", req.SiteID)
+	}
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	s := c.Sites[req.SiteID]
+	reqBytes := estimateQueryBytes(req.Query)
+	c.Net.Messages.Add(1)
+	c.Net.Bytes.Add(int64(reqBytes))
+	if err := c.sendRequest(ctx, reqBytes); err != nil {
+		return err
+	}
+
+	graphs, err := s.resolve(req)
+	if err != nil {
+		return err
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	for _, g := range graphs {
+		wg.Add(1)
+		go func(g *rdf.Graph) {
+			defer wg.Done()
+			select {
+			case s.sem <- struct{}{}: // acquire a worker
+			case <-ctx.Done():
+				fail(ctx.Err())
+				return
+			}
+			defer func() { <-s.sem }()
+			match.FindBatches(req.Query, g, match.Options{VertexFilter: req.Filter}, batchSize, func(ms []match.Match) bool {
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return false
+				}
+				b := match.ToBindings(req.Query, ms)
+				b.Dedup()
+				respBytes := len(b.Rows) * len(b.Vars) * 4
+				c.Net.Messages.Add(1)
+				c.Net.Bytes.Add(int64(respBytes))
+				if err := c.receiveResponse(ctx, respBytes); err != nil {
+					fail(err)
+					return false
+				}
+				if err := sink(b); err != nil {
+					fail(err)
+					return false
+				}
+				return true
+			})
+		}(g)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// JoinVars returns the output column layout of a join of two binding
+// streams: left's variables followed by right's non-shared variables,
+// matching HashJoin.
+func JoinVars(leftVars, rightVars []string) []string {
+	_, rightOnly := alignVars(leftVars, rightVars)
+	return append(append([]string(nil), leftVars...), names(rightVars, rightOnly)...)
+}
+
+// JoinStream runs a symmetric (pipelined) hash join between two batch
+// streams and closes out when done. Both inputs build a hash table
+// incrementally: each arriving row is inserted into its side's table and
+// probed against the other side's rows seen so far, so every matching
+// pair is emitted exactly once, as soon as its later row arrives. With no
+// shared variables it degrades to a streamed Cartesian product. Output
+// columns follow JoinVars(leftVars, rightVars). Cancelling ctx stops the
+// join promptly; the inputs are then left undrained (producers must also
+// watch ctx).
+func JoinStream(ctx context.Context, leftVars, rightVars []string, left, right <-chan *match.Bindings, out chan<- *match.Bindings) {
+	defer close(out)
+	shared, rightOnly := alignVars(leftVars, rightVars)
+	outVars := JoinVars(leftVars, rightVars)
+
+	var leftRows, rightRows [][]rdf.ID
+	leftTab := make(map[string][]int)
+	rightTab := make(map[string][]int)
+
+	emit := func(rows [][]rdf.ID) bool {
+		if len(rows) == 0 {
+			return true
+		}
+		select {
+		case out <- &match.Bindings{Vars: outVars, Rows: rows}:
+			return true
+		case <-ctx.Done():
+			return false
+		}
+	}
+
+	// processLeft inserts a batch of left rows and probes the right rows
+	// seen so far; processRight is its mirror image.
+	processLeft := func(b *match.Bindings) bool {
+		var found [][]rdf.ID
+		for _, lr := range b.Rows {
+			k := joinKey(lr, shared, true)
+			leftTab[k] = append(leftTab[k], len(leftRows))
+			leftRows = append(leftRows, lr)
+			for _, ri := range rightTab[k] {
+				found = append(found, mergeRows(lr, rightRows[ri], rightOnly))
+			}
+		}
+		return emit(found)
+	}
+	processRight := func(b *match.Bindings) bool {
+		var found [][]rdf.ID
+		for _, rr := range b.Rows {
+			k := joinKey(rr, shared, false)
+			rightTab[k] = append(rightTab[k], len(rightRows))
+			rightRows = append(rightRows, rr)
+			for _, li := range leftTab[k] {
+				found = append(found, mergeRows(leftRows[li], rr, rightOnly))
+			}
+		}
+		return emit(found)
+	}
+
+	for left != nil || right != nil {
+		select {
+		case b, ok := <-left:
+			if !ok {
+				left = nil
+				continue
+			}
+			if !processLeft(b) {
+				return
+			}
+		case b, ok := <-right:
+			if !ok {
+				right = nil
+				continue
+			}
+			if !processRight(b) {
+				return
+			}
+		case <-ctx.Done():
+			return
+		}
+	}
+}

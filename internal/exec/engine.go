@@ -6,9 +6,8 @@
 package exec
 
 import (
+	"context"
 	"fmt"
-	"sort"
-	"sync"
 
 	"rdffrag/internal/allocation"
 	"rdffrag/internal/cluster"
@@ -26,6 +25,11 @@ type Engine struct {
 	Dict    *dict.Dictionary
 	Frag    *fragment.Fragmentation
 	Alloc   *allocation.Allocation
+
+	// BatchSize is the number of binding rows per streamed batch between
+	// sites and the control-site join pipeline (default
+	// cluster.DefaultBatchSize).
+	BatchSize int
 
 	dec *decompose.Decomposer
 }
@@ -68,71 +72,42 @@ func New(c *cluster.Cluster, d *dict.Dictionary, fr *fragment.Fragmentation, all
 // (the decomposition ablation); pass false to restore Algorithm 3.
 func (e *Engine) SetNaiveDecomposition(naive bool) { e.dec.Naive = naive }
 
-// Query evaluates q and returns the projected bindings.
-func (e *Engine) Query(q *sparql.Graph) (*match.Bindings, *QueryStats, error) {
+// Prepared is a query's cached execution plan: the chosen decomposition
+// (Algorithm 3) and join order (Algorithm 4). A Prepared is immutable
+// after Prepare and may be reused concurrently for any query whose graph
+// is structurally identical (same edges, constants and variable names) —
+// the plan cache in internal/serve relies on this.
+type Prepared struct {
+	Dcp  *decompose.Decomposition
+	Plan *plan.Plan
+}
+
+// Prepare decomposes and optimizes q without executing it.
+func (e *Engine) Prepare(q *sparql.Graph) (*Prepared, error) {
 	dcp, err := e.dec.Decompose(q)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	pl, err := plan.Optimize(dcp)
 	if err != nil {
+		return nil, err
+	}
+	return &Prepared{Dcp: dcp, Plan: pl}, nil
+}
+
+// Query evaluates q and returns the projected bindings.
+func (e *Engine) Query(q *sparql.Graph) (*match.Bindings, *QueryStats, error) {
+	return e.QueryCtx(context.Background(), q)
+}
+
+// QueryCtx evaluates q under ctx: cancellation or deadline expiry aborts
+// the distributed evaluation and returns the context's error.
+func (e *Engine) QueryCtx(ctx context.Context, q *sparql.Graph) (*match.Bindings, *QueryStats, error) {
+	prep, err := e.Prepare(q)
+	if err != nil {
 		return nil, nil, err
 	}
-	stats := &QueryStats{
-		Subqueries:        len(dcp.Subqueries),
-		DecompositionCost: dcp.Cost,
-		PlanCost:          pl.Cost,
-	}
-
-	// Evaluate all subqueries in parallel across their sites.
-	results := make([]*match.Bindings, len(dcp.Subqueries))
-	sitesTouched := make(map[int]bool)
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	var firstErr error
-	for i, sq := range dcp.Subqueries {
-		wg.Add(1)
-		go func(i int, sq *decompose.Subquery) {
-			defer wg.Done()
-			b, sites, err := e.evalSubquery(sq)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil && firstErr == nil {
-				firstErr = err
-				return
-			}
-			results[i] = b
-			for _, s := range sites {
-				sitesTouched[s] = true
-			}
-		}(i, sq)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, nil, firstErr
-	}
-	stats.SitesTouched = len(sitesTouched)
-	for _, b := range results {
-		stats.IntermediateRows += len(b.Rows)
-	}
-
-	// Join at the control site in optimizer order.
-	joined := results[pl.Order[0]]
-	for _, idx := range pl.Order[1:] {
-		joined = cluster.HashJoin(joined, results[idx])
-	}
-	if len(q.Select) > 0 {
-		joined = cluster.Project(joined, q.Select)
-	} else {
-		joined.Dedup()
-	}
-	// ORDER BY is applied by the caller on decoded terms; truncating
-	// here would change which rows survive, so only limit unordered
-	// queries.
-	if q.Limit > 0 && len(q.OrderBy) == 0 && len(joined.Rows) > q.Limit {
-		joined.Rows = joined.Rows[:q.Limit]
-	}
-	return joined, stats, nil
+	return e.QueryPrepared(ctx, q, prep)
 }
 
 // Explain reports how a query would execute without running it: the
@@ -216,14 +191,15 @@ type ExplainFragment struct {
 	Size int
 }
 
-// evalSubquery routes one subquery to the sites holding its relevant
-// fragments, evaluating per site in parallel.
-func (e *Engine) evalSubquery(sq *decompose.Subquery) (*match.Bindings, []int, error) {
-	bySite := make(map[int][]int) // site -> fragment IDs
+// routeSubquery maps a subquery to the fragment IDs it must read at each
+// site (site -> fragment IDs). An empty map means the subquery has no
+// relevant fragments and yields no rows.
+func (e *Engine) routeSubquery(sq *decompose.Subquery) (map[int][]int, error) {
+	bySite := make(map[int][]int)
 	switch {
 	case sq.Cold:
 		if e.Frag.Cold == nil || e.Alloc.ColdSite < 0 {
-			return match.ToBindings(sq.Graph, nil), nil, nil
+			return bySite, nil
 		}
 		bySite[e.Alloc.ColdSite] = []int{e.Frag.Cold.ID}
 	case sq.Global:
@@ -235,47 +211,10 @@ func (e *Engine) evalSubquery(sq *decompose.Subquery) (*match.Bindings, []int, e
 		for _, entry := range e.Dict.RelevantEntries(sq.Graph) {
 			s := entry.Site
 			if s < 0 {
-				return nil, nil, fmt.Errorf("exec: fragment %d unallocated", entry.Fragment.ID)
+				return nil, fmt.Errorf("exec: fragment %d unallocated", entry.Fragment.ID)
 			}
 			bySite[s] = append(bySite[s], entry.Fragment.ID)
 		}
 	}
-
-	sites := make([]int, 0, len(bySite))
-	for s := range bySite {
-		sites = append(sites, s)
-	}
-	sort.Ints(sites)
-
-	parts := make([]*match.Bindings, len(sites))
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var firstErr error
-	for i, s := range sites {
-		wg.Add(1)
-		go func(i, s int) {
-			defer wg.Done()
-			b, err := e.Cluster.Eval(cluster.EvalRequest{
-				SiteID:  s,
-				FragIDs: bySite[s],
-				Query:   sq.Graph,
-			})
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil && firstErr == nil {
-				firstErr = err
-				return
-			}
-			parts[i] = b
-		}(i, s)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, nil, firstErr
-	}
-	union := cluster.Union(parts...)
-	if len(union.Vars) == 0 {
-		union = match.ToBindings(sq.Graph, nil)
-	}
-	return union, sites, nil
+	return bySite, nil
 }

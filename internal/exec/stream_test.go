@@ -1,0 +1,173 @@
+package exec_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"rdffrag/internal/cluster"
+	"rdffrag/internal/exec"
+	"rdffrag/internal/rdf"
+	"rdffrag/internal/sparql"
+	"rdffrag/internal/testenv"
+)
+
+// TestQueryCancellation verifies ctx cancellation aborts a distributed
+// query promptly, even with simulated network latency in flight.
+func TestQueryCancellation(t *testing.T) {
+	env, err := testenv.Build(testenv.Options{})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	c := cluster.New(4, 2)
+	c.Latency = cluster.Delay{PerMessage: 50 * time.Millisecond}
+	e, err := exec.New(c, env.Dict, env.Frag, env.Alloc, env.HC)
+	if err != nil {
+		t.Fatalf("exec.New: %v", err)
+	}
+
+	q := sparql.MustParse(env.G.Dict, `SELECT ?x WHERE { ?x <placeOfDeath> ?c . ?c <country> ?k . ?c <postalCode> ?z . }`)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, _, err = e.QueryCtx(ctx, q)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("QueryCtx after cancel: err = %v, want context.Canceled", err)
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Errorf("cancellation returned after %v; want prompt abort", el)
+	}
+}
+
+// TestQueryDeadline verifies a context deadline surfaces as
+// DeadlineExceeded.
+func TestQueryDeadline(t *testing.T) {
+	env, err := testenv.Build(testenv.Options{})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	c := cluster.New(4, 2)
+	c.Latency = cluster.Delay{PerMessage: 50 * time.Millisecond}
+	e, err := exec.New(c, env.Dict, env.Frag, env.Alloc, env.HC)
+	if err != nil {
+		t.Fatalf("exec.New: %v", err)
+	}
+	q := sparql.MustParse(env.G.Dict, `SELECT ?x ?n WHERE { ?x <name> ?n . ?x <mainInterest> ?i . }`)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	if _, _, err := e.QueryCtx(ctx, q); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("QueryCtx past deadline: err = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestLimitPushdown verifies the streaming pipeline stops early for
+// unordered LIMIT queries and still returns correct (distinct, subset)
+// rows.
+func TestLimitPushdown(t *testing.T) {
+	e, env := newEngine(t, false)
+
+	full := sparql.MustParse(env.G.Dict, `SELECT ?x ?n WHERE { ?x <name> ?n . }`)
+	fullRes, _, err := e.Query(full)
+	if err != nil {
+		t.Fatalf("Query(full): %v", err)
+	}
+	if len(fullRes.Rows) < 5 {
+		t.Fatalf("need ≥5 base rows, got %d", len(fullRes.Rows))
+	}
+	fullSet := map[string]bool{}
+	for _, r := range fullRes.Rows {
+		fullSet[rowString(r)] = true
+	}
+
+	limited := sparql.MustParse(env.G.Dict, `SELECT ?x ?n WHERE { ?x <name> ?n . }`)
+	limited.Limit = 3
+	got, _, err := e.Query(limited)
+	if err != nil {
+		t.Fatalf("Query(limit 3): %v", err)
+	}
+	if len(got.Rows) != 3 {
+		t.Fatalf("limit 3 returned %d rows", len(got.Rows))
+	}
+	seen := map[string]bool{}
+	for _, r := range got.Rows {
+		k := rowString(r)
+		if seen[k] {
+			t.Errorf("duplicate row %v under LIMIT", r)
+		}
+		seen[k] = true
+		if !fullSet[k] {
+			t.Errorf("row %v not in the unlimited result", r)
+		}
+	}
+
+	// A limit larger than the result set returns everything.
+	limited2 := sparql.MustParse(env.G.Dict, `SELECT ?x ?n WHERE { ?x <name> ?n . }`)
+	limited2.Limit = len(fullRes.Rows) + 100
+	got2, _, err := e.Query(limited2)
+	if err != nil {
+		t.Fatalf("Query(big limit): %v", err)
+	}
+	if len(got2.Rows) != len(fullRes.Rows) {
+		t.Errorf("limit > |result| returned %d rows, want %d", len(got2.Rows), len(fullRes.Rows))
+	}
+}
+
+// TestLimitPreservesOrderBy verifies ordered queries are NOT truncated by
+// the pipeline (the caller sorts decoded terms first).
+func TestLimitPreservesOrderBy(t *testing.T) {
+	e, env := newEngine(t, false)
+	q := sparql.MustParse(env.G.Dict, `SELECT ?x ?n WHERE { ?x <name> ?n . }`)
+	full, _, err := e.Query(q)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+
+	ordered := sparql.MustParse(env.G.Dict, `SELECT ?x ?n WHERE { ?x <name> ?n . }`)
+	ordered.OrderBy = []sparql.OrderKey{{Var: "n"}}
+	ordered.Limit = 2
+	got, _, err := e.Query(ordered)
+	if err != nil {
+		t.Fatalf("Query(ordered): %v", err)
+	}
+	if len(got.Rows) != len(full.Rows) {
+		t.Errorf("ORDER BY + LIMIT pipeline returned %d rows, want all %d (caller truncates after sorting)",
+			len(got.Rows), len(full.Rows))
+	}
+}
+
+// TestPreparedReuse verifies a cached plan answers repeated executions
+// identically to fresh ones, including concurrently.
+func TestPreparedReuse(t *testing.T) {
+	e, env := newEngine(t, false)
+	q := sparql.MustParse(env.G.Dict, `SELECT ?x WHERE { ?x <placeOfDeath> ?c . ?c <country> ?k . ?c <postalCode> ?z . }`)
+	prep, err := e.Prepare(q)
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	want, _, err := e.Query(q)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		got, _, err := e.QueryPrepared(context.Background(), q, prep)
+		if err != nil {
+			t.Fatalf("QueryPrepared run %d: %v", i, err)
+		}
+		if !bindingsEqual(got, want) {
+			t.Errorf("run %d: prepared result diverged (%d rows vs %d)", i, len(got.Rows), len(want.Rows))
+		}
+	}
+}
+
+func rowString(r []rdf.ID) string {
+	s := ""
+	for _, id := range r {
+		s += fmt.Sprintf("%d|", id)
+	}
+	return s
+}

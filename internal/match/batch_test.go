@@ -1,0 +1,74 @@
+package match
+
+import (
+	"fmt"
+	"testing"
+
+	"rdffrag/internal/rdf"
+	"rdffrag/internal/sparql"
+)
+
+func batchGraph(n int) *rdf.Graph {
+	g := rdf.NewGraph(nil)
+	for i := 0; i < n; i++ {
+		g.AddTerms(rdf.NewIRI(fmt.Sprintf("s%d", i)), rdf.NewIRI("p"), rdf.NewIRI(fmt.Sprintf("o%d", i)))
+	}
+	return g
+}
+
+func TestFindBatchesCoversAllMatches(t *testing.T) {
+	g := batchGraph(25)
+	q := sparql.MustParse(g.Dict, `SELECT ?x ?y WHERE { ?x <p> ?y . }`)
+
+	want := Find(q, g, Options{})
+
+	var got []Match
+	sizes := []int{}
+	FindBatches(q, g, Options{}, 7, func(ms []Match) bool {
+		got = append(got, append([]Match(nil), ms...)...)
+		sizes = append(sizes, len(ms))
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("batched found %d matches, Find found %d", len(got), len(want))
+	}
+	// 25 matches at size 7 → batches of 7,7,7,4.
+	if len(sizes) != 4 || sizes[0] != 7 || sizes[3] != 4 {
+		t.Errorf("batch sizes = %v, want [7 7 7 4]", sizes)
+	}
+	seen := map[string]bool{}
+	for _, m := range want {
+		seen[fmt.Sprint(m.Vertex)] = true
+	}
+	for _, m := range got {
+		if !seen[fmt.Sprint(m.Vertex)] {
+			t.Errorf("batched match %v not found by Find", m.Vertex)
+		}
+	}
+}
+
+func TestFindBatchesEarlyStop(t *testing.T) {
+	g := batchGraph(30)
+	q := sparql.MustParse(g.Dict, `SELECT ?x WHERE { ?x <p> ?y . }`)
+	calls := 0
+	FindBatches(q, g, Options{}, 5, func(ms []Match) bool {
+		calls++
+		return false // stop after the first batch
+	})
+	if calls != 1 {
+		t.Errorf("fn called %d times after returning false, want 1", calls)
+	}
+}
+
+func TestFindBatchesDefaultSize(t *testing.T) {
+	g := batchGraph(10)
+	q := sparql.MustParse(g.Dict, `SELECT ?x WHERE { ?x <p> ?y . }`)
+	n := 0
+	FindBatches(q, g, Options{}, 0, func(ms []Match) bool {
+		n += len(ms)
+		return true
+	})
+	if n != 10 {
+		t.Errorf("default batch size streamed %d matches, want 10", n)
+	}
+}

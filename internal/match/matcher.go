@@ -62,24 +62,60 @@ func ForEach(q *sparql.Graph, g *rdf.Graph, opts Options, fn func(*Match) bool) 
 	s.search(0)
 }
 
+// clone deep-copies a reused Match for retention beyond the ForEach
+// callback.
+func (m *Match) clone() Match {
+	c := Match{
+		Vertex:  append([]rdf.ID(nil), m.Vertex...),
+		Triples: append([]rdf.Triple(nil), m.Triples...),
+	}
+	if len(m.Pred) > 0 {
+		c.Pred = make(map[string]rdf.ID, len(m.Pred))
+		for k, v := range m.Pred {
+			c.Pred[k] = v
+		}
+	}
+	return c
+}
+
 // Find collects up to opts.Limit matches (all if 0).
 func Find(q *sparql.Graph, g *rdf.Graph, opts Options) []Match {
 	var out []Match
 	ForEach(q, g, opts, func(m *Match) bool {
-		c := Match{
-			Vertex:  append([]rdf.ID(nil), m.Vertex...),
-			Triples: append([]rdf.Triple(nil), m.Triples...),
-		}
-		if len(m.Pred) > 0 {
-			c.Pred = make(map[string]rdf.ID, len(m.Pred))
-			for k, v := range m.Pred {
-				c.Pred[k] = v
-			}
-		}
-		out = append(out, c)
+		out = append(out, m.clone())
 		return true
 	})
 	return out
+}
+
+// FindBatches enumerates matches in batches of up to size matches each,
+// invoking fn as soon as a batch fills (the last batch may be smaller).
+// The batch slice is reused between calls; copy what you keep — the
+// Matches themselves are deep copies and safe to retain. fn returning
+// false stops the enumeration early. It powers streaming subquery
+// evaluation: sites ship bindings to the control-site join as they are
+// found instead of materializing the full result first.
+func FindBatches(q *sparql.Graph, g *rdf.Graph, opts Options, size int, fn func([]Match) bool) {
+	if size <= 0 {
+		size = 256
+	}
+	batch := make([]Match, 0, size)
+	flush := func() bool {
+		if len(batch) == 0 {
+			return true
+		}
+		ok := fn(batch)
+		batch = batch[:0]
+		return ok
+	}
+	ForEach(q, g, opts, func(m *Match) bool {
+		batch = append(batch, m.clone())
+		if len(batch) == size {
+			return flush()
+		}
+		return true
+	})
+	flush()
 }
 
 // Count returns the number of matches, stopping at opts.Limit if set.

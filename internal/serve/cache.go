@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"container/list"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"rdffrag/internal/exec"
+	"rdffrag/internal/sparql"
+)
+
+// canonKey canonicalizes a query's WHERE structure into a cache key: the
+// edge list rendered with variable names and constant term IDs, sorted so
+// that textual reorderings of the same pattern share a key. Variable
+// names are kept verbatim — a prepared plan embeds the subquery graphs,
+// so alpha-renamed queries must not share an entry. Projection, ORDER BY
+// and LIMIT are deliberately excluded: a Prepared covers only
+// decomposition and join order, which depend on the pattern alone.
+func canonKey(q *sparql.Graph) string {
+	edges := make([]string, 0, len(q.Edges))
+	var b strings.Builder
+	for _, e := range q.Edges {
+		b.Reset()
+		writeVert(&b, q, e.From)
+		b.WriteByte('-')
+		if e.IsPredVar() {
+			b.WriteByte('?')
+			b.WriteString(e.PredVar)
+		} else {
+			b.WriteString(strconv.FormatInt(int64(e.Pred), 10))
+		}
+		b.WriteByte('-')
+		writeVert(&b, q, e.To)
+		edges = append(edges, b.String())
+	}
+	sort.Strings(edges)
+	return strings.Join(edges, "|")
+}
+
+func writeVert(b *strings.Builder, q *sparql.Graph, i int) {
+	v := q.Verts[i]
+	if v.IsVar() {
+		b.WriteByte('?')
+		b.WriteString(v.Var)
+		return
+	}
+	b.WriteString(strconv.FormatInt(int64(v.Term), 10))
+}
+
+// planCache is a small mutex-guarded LRU of prepared plans. Entries are
+// immutable (exec.Prepared is read-only after Prepare), so hits can be
+// shared across concurrent workers without copying.
+type planCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	idx map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	prep *exec.Prepared
+}
+
+// newPlanCache returns nil when capacity < 0 (caching disabled).
+func newPlanCache(capacity int) *planCache {
+	if capacity < 0 {
+		return nil
+	}
+	if capacity == 0 {
+		capacity = 128
+	}
+	return &planCache{cap: capacity, ll: list.New(), idx: make(map[string]*list.Element)}
+}
+
+func (c *planCache) get(key string) (*exec.Prepared, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.idx[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).prep, true
+}
+
+func (c *planCache) put(key string, prep *exec.Prepared) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.idx[key]; ok {
+		el.Value.(*cacheEntry).prep = prep
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.idx[key] = c.ll.PushFront(&cacheEntry{key: key, prep: prep})
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.idx, last.Value.(*cacheEntry).key)
+	}
+}

@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyWindow is how many recent per-query latencies the percentile
+// estimator keeps (a sliding window; old samples are overwritten).
+const latencyWindow = 4096
+
+// Metrics is a point-in-time snapshot of the server's behaviour.
+type Metrics struct {
+	// Uptime since the server started.
+	Uptime time.Duration
+	// Completed, Failed, Rejected and TimedOut count finished queries;
+	// TimedOut is the subset of Failed that hit the per-query deadline.
+	Completed uint64
+	Failed    uint64
+	Rejected  uint64
+	TimedOut  uint64
+	// QueueDepth and InFlight are instantaneous gauges.
+	QueueDepth int
+	InFlight   int
+	// QPS is completed queries per second of uptime.
+	QPS float64
+	// P50, P95 and P99 are latency percentiles over the recent window
+	// (zero until the first completion).
+	P50, P95, P99 time.Duration
+	// CacheHits/CacheMisses count plan-cache lookups; CacheHitRate is
+	// hits over lookups (zero when no lookups happened).
+	CacheHits    uint64
+	CacheMisses  uint64
+	CacheHitRate float64
+}
+
+// collector accumulates metrics from concurrent workers.
+type collector struct {
+	start       time.Time
+	completed   atomic.Uint64
+	failed      atomic.Uint64
+	rejected    atomic.Uint64
+	timedOut    atomic.Uint64
+	queued      atomic.Int64
+	inflight    atomic.Int64
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+
+	mu   sync.Mutex
+	lats []time.Duration // ring buffer of recent latencies
+	next int
+}
+
+func newCollector() *collector {
+	return &collector{start: time.Now(), lats: make([]time.Duration, 0, latencyWindow)}
+}
+
+func (m *collector) complete(lat time.Duration) {
+	m.completed.Add(1)
+	m.mu.Lock()
+	if len(m.lats) < latencyWindow {
+		m.lats = append(m.lats, lat)
+	} else {
+		m.lats[m.next] = lat
+		m.next = (m.next + 1) % latencyWindow
+	}
+	m.mu.Unlock()
+}
+
+func (m *collector) snapshot() Metrics {
+	s := Metrics{
+		Uptime:      time.Since(m.start),
+		Completed:   m.completed.Load(),
+		Failed:      m.failed.Load(),
+		Rejected:    m.rejected.Load(),
+		TimedOut:    m.timedOut.Load(),
+		QueueDepth:  int(m.queued.Load()),
+		InFlight:    int(m.inflight.Load()),
+		CacheHits:   m.cacheHits.Load(),
+		CacheMisses: m.cacheMisses.Load(),
+	}
+	if sec := s.Uptime.Seconds(); sec > 0 {
+		s.QPS = float64(s.Completed) / sec
+	}
+	if lookups := s.CacheHits + s.CacheMisses; lookups > 0 {
+		s.CacheHitRate = float64(s.CacheHits) / float64(lookups)
+	}
+	m.mu.Lock()
+	lats := append([]time.Duration(nil), m.lats...)
+	m.mu.Unlock()
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		s.P50 = percentile(lats, 0.50)
+		s.P95 = percentile(lats, 0.95)
+		s.P99 = percentile(lats, 0.99)
+	}
+	return s
+}
+
+// percentile reads the p-th percentile from a sorted sample (nearest-rank).
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	i := int(p * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

@@ -1,0 +1,221 @@
+// Package serve is the concurrent query-serving layer over the
+// distributed engine: a bounded admission queue feeding a worker pool
+// that executes many queries at once against the shared deployed cluster,
+// with per-query timeouts/cancellation, an LRU plan cache keyed on
+// canonicalized query structure (the workload-aware complement of the
+// paper's FAP mining — hot query shapes skip Algorithms 3 and 4
+// entirely), and server-side metrics (QPS, latency percentiles, queue
+// depth, cache hit rate).
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"rdffrag/internal/exec"
+	"rdffrag/internal/match"
+	"rdffrag/internal/sparql"
+)
+
+// ErrOverloaded is returned when the admission queue is full; callers
+// should back off and retry.
+var ErrOverloaded = errors.New("serve: admission queue full")
+
+// ErrClosed is returned for queries submitted after Close.
+var ErrClosed = errors.New("serve: server closed")
+
+// Config tunes the server. The zero value is usable.
+type Config struct {
+	// Workers is the number of queries executed concurrently (default 4).
+	Workers int
+	// QueueDepth bounds the admission queue; submissions beyond it fail
+	// fast with ErrOverloaded (default 64).
+	QueueDepth int
+	// Timeout is the per-query execution deadline; 0 disables it. A
+	// caller context with an earlier deadline still wins.
+	Timeout time.Duration
+	// PlanCacheSize is the LRU plan cache capacity in entries (default
+	// 128; negative disables caching).
+	PlanCacheSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.PlanCacheSize == 0 {
+		c.PlanCacheSize = 128
+	}
+	return c
+}
+
+// Response is one answered query.
+type Response struct {
+	Bindings *match.Bindings
+	Stats    *exec.QueryStats
+	// CacheHit reports whether the plan came from the plan cache.
+	CacheHit bool
+	// Latency is the server-side execution time (queue wait included).
+	Latency time.Duration
+}
+
+type request struct {
+	ctx      context.Context
+	q        *sparql.Graph
+	enqueued time.Time
+	done     chan outcome
+}
+
+type outcome struct {
+	resp *Response
+	err  error
+}
+
+// Server executes queries concurrently against one deployed engine.
+type Server struct {
+	engine *exec.Engine
+	cfg    Config
+	queue  chan *request
+	cache  *planCache
+	met    *collector
+
+	mu     sync.RWMutex // guards closed vs. queue sends
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New starts a server over a deployed engine: cfg.Workers goroutines
+// begin draining the admission queue immediately. Call Close to stop.
+func New(engine *exec.Engine, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		engine: engine,
+		cfg:    cfg,
+		queue:  make(chan *request, cfg.QueueDepth),
+		cache:  newPlanCache(cfg.PlanCacheSize),
+		met:    newCollector(),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Close stops accepting queries, waits for in-flight and queued work to
+// drain, and returns. Safe to call once.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Query executes an already-parsed query graph. Admission is
+// non-blocking: a full queue fails fast with ErrOverloaded so overload
+// surfaces as back-pressure instead of unbounded latency. The caller's
+// ctx covers queue wait and execution; cancelling it abandons the query
+// (a worker that already picked it up stops at the next pipeline step).
+func (s *Server) Query(ctx context.Context, q *sparql.Graph) (*Response, error) {
+	req := &request{ctx: ctx, q: q, enqueued: time.Now(), done: make(chan outcome, 1)}
+
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	select {
+	case s.queue <- req:
+		s.met.queued.Add(1)
+		s.mu.RUnlock()
+	default:
+		s.mu.RUnlock()
+		s.met.rejected.Add(1)
+		return nil, ErrOverloaded
+	}
+
+	select {
+	case o := <-req.done:
+		return o.resp, o.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for req := range s.queue {
+		s.met.queued.Add(-1)
+		s.met.inflight.Add(1)
+		o := s.execute(req)
+		s.met.inflight.Add(-1)
+		req.done <- o
+	}
+}
+
+func (s *Server) execute(req *request) outcome {
+	if err := req.ctx.Err(); err != nil {
+		// The client gave up while the request sat in the queue.
+		s.met.failed.Add(1)
+		return outcome{err: err}
+	}
+	ctx := req.ctx
+	if s.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
+		defer cancel()
+	}
+
+	prep, hit, err := s.plan(req.q)
+	if err != nil {
+		s.met.failed.Add(1)
+		return outcome{err: err}
+	}
+	b, stats, err := s.engine.QueryPrepared(ctx, req.q, prep)
+	lat := time.Since(req.enqueued)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			s.met.timedOut.Add(1)
+		}
+		s.met.failed.Add(1)
+		return outcome{err: err}
+	}
+	s.met.complete(lat)
+	return outcome{resp: &Response{Bindings: b, Stats: stats, CacheHit: hit, Latency: lat}}
+}
+
+// plan resolves a query's execution plan through the LRU cache.
+func (s *Server) plan(q *sparql.Graph) (*exec.Prepared, bool, error) {
+	if s.cache == nil {
+		prep, err := s.engine.Prepare(q)
+		return prep, false, err
+	}
+	key := canonKey(q)
+	if prep, ok := s.cache.get(key); ok {
+		s.met.cacheHits.Add(1)
+		return prep, true, nil
+	}
+	s.met.cacheMisses.Add(1)
+	prep, err := s.engine.Prepare(q)
+	if err != nil {
+		return nil, false, err
+	}
+	s.cache.put(key, prep)
+	return prep, false, nil
+}
+
+// Metrics returns a snapshot of the server's counters and latency
+// percentiles.
+func (s *Server) Metrics() Metrics {
+	return s.met.snapshot()
+}

@@ -1,0 +1,82 @@
+package rdffrag
+
+import (
+	"context"
+	"time"
+
+	"rdffrag/internal/serve"
+	"rdffrag/internal/sparql"
+)
+
+// ServerConfig tunes a concurrent query server. The zero value is usable:
+// 4 workers, a 64-slot admission queue, no per-query timeout, a 128-entry
+// plan cache.
+type ServerConfig struct {
+	// Workers is the number of queries executed concurrently.
+	Workers int
+	// QueueDepth bounds the admission queue; beyond it Query fails fast
+	// with ErrOverloaded.
+	QueueDepth int
+	// Timeout is the per-query execution deadline (0 = none).
+	Timeout time.Duration
+	// PlanCacheSize is the LRU plan cache capacity (negative disables).
+	PlanCacheSize int
+}
+
+// ErrOverloaded is returned by Server.Query when the admission queue is
+// full.
+var ErrOverloaded = serve.ErrOverloaded
+
+// ErrServerClosed is returned by Server.Query after Close.
+var ErrServerClosed = serve.ErrClosed
+
+// Server answers queries concurrently over one deployment: a worker pool
+// behind a bounded admission queue, with per-query cancellation and a
+// plan cache keyed on canonicalized query structure.
+type Server struct {
+	dep   *Deployment
+	inner *serve.Server
+}
+
+// StartServer starts a concurrent query server over the deployment.
+// Close it when done.
+func (dep *Deployment) StartServer(cfg ServerConfig) *Server {
+	return &Server{
+		dep: dep,
+		inner: serve.New(dep.engine, serve.Config{
+			Workers:       cfg.Workers,
+			QueueDepth:    cfg.QueueDepth,
+			Timeout:       cfg.Timeout,
+			PlanCacheSize: cfg.PlanCacheSize,
+		}),
+	}
+}
+
+// Query parses and executes one query through the server, honouring ctx
+// for cancellation. Safe for concurrent use by many clients.
+func (s *Server) Query(ctx context.Context, query string) (*Result, error) {
+	q, err := sparql.NewParser(s.dep.db.graph.Dict).Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return s.QueryParsed(ctx, q)
+}
+
+// QueryParsed executes an already-parsed query graph through the server.
+func (s *Server) QueryParsed(ctx context.Context, q *sparql.Graph) (*Result, error) {
+	resp, err := s.inner.Query(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	return s.dep.decodeResult(q, resp.Bindings, resp.Stats), nil
+}
+
+// Close stops accepting queries and waits for in-flight work to finish.
+func (s *Server) Close() { s.inner.Close() }
+
+// ServerMetrics mirrors the serving layer's snapshot for API consumers.
+type ServerMetrics = serve.Metrics
+
+// Metrics reports QPS, latency percentiles, queue depth and cache hit
+// rate since the server started.
+func (s *Server) Metrics() ServerMetrics { return s.inner.Metrics() }
