@@ -1,9 +1,12 @@
-# Local dev targets mirroring .github/workflows/ci.yml, so `make ci`
-# reproduces exactly what the gate runs.
+# Local dev targets mirroring .github/workflows/ci.yml: `make ci`
+# reproduces the gate's checks; CI additionally runs `make bench-baseline`
+# (kept out of `ci` because it rewrites BENCH_2.json's current section).
 
 GO ?= go
+# bench-baseline needs pipefail so a panicking benchmark fails the target.
+SHELL := /bin/bash
 
-.PHONY: build test race bench fmt fmt-check vet ci
+.PHONY: build test race bench bench-baseline fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -17,6 +20,17 @@ race:
 # One iteration per benchmark: a compile-and-run smoke, not a measurement.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Storage-engine hot-path benchmarks, recorded as a point of the perf
+# trajectory. The baseline section of BENCH_2.json (the pre-CSR numbers)
+# is preserved across reruns; only the "current" section is refreshed.
+BENCH_HOT := BenchmarkCandidateScan|BenchmarkMatchWatDiv|BenchmarkHashJoin
+bench-baseline:
+	set -o pipefail; \
+	$(GO) test -run '^$$' -bench '$(BENCH_HOT)' -benchmem -benchtime 1s \
+		./internal/match ./internal/cluster | \
+		$(GO) run ./cmd/benchjson -pr 2 -out BENCH_2.json \
+		-require 'BenchmarkCandidateScan,BenchmarkMatchWatDiv,BenchmarkHashJoin'
 
 fmt:
 	gofmt -w .

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strings"
 	"time"
@@ -30,6 +31,7 @@ func serveMain(args []string) {
 		queue    = fs.Int("queue", 128, "admission queue depth (full queue → 503)")
 		timeout  = fs.Duration("timeout", 30*time.Second, "per-query execution deadline (0 disables)")
 		cache    = fs.Int("cache", 256, "plan cache capacity in entries (negative disables)")
+		profile  = fs.Bool("pprof", false, "expose net/http/pprof handlers under /debug/pprof/")
 	)
 	fs.Parse(args)
 	if *dataPath == "" || *wlPath == "" {
@@ -97,9 +99,19 @@ func serveMain(args []string) {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	if *profile {
+		// Hot-path regressions (e.g. the matcher re-growing allocations)
+		// are diagnosable in production: profile a live server with
+		//   go tool pprof http://host/debug/pprof/profile
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 
-	fmt.Printf("serving on %s (workers=%d queue=%d timeout=%s cache=%d)\n",
-		*addr, *workers, *queue, *timeout, *cache)
+	fmt.Printf("serving on %s (workers=%d queue=%d timeout=%s cache=%d pprof=%v)\n",
+		*addr, *workers, *queue, *timeout, *cache, *profile)
 	if err := http.ListenAndServe(*addr, mux); err != nil {
 		fatal(err)
 	}

@@ -74,6 +74,9 @@ func BuildSHAPE(g *rdf.Graph, m int) *Placement {
 		p.SiteGraphs[site(t.S)].Add(t)
 		p.SiteGraphs[site(t.O)].Add(t)
 	}
+	for _, sg := range p.SiteGraphs {
+		sg.Freeze()
+	}
 	return p
 }
 
@@ -85,6 +88,7 @@ func BuildWARP(g *rdf.Graph, patterns []*mining.Pattern, m int) *Placement {
 	if m < 1 {
 		m = 1
 	}
+	g.Freeze() // pattern replication matches every pattern against g
 	p := &Placement{Strategy: WARP, SiteGraphs: make([]*rdf.Graph, m)}
 	for i := range p.SiteGraphs {
 		p.SiteGraphs[i] = rdf.NewGraph(g.Dict)
@@ -118,6 +122,9 @@ func BuildWARP(g *rdf.Graph, patterns []*mining.Pattern, m int) *Placement {
 			}
 			return true
 		})
+	}
+	for _, sg := range p.SiteGraphs {
+		sg.Freeze()
 	}
 	return p
 }

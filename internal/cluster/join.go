@@ -17,24 +17,38 @@ func HashJoin(left, right *match.Bindings) *match.Bindings {
 		return out
 	}
 
+	width := len(left.Vars) + len(rightOnly)
 	if len(shared) == 0 {
+		total := len(left.Rows) * len(right.Rows)
+		arena := presizedArena(total, width)
+		out.Rows = make([][]rdf.ID, 0, total)
 		for _, lr := range left.Rows {
 			for _, rr := range right.Rows {
-				out.Rows = append(out.Rows, mergeRows(lr, rr, rightOnly))
+				out.Rows = append(out.Rows, mergeRows(arena, lr, rr, rightOnly))
 			}
 		}
 		return out
 	}
 
 	// Hash the right side on the shared columns, probe with the left.
-	table := make(map[string][]int, len(right.Rows))
+	tab := newJoinTable(shared, len(right.Rows))
 	for i, rr := range right.Rows {
-		k := joinKey(rr, shared, false)
-		table[k] = append(table[k], i)
+		tab.add(rr, false, int32(i))
 	}
+	// Counting pass: probing twice is far cheaper than growing the output
+	// slice and row storage through repeated reallocation.
+	total := 0
 	for _, lr := range left.Rows {
-		for _, ri := range table[joinKey(lr, shared, true)] {
-			out.Rows = append(out.Rows, mergeRows(lr, right.Rows[ri], rightOnly))
+		total += len(tab.lookup(lr, true))
+	}
+	if total == 0 {
+		return out
+	}
+	arena := presizedArena(total, width)
+	out.Rows = make([][]rdf.ID, 0, total)
+	for _, lr := range left.Rows {
+		for _, ri := range tab.lookup(lr, true) {
+			out.Rows = append(out.Rows, mergeRows(arena, lr, right.Rows[ri], rightOnly))
 		}
 	}
 	return out
@@ -67,25 +81,128 @@ func names(vars []string, idx []int) []string {
 	return out
 }
 
-func joinKey(row []rdf.ID, keys []colPair, left bool) string {
-	b := make([]byte, 0, len(keys)*4)
-	for _, k := range keys {
+// maxPackedCols is how many shared join columns fit the fixed-size packed
+// key. SPARQL joins share one or two variables in practice; wider joins
+// fall back to string keys.
+const maxPackedCols = 4
+
+// packedKey is a comparable join key: the shared column values, unused
+// slots zero. All keys of one join have the same column count, so uniform
+// padding cannot introduce false matches.
+type packedKey [maxPackedCols]rdf.ID
+
+// joinTable indexes row numbers by their shared-column join key. Keys are
+// packed value arrays — no per-row string materialization — unless the
+// join is wider than maxPackedCols columns.
+type joinTable struct {
+	cols   []colPair
+	packed map[packedKey][]int32
+	str    map[string][]int32
+}
+
+func newJoinTable(cols []colPair, sizeHint int) *joinTable {
+	t := &joinTable{cols: cols}
+	if len(cols) <= maxPackedCols {
+		t.packed = make(map[packedKey][]int32, sizeHint)
+	} else {
+		t.str = make(map[string][]int32, sizeHint)
+	}
+	return t
+}
+
+// packKey builds the packed key of row; left selects which side of the
+// column pairs row belongs to. It never allocates.
+func packKey(row []rdf.ID, cols []colPair, left bool) packedKey {
+	var k packedKey
+	for i, c := range cols {
+		if left {
+			k[i] = row[c.l]
+		} else {
+			k[i] = row[c.r]
+		}
+	}
+	return k
+}
+
+// stringKey is the fallback key for joins wider than maxPackedCols.
+func stringKey(row []rdf.ID, cols []colPair, left bool) string {
+	b := make([]byte, 0, len(cols)*4)
+	for _, c := range cols {
 		var v rdf.ID
 		if left {
-			v = row[k.l]
+			v = row[c.l]
 		} else {
-			v = row[k.r]
+			v = row[c.r]
 		}
 		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
 	}
 	return string(b)
 }
 
-func mergeRows(lr, rr []rdf.ID, rightOnly []int) []rdf.ID {
-	out := make([]rdf.ID, 0, len(lr)+len(rightOnly))
-	out = append(out, lr...)
-	for _, j := range rightOnly {
-		out = append(out, rr[j])
+// add records row idx under its join key; left names row's side.
+func (t *joinTable) add(row []rdf.ID, left bool, idx int32) {
+	if t.packed != nil {
+		k := packKey(row, t.cols, left)
+		t.packed[k] = append(t.packed[k], idx)
+	} else {
+		k := stringKey(row, t.cols, left)
+		t.str[k] = append(t.str[k], idx)
+	}
+}
+
+// lookup returns the row indexes whose key matches row (from the side
+// named by left).
+func (t *joinTable) lookup(row []rdf.ID, left bool) []int32 {
+	if t.packed != nil {
+		return t.packed[packKey(row, t.cols, left)]
+	}
+	return t.str[stringKey(row, t.cols, left)]
+}
+
+// rowArena carves fixed-width binding rows out of chunked backing arrays,
+// cutting the join's one-allocation-per-output-row cost to one allocation
+// per chunk. Carved rows are capped (three-index slices), so a consumer
+// appending to one cannot stomp its neighbour. Rows are handed off to
+// consumers and the arena only ever starts fresh chunks — it is never
+// reset — so handed-off rows stay valid for as long as the consumer keeps
+// them.
+type rowArena struct {
+	buf []rdf.ID
+}
+
+// rowArenaChunk is the chunk size in IDs (16 KiB chunks).
+const rowArenaChunk = 4096
+
+// presizedArena returns an arena whose first chunk holds exactly rows
+// fixed-width rows, so a join with a known output size allocates row
+// storage once.
+func presizedArena(rows, width int) *rowArena {
+	return &rowArena{buf: make([]rdf.ID, 0, rows*width)}
+}
+
+func (a *rowArena) alloc(n int) []rdf.ID {
+	if n == 0 {
+		return nil
+	}
+	if len(a.buf)+n > cap(a.buf) {
+		size := rowArenaChunk
+		if n > size {
+			size = n
+		}
+		a.buf = make([]rdf.ID, 0, size)
+	}
+	off := len(a.buf)
+	a.buf = a.buf[:off+n]
+	return a.buf[off : off+n : off+n]
+}
+
+// mergeRows concatenates a left row with the right-only columns of a
+// right row, carving the output from the arena.
+func mergeRows(a *rowArena, lr, rr []rdf.ID, rightOnly []int) []rdf.ID {
+	out := a.alloc(len(lr) + len(rightOnly))
+	n := copy(out, lr)
+	for i, j := range rightOnly {
+		out[n+i] = rr[j]
 	}
 	return out
 }
@@ -129,8 +246,9 @@ func Project(b *match.Bindings, vars []string) *match.Bindings {
 		}
 	}
 	out := &match.Bindings{Vars: kept}
+	var arena rowArena
 	for _, r := range b.Rows {
-		row := make([]rdf.ID, len(idx))
+		row := arena.alloc(len(idx))
 		for i, j := range idx {
 			row[i] = r[j]
 		}

@@ -128,8 +128,12 @@ func JoinStream(ctx context.Context, leftVars, rightVars []string, left, right <
 	outVars := JoinVars(leftVars, rightVars)
 
 	var leftRows, rightRows [][]rdf.ID
-	leftTab := make(map[string][]int)
-	rightTab := make(map[string][]int)
+	leftTab := newJoinTable(shared, 0)
+	rightTab := newJoinTable(shared, 0)
+	// One arena for the whole stream: merged rows are carved from chunks
+	// that survive across batches, so emitting N rows costs ~N/chunk
+	// allocations instead of N.
+	var arena rowArena
 
 	emit := func(rows [][]rdf.ID) bool {
 		if len(rows) == 0 {
@@ -148,11 +152,10 @@ func JoinStream(ctx context.Context, leftVars, rightVars []string, left, right <
 	processLeft := func(b *match.Bindings) bool {
 		var found [][]rdf.ID
 		for _, lr := range b.Rows {
-			k := joinKey(lr, shared, true)
-			leftTab[k] = append(leftTab[k], len(leftRows))
+			leftTab.add(lr, true, int32(len(leftRows)))
 			leftRows = append(leftRows, lr)
-			for _, ri := range rightTab[k] {
-				found = append(found, mergeRows(lr, rightRows[ri], rightOnly))
+			for _, ri := range rightTab.lookup(lr, true) {
+				found = append(found, mergeRows(&arena, lr, rightRows[ri], rightOnly))
 			}
 		}
 		return emit(found)
@@ -160,11 +163,10 @@ func JoinStream(ctx context.Context, leftVars, rightVars []string, left, right <
 	processRight := func(b *match.Bindings) bool {
 		var found [][]rdf.ID
 		for _, rr := range b.Rows {
-			k := joinKey(rr, shared, false)
-			rightTab[k] = append(rightTab[k], len(rightRows))
+			rightTab.add(rr, false, int32(len(rightRows)))
 			rightRows = append(rightRows, rr)
-			for _, li := range leftTab[k] {
-				found = append(found, mergeRows(leftRows[li], rr, rightOnly))
+			for _, li := range leftTab.lookup(rr, false) {
+				found = append(found, mergeRows(&arena, leftRows[li], rr, rightOnly))
 			}
 		}
 		return emit(found)

@@ -57,6 +57,7 @@ func Horizontal(sel *fap.Selection, workload []*sparql.Graph, hc *HotCold, opts 
 			if g.NumTriples() == 0 && p.Size() > 1 {
 				continue
 			}
+			g.Freeze()
 			fr.Fragments = append(fr.Fragments, &Fragment{
 				ID: id, Kind: HorizontalKind, Pattern: p, Graph: g,
 			})
@@ -68,6 +69,7 @@ func Horizontal(sel *fap.Selection, workload []*sparql.Graph, hc *HotCold, opts 
 			if g.NumTriples() == 0 {
 				continue
 			}
+			g.Freeze()
 			fr.Fragments = append(fr.Fragments, &Fragment{
 				ID: id, Kind: HorizontalKind, Pattern: p, Minterm: mt, Graph: g,
 			})

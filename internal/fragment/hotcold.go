@@ -55,6 +55,10 @@ func SplitHotCold(g *rdf.Graph, workload []*sparql.Graph, theta int) *HotCold {
 			hc.Cold.Add(t)
 		}
 	}
+	// Freeze both halves: pattern selection and fragment construction
+	// match against Hot heavily, and Cold is served to sites as-is.
+	hc.Hot.Freeze()
+	hc.Cold.Freeze()
 	return hc
 }
 

@@ -18,6 +18,7 @@ func Vertical(sel *fap.Selection, hc *HotCold) *Fragmentation {
 		if g.NumTriples() == 0 && p.Size() > 1 {
 			continue // multi-edge pattern with no matches adds nothing
 		}
+		g.Freeze() // fragments are immutable once placed at a site
 		fr.Fragments = append(fr.Fragments, &Fragment{
 			ID:      id,
 			Kind:    VerticalKind,
@@ -32,6 +33,7 @@ func Vertical(sel *fap.Selection, hc *HotCold) *Fragmentation {
 
 func coldGraph(hc *HotCold) *rdf.Graph {
 	if hc.Cold != nil {
+		hc.Cold.Freeze()
 		return hc.Cold
 	}
 	return rdf.NewGraph(hc.Hot.Dict)

@@ -5,7 +5,7 @@
 package match
 
 import (
-	"sort"
+	"slices"
 
 	"rdffrag/internal/rdf"
 	"rdffrag/internal/sparql"
@@ -155,13 +155,29 @@ type searcher struct {
 
 // edgeOrder sorts query edges so that (a) the search stays connected and
 // (b) the most selective edge (fewest candidate triples) comes first.
+// Constant-anchored edges are costed by the exact degree of the constant
+// vertex — restricted to the edge's predicate when that is constant too
+// (an O(log deg) lookup on a frozen graph) — instead of a flat guess.
 func edgeOrder(q *sparql.Graph, g *rdf.Graph) []int {
 	n := len(q.Edges)
 	selectivity := make([]int, n)
 	for i, e := range q.Edges {
+		from, to := q.Verts[e.From], q.Verts[e.To]
 		switch {
-		case !q.Verts[e.From].IsVar() || !q.Verts[e.To].IsVar():
-			selectivity[i] = 1 // constant-anchored: very selective
+		case !from.IsVar() && !to.IsVar():
+			selectivity[i] = 0 // membership check: cheapest possible
+		case !from.IsVar():
+			if e.IsPredVar() {
+				selectivity[i] = len(g.OutEdges(from.Term)) + 1
+			} else {
+				selectivity[i] = g.OutDegreeP(from.Term, e.Pred) + 1
+			}
+		case !to.IsVar():
+			if e.IsPredVar() {
+				selectivity[i] = len(g.InEdges(to.Term)) + 1
+			} else {
+				selectivity[i] = g.InDegreeP(to.Term, e.Pred) + 1
+			}
 		case e.IsPredVar():
 			selectivity[i] = g.NumTriples() + 1
 		default:
@@ -217,7 +233,10 @@ func (s *searcher) search(depth int) {
 	}
 	ei := s.order[depth]
 	e := s.q.Edges[ei]
-	for _, t := range s.candidateTriples(e) {
+	var cur candCursor
+	s.initCursor(&cur, e)
+	var t rdf.Triple
+	for cur.next(&t) {
 		if s.done {
 			return
 		}
@@ -230,56 +249,145 @@ func (s *searcher) search(depth int) {
 		}
 		undoO, ok := s.bind(e.To, t.O)
 		if !ok {
-			undoS()
+			if undoS {
+				s.unbind(e.From)
+			}
 			continue
 		}
 		undoP := s.bindPred(e, t.P)
 		s.m.Triples[ei] = t
 		s.search(depth + 1)
-		undoP()
-		undoO()
-		undoS()
+		if undoP {
+			delete(s.m.Pred, e.PredVar)
+		}
+		if undoO {
+			s.unbind(e.To)
+		}
+		if undoS {
+			s.unbind(e.From)
+		}
 	}
 }
 
-// candidateTriples picks the cheapest index to drive the scan for edge e
-// given the current bindings.
-func (s *searcher) candidateTriples(e sparql.Edge) []rdf.Triple {
+// candCursor enumerates the candidate data triples of one query edge
+// without materializing them: it walks a zero-copy index run (a CSR
+// adjacency run, the per-predicate triple arena, or the full triple list)
+// and synthesizes each Triple into caller-provided storage. The cursor
+// itself lives on the searcher's stack — candidate enumeration performs
+// zero heap allocations.
+type candCursor struct {
+	mode  uint8          // one of curHalf, curTris, curSingle, curDone
+	half  []rdf.HalfEdge // curHalf: adjacency run to walk
+	tris  []rdf.Triple   // curTris: triple run to walk
+	one   rdf.Triple     // curSingle: the only candidate
+	i     int
+	fixed rdf.ID // curHalf: the bound endpoint's data vertex
+	other rdf.ID // curHalf: required far endpoint; NoID = unconstrained
+	needP rdf.ID // curHalf: required predicate; NoID = already filtered
+	out   bool   // curHalf: fixed endpoint is the subject
+}
+
+const (
+	curHalf = iota
+	curTris
+	curSingle
+	curDone
+)
+
+// initCursor picks the cheapest index to drive the scan for edge e given
+// the current bindings, threading the edge's constant predicate into the
+// bound-endpoint cases so a frozen graph serves a contiguous run.
+func (s *searcher) initCursor(c *candCursor, e sparql.Edge) {
 	fromBound := s.bound[e.From]
 	toBound := s.bound[e.To]
+	c.i = 0
+	c.other = rdf.NoID
+	c.needP = rdf.NoID
 	switch {
-	case fromBound && toBound:
-		// Both endpoints fixed: check adjacency of the smaller side.
-		sub := s.m.Vertex[e.From]
-		obj := s.m.Vertex[e.To]
-		var out []rdf.Triple
-		for _, h := range s.g.Out(sub) {
-			if h.Other == obj {
-				out = append(out, rdf.Triple{S: sub, P: h.P, O: obj})
-			}
+	case fromBound && toBound && !e.IsPredVar():
+		// Fully-ground edge: a set membership test.
+		t := rdf.Triple{S: s.m.Vertex[e.From], P: e.Pred, O: s.m.Vertex[e.To]}
+		if s.g.Has(t) {
+			c.mode = curSingle
+			c.one = t
+		} else {
+			c.mode = curDone
 		}
-		return out
 	case fromBound:
 		sub := s.m.Vertex[e.From]
-		hs := s.g.Out(sub)
-		out := make([]rdf.Triple, 0, len(hs))
-		for _, h := range hs {
-			out = append(out, rdf.Triple{S: sub, P: h.P, O: h.Other})
+		c.mode = curHalf
+		c.out = true
+		c.fixed = sub
+		if toBound {
+			c.other = s.m.Vertex[e.To]
 		}
-		return out
+		if e.IsPredVar() {
+			c.half = s.g.OutEdges(sub)
+		} else {
+			run, exact := s.g.OutRun(sub, e.Pred)
+			c.half = run
+			if !exact {
+				c.needP = e.Pred
+			}
+		}
 	case toBound:
 		obj := s.m.Vertex[e.To]
-		hs := s.g.In(obj)
-		out := make([]rdf.Triple, 0, len(hs))
-		for _, h := range hs {
-			out = append(out, rdf.Triple{S: h.Other, P: h.P, O: obj})
+		c.mode = curHalf
+		c.out = false
+		c.fixed = obj
+		if e.IsPredVar() {
+			c.half = s.g.InEdges(obj)
+		} else {
+			run, exact := s.g.InRun(obj, e.Pred)
+			c.half = run
+			if !exact {
+				c.needP = e.Pred
+			}
 		}
-		return out
 	case !e.IsPredVar():
-		return s.g.ByPredicate(e.Pred)
+		c.mode = curTris
+		c.tris = s.g.ByPredicate(e.Pred)
 	default:
-		return s.g.Triples()
+		c.mode = curTris
+		c.tris = s.g.Triples()
 	}
+}
+
+// next advances the cursor, writing the candidate into *t. It returns
+// false when the candidates are exhausted.
+func (c *candCursor) next(t *rdf.Triple) bool {
+	switch c.mode {
+	case curTris:
+		if c.i >= len(c.tris) {
+			return false
+		}
+		*t = c.tris[c.i]
+		c.i++
+		return true
+	case curSingle:
+		c.mode = curDone
+		*t = c.one
+		return true
+	case curHalf:
+		for c.i < len(c.half) {
+			h := c.half[c.i]
+			c.i++
+			if c.needP != rdf.NoID && h.P != c.needP {
+				continue
+			}
+			if c.other != rdf.NoID && h.Other != c.other {
+				continue
+			}
+			if c.out {
+				*t = rdf.Triple{S: c.fixed, P: h.P, O: h.Other}
+			} else {
+				*t = rdf.Triple{S: h.Other, P: h.P, O: c.fixed}
+			}
+			return true
+		}
+		return false
+	}
+	return false
 }
 
 func (s *searcher) predOK(e sparql.Edge, p rdf.ID) bool {
@@ -294,31 +402,35 @@ func (s *searcher) predOK(e sparql.Edge, p rdf.ID) bool {
 
 // bind maps query vertex qv to data vertex id (homomorphism: several query
 // variables may map to the same data vertex, but one variable maps to one
-// vertex). It returns an undo closure and success.
-func (s *searcher) bind(qv int, id rdf.ID) (func(), bool) {
+// vertex). It reports (undo, ok): ok=false rejects the candidate; undo
+// tells the caller whether it must unbind qv after exploring the subtree.
+// Flags instead of undo closures keep the inner loop allocation-free.
+func (s *searcher) bind(qv int, id rdf.ID) (undo, ok bool) {
 	if s.bound[qv] {
-		if s.m.Vertex[qv] != id {
-			return nil, false
-		}
-		return func() {}, true
+		return false, s.m.Vertex[qv] == id
 	}
 	if s.opts.VertexFilter != nil && !s.opts.VertexFilter(qv, id) {
-		return nil, false
+		return false, false
 	}
 	s.bound[qv] = true
 	s.m.Vertex[qv] = id
-	return func() { s.bound[qv] = false }, true
+	return true, true
 }
 
-func (s *searcher) bindPred(e sparql.Edge, p rdf.ID) func() {
+// unbind reverses a successful bind that reported undo=true.
+func (s *searcher) unbind(qv int) { s.bound[qv] = false }
+
+// bindPred records a variable-predicate binding, reporting whether the
+// caller must delete it on backtrack.
+func (s *searcher) bindPred(e sparql.Edge, p rdf.ID) bool {
 	if !e.IsPredVar() {
-		return func() {}
+		return false
 	}
 	if _, ok := s.m.Pred[e.PredVar]; ok {
-		return func() {}
+		return false
 	}
 	s.m.Pred[e.PredVar] = p
-	return func() { delete(s.m.Pred, e.PredVar) }
+	return true
 }
 
 // Bindings converts matches into a variable-name-keyed tabular form used
@@ -367,30 +479,28 @@ func (b *Bindings) Dedup() {
 	if len(b.Rows) <= 1 {
 		return
 	}
-	sort.Slice(b.Rows, func(i, j int) bool { return rowLess(b.Rows[i], b.Rows[j]) })
+	slices.SortFunc(b.Rows, RowCompare)
 	out := b.Rows[:1]
 	for _, r := range b.Rows[1:] {
-		if !rowEq(out[len(out)-1], r) {
+		if RowCompare(out[len(out)-1], r) != 0 {
 			out = append(out, r)
 		}
 	}
 	b.Rows = out
 }
 
-func rowLess(a, b []rdf.ID) bool {
-	for i := range a {
+// RowCompare orders binding rows lexicographically. Ragged rows (width
+// mismatch, e.g. tables accidentally merged across projections) compare
+// by common prefix and then by width instead of panicking.
+func RowCompare(a, b []rdf.ID) int {
+	n := min(len(a), len(b))
+	for i := 0; i < n; i++ {
 		if a[i] != b[i] {
-			return a[i] < b[i]
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
 		}
 	}
-	return false
-}
-
-func rowEq(a, b []rdf.ID) bool {
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
+	return len(a) - len(b)
 }

@@ -196,6 +196,9 @@ func Load(r io.Reader) (*State, error) {
 			hc.Cold.Add(t)
 		}
 	}
+	graph.Freeze()
+	hc.Hot.Freeze()
+	hc.Cold.Freeze()
 
 	patterns := make([]*mining.Pattern, len(snap.Patterns))
 	for i, pd := range snap.Patterns {
@@ -221,6 +224,7 @@ func Load(r io.Reader) (*State, error) {
 	for _, fd := range snap.Fragments {
 		g := rdf.NewGraph(dict)
 		decodeTriples(g, fd.Triples)
+		g.Freeze()
 		f := &fragment.Fragment{
 			ID:    fd.ID,
 			Kind:  fragment.Kind(fd.Kind),
@@ -248,6 +252,7 @@ func Load(r io.Reader) (*State, error) {
 	if len(snap.Cold.Triples) > 0 || snap.Cold.ID != 0 {
 		g := rdf.NewGraph(dict)
 		decodeTriples(g, snap.Cold.Triples)
+		g.Freeze()
 		fr.Cold = &fragment.Fragment{ID: snap.Cold.ID, Kind: fragment.ColdKind, Graph: g}
 		if g.NumTriples() > 0 {
 			if snap.Cold.Site < 0 || snap.Cold.Site >= snap.Sites {

@@ -1,0 +1,156 @@
+package rdf
+
+import "slices"
+
+// csrIndex is the frozen storage engine: the graph compiled into
+// compressed-sparse-row form. Adjacency lives in two flat []HalfEdge
+// arenas (outgoing grouped by subject, incoming grouped by object), each
+// vertex's run sorted by (P, Other) so a constant-predicate lookup on a
+// bound endpoint is a binary search to a contiguous sub-run instead of a
+// full adjacency scan. Triples additionally live in a per-predicate arena
+// sorted by (P, S, O), replacing the byPred map. All lookups return
+// subslices of the arenas: zero allocations on the match/join hot path.
+//
+// The index is immutable; Graph.Add on a frozen graph thaws back to the
+// map representation first (see ROADMAP: a mutable overlay is future
+// work).
+type csrIndex struct {
+	n int // ID-space bound: every S/P/O in the graph is < n
+
+	outOff    []uint32   // len n+1; outArena[outOff[v]:outOff[v+1]] = out-edges of v
+	inOff     []uint32   // len n+1; inArena[inOff[v]:inOff[v+1]] = in-edges of v
+	predOff   []uint32   // len n+1; predArena[predOff[p]:predOff[p+1]] = triples labelled p
+	outArena  []HalfEdge // grouped by S, each group sorted by (P, Other)
+	inArena   []HalfEdge // grouped by O, each group sorted by (P, Other)
+	predArena []Triple   // sorted by (P, S, O)
+
+	preds []ID // distinct predicates, ascending
+	verts []ID // distinct vertices (subjects ∪ objects), ascending
+}
+
+// buildCSR compiles the triple list. One scratch slice is sorted three
+// ways to derive the arenas, so peak extra memory is ~one triple copy.
+func buildCSR(order []Triple) *csrIndex {
+	n := 0
+	for _, t := range order {
+		if int(t.S) >= n {
+			n = int(t.S) + 1
+		}
+		if int(t.P) >= n {
+			n = int(t.P) + 1
+		}
+		if int(t.O) >= n {
+			n = int(t.O) + 1
+		}
+	}
+	c := &csrIndex{
+		n:       n,
+		outOff:  make([]uint32, n+1),
+		inOff:   make([]uint32, n+1),
+		predOff: make([]uint32, n+1),
+	}
+	scratch := append([]Triple(nil), order...)
+
+	// Out-adjacency: sort by (S, P, O), group by subject.
+	slices.SortFunc(scratch, func(a, b Triple) int { return cmp3(a.S, b.S, a.P, b.P, a.O, b.O) })
+	c.outArena = make([]HalfEdge, len(scratch))
+	for i, t := range scratch {
+		c.outArena[i] = HalfEdge{P: t.P, Other: t.O}
+		c.outOff[t.S+1]++
+	}
+	prefixSum(c.outOff)
+
+	// In-adjacency: sort by (O, P, S), group by object.
+	slices.SortFunc(scratch, func(a, b Triple) int { return cmp3(a.O, b.O, a.P, b.P, a.S, b.S) })
+	c.inArena = make([]HalfEdge, len(scratch))
+	for i, t := range scratch {
+		c.inArena[i] = HalfEdge{P: t.P, Other: t.S}
+		c.inOff[t.O+1]++
+	}
+	prefixSum(c.inOff)
+
+	// Predicate arena: sort by (P, S, O); the sorted scratch is the arena.
+	slices.SortFunc(scratch, func(a, b Triple) int { return cmp3(a.P, b.P, a.S, b.S, a.O, b.O) })
+	c.predArena = scratch
+	for _, t := range scratch {
+		c.predOff[t.P+1]++
+	}
+	prefixSum(c.predOff)
+
+	for v := 0; v < n; v++ {
+		if c.outOff[v+1] > c.outOff[v] || c.inOff[v+1] > c.inOff[v] {
+			c.verts = append(c.verts, ID(v))
+		}
+		if c.predOff[v+1] > c.predOff[v] {
+			c.preds = append(c.preds, ID(v))
+		}
+	}
+	return c
+}
+
+func cmp3(a1, b1, a2, b2, a3, b3 ID) int {
+	switch {
+	case a1 != b1:
+		return int(a1) - int(b1)
+	case a2 != b2:
+		return int(a2) - int(b2)
+	default:
+		return int(a3) - int(b3)
+	}
+}
+
+func prefixSum(off []uint32) {
+	for i := 1; i < len(off); i++ {
+		off[i] += off[i-1]
+	}
+}
+
+// out returns vertex v's run of the out arena (empty if v is unknown).
+func (c *csrIndex) out(v ID) []HalfEdge {
+	if int(v) >= c.n {
+		return nil
+	}
+	return c.outArena[c.outOff[v]:c.outOff[v+1]]
+}
+
+// in returns vertex v's run of the in arena.
+func (c *csrIndex) in(v ID) []HalfEdge {
+	if int(v) >= c.n {
+		return nil
+	}
+	return c.inArena[c.inOff[v]:c.inOff[v+1]]
+}
+
+// pred returns predicate p's run of the triple arena.
+func (c *csrIndex) pred(p ID) []Triple {
+	if int(p) >= c.n {
+		return nil
+	}
+	return c.predArena[c.predOff[p]:c.predOff[p+1]]
+}
+
+// predRange narrows a (P, Other)-sorted adjacency run to the contiguous
+// sub-run labelled p via two hand-rolled binary searches (no closures, so
+// the hot path stays allocation-free).
+func predRange(hs []HalfEdge, p ID) []HalfEdge {
+	lo, hi := 0, len(hs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if hs[mid].P < p {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	start := lo
+	hi = len(hs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if hs[mid].P <= p {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return hs[start:lo]
+}

@@ -1,0 +1,213 @@
+package rdf
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+	"testing/quick"
+)
+
+// randomTriples builds a reproducible random triple set over a small ID
+// space: subjects/objects in [0,nv), predicates in [nv, nv+np).
+func randomTriples(seed int64, n, nv, np int) []Triple {
+	r := rand.New(rand.NewSource(seed))
+	ts := make([]Triple, 0, n)
+	for i := 0; i < n; i++ {
+		ts = append(ts, Triple{
+			S: ID(r.Intn(nv)),
+			P: ID(nv + r.Intn(np)),
+			O: ID(r.Intn(nv)),
+		})
+	}
+	return ts
+}
+
+func graphOf(ts []Triple) *Graph {
+	g := NewGraph(nil)
+	for _, t := range ts {
+		g.Add(t)
+	}
+	return g
+}
+
+func sortedEdges(hs []HalfEdge) []HalfEdge {
+	out := append([]HalfEdge(nil), hs...)
+	slices.SortFunc(out, func(a, b HalfEdge) int {
+		if a.P != b.P {
+			return int(a.P) - int(b.P)
+		}
+		return int(a.Other) - int(b.Other)
+	})
+	return out
+}
+
+// TestFreezeEquivalenceProperty: every read accessor answers identically
+// before and after Freeze (up to ordering, which Freeze is allowed to
+// change to sorted).
+func TestFreezeEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		ts := randomTriples(seed, 60, 8, 4)
+		thawed := graphOf(ts)
+		frozen := graphOf(ts)
+		frozen.Freeze()
+		if !frozen.Frozen() || thawed.Frozen() {
+			return false
+		}
+		if thawed.NumTriples() != frozen.NumTriples() {
+			return false
+		}
+		if !slices.Equal(thawed.Vertices(), frozen.Vertices()) {
+			return false
+		}
+		if !slices.Equal(thawed.Predicates(), frozen.Predicates()) {
+			return false
+		}
+		for _, v := range thawed.Vertices() {
+			if !slices.Equal(sortedEdges(thawed.OutEdges(v)), sortedEdges(frozen.OutEdges(v))) {
+				return false
+			}
+			if !slices.Equal(sortedEdges(thawed.InEdges(v)), sortedEdges(frozen.InEdges(v))) {
+				return false
+			}
+			if thawed.Degree(v) != frozen.Degree(v) {
+				return false
+			}
+			for _, p := range thawed.Predicates() {
+				if thawed.OutDegreeP(v, p) != frozen.OutDegreeP(v, p) {
+					return false
+				}
+				if thawed.InDegreeP(v, p) != frozen.InDegreeP(v, p) {
+					return false
+				}
+			}
+		}
+		for _, p := range thawed.Predicates() {
+			if thawed.PredicateCount(p) != frozen.PredicateCount(p) {
+				return false
+			}
+		}
+		for _, tr := range ts {
+			if !frozen.Has(tr) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFrozenRunsSortedAndExact: frozen adjacency runs are sorted by
+// (P, Other), and OutRun/InRun return exactly the predicate-filtered
+// adjacency as a contiguous subslice.
+func TestFrozenRunsSortedAndExact(t *testing.T) {
+	ts := randomTriples(7, 120, 10, 5)
+	g := graphOf(ts)
+	g.Freeze()
+	for _, v := range g.Vertices() {
+		hs := g.OutEdges(v)
+		if !slices.Equal(hs, sortedEdges(hs)) {
+			t.Fatalf("out adjacency of %d not sorted: %v", v, hs)
+		}
+		for _, p := range g.Predicates() {
+			run, exact := g.OutRun(v, p)
+			if !exact {
+				t.Fatalf("OutRun on frozen graph not exact")
+			}
+			var want []HalfEdge
+			for _, h := range hs {
+				if h.P == p {
+					want = append(want, h)
+				}
+			}
+			if !slices.Equal(run, want) {
+				t.Fatalf("OutRun(%d,%d) = %v, want %v", v, p, run, want)
+			}
+		}
+		in := g.InEdges(v)
+		if !slices.Equal(in, sortedEdges(in)) {
+			t.Fatalf("in adjacency of %d not sorted: %v", v, in)
+		}
+	}
+	// The per-predicate arena partitions the triple set.
+	total := 0
+	for _, p := range g.Predicates() {
+		total += len(g.ByPredicate(p))
+	}
+	if total != g.NumTriples() {
+		t.Fatalf("predicate arena covers %d of %d triples", total, g.NumTriples())
+	}
+}
+
+// TestThawOnAdd: adding to a frozen graph transparently thaws it, keeps
+// every triple, and allows re-freezing.
+func TestThawOnAdd(t *testing.T) {
+	ts := randomTriples(11, 40, 6, 3)
+	g := graphOf(ts)
+	g.Freeze()
+	nv := g.NumVertices()
+	if !g.Frozen() {
+		t.Fatal("not frozen")
+	}
+	// A duplicate Add must not thaw.
+	if g.Add(ts[0]) {
+		t.Fatal("duplicate add reported new")
+	}
+	if !g.Frozen() {
+		t.Fatal("duplicate add thawed the graph")
+	}
+	extra := Triple{S: 100, P: 101, O: 102}
+	if !g.Add(extra) {
+		t.Fatal("add reported duplicate")
+	}
+	if g.Frozen() {
+		t.Fatal("graph still frozen after mutating Add")
+	}
+	if !g.Has(extra) || g.NumTriples() != len(g.Triples()) {
+		t.Fatal("triple lost across thaw")
+	}
+	if g.NumVertices() != nv+2 {
+		t.Fatalf("NumVertices = %d, want %d (vertex cache stale?)", g.NumVertices(), nv+2)
+	}
+	g.Freeze()
+	if got := g.OutEdges(100); len(got) != 1 || got[0] != (HalfEdge{P: 101, Other: 102}) {
+		t.Fatalf("OutEdges(100) = %v after refreeze", got)
+	}
+}
+
+// TestFrozenReadZeroAllocs: the hot-path accessors on a frozen graph do
+// not allocate.
+func TestFrozenReadZeroAllocs(t *testing.T) {
+	ts := randomTriples(13, 200, 12, 6)
+	g := graphOf(ts)
+	g.Freeze()
+	v := g.Vertices()[0]
+	p := g.Predicates()[0]
+	allocs := testing.AllocsPerRun(200, func() {
+		_ = g.OutEdges(v)
+		_ = g.InEdges(v)
+		_, _ = g.OutRun(v, p)
+		_, _ = g.InRun(v, p)
+		_ = g.ByPredicate(p)
+		_ = g.OutDegreeP(v, p)
+		_ = g.Degree(v)
+	})
+	if allocs != 0 {
+		t.Fatalf("frozen accessors allocate %.1f per run, want 0", allocs)
+	}
+}
+
+func TestFreezeEmptyGraph(t *testing.T) {
+	g := NewGraph(nil)
+	g.Freeze()
+	if g.NumVertices() != 0 || g.NumTriples() != 0 {
+		t.Fatal("empty frozen graph not empty")
+	}
+	if got := g.OutEdges(0); len(got) != 0 {
+		t.Fatalf("OutEdges on empty graph = %v", got)
+	}
+	if g.Add(Triple{S: 1, P: 2, O: 3}); g.NumTriples() != 1 {
+		t.Fatal("add after empty freeze lost the triple")
+	}
+}

@@ -3,6 +3,7 @@ package rdf
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Triple is a dictionary-encoded RDF triple 〈subject, property, object〉.
@@ -22,26 +23,45 @@ type Edge struct {
 	Out   bool // true if the edge leaves the vertex owning this adjacency entry
 }
 
+// HalfEdge is one adjacency entry: the edge label and the far endpoint.
+// The direction is implied by which index (out or in) it came from.
+type HalfEdge struct {
+	P     ID
+	Other ID
+}
+
 // Graph is an in-memory RDF graph (Definition 1): vertices are all subjects
-// and objects, directed edges are triples labelled by property. It keeps
-// SPO-ordered triples plus adjacency and per-property indexes for matching.
+// and objects, directed edges are triples labelled by property.
 //
-// Graph is not safe for concurrent mutation; concurrent reads are fine once
-// loading has finished.
+// The graph has two storage modes. While loading it keeps map-of-slices
+// indexes (adjacency and per-property), cheap to append to. Freeze
+// compiles those into an immutable CSR index — flat adjacency arenas with
+// per-vertex offset tables, runs sorted by (P, Other) — which the matcher
+// iterates without allocating; the maps are released. Add on a frozen
+// graph transparently thaws back to map mode (O(|E|)), so freezing is
+// always safe; re-freeze after bulk updates.
+//
+// Graph is not safe for concurrent mutation; concurrent reads are fine
+// once loading (and freezing, if used) has finished.
 type Graph struct {
 	Dict *Dict
 
 	triples map[Triple]struct{}
 	order   []Triple // insertion order, for deterministic iteration
 
-	out    map[ID][]halfEdge // subject -> (P,O)
-	in     map[ID][]halfEdge // object  -> (P,S)
+	// Map-mode indexes; nil while frozen.
+	out    map[ID][]HalfEdge // subject -> (P,O)
+	in     map[ID][]HalfEdge // object  -> (P,S)
 	byPred map[ID][]Triple   // property -> triples
-}
 
-type halfEdge struct {
-	P     ID
-	Other ID
+	// frozen is the CSR index; non-nil once Freeze has run.
+	frozen *csrIndex
+
+	// vertCache memoizes the sorted vertex set; Add invalidates it.
+	// Guarded by vertMu so lazy computation is safe under the concurrent
+	// readers the matcher runs.
+	vertMu    sync.Mutex
+	vertCache []ID
 }
 
 // NewGraph returns an empty graph sharing the given dictionary. A nil dict
@@ -53,23 +73,27 @@ func NewGraph(d *Dict) *Graph {
 	return &Graph{
 		Dict:    d,
 		triples: make(map[Triple]struct{}),
-		out:     make(map[ID][]halfEdge),
-		in:      make(map[ID][]halfEdge),
+		out:     make(map[ID][]HalfEdge),
+		in:      make(map[ID][]HalfEdge),
 		byPred:  make(map[ID][]Triple),
 	}
 }
 
 // Add inserts a triple; duplicates are ignored. It reports whether the
-// triple was new.
+// triple was new. Adding to a frozen graph thaws it first.
 func (g *Graph) Add(t Triple) bool {
 	if _, ok := g.triples[t]; ok {
 		return false
 	}
+	if g.frozen != nil {
+		g.thaw()
+	}
 	g.triples[t] = struct{}{}
 	g.order = append(g.order, t)
-	g.out[t.S] = append(g.out[t.S], halfEdge{P: t.P, Other: t.O})
-	g.in[t.O] = append(g.in[t.O], halfEdge{P: t.P, Other: t.S})
+	g.out[t.S] = append(g.out[t.S], HalfEdge{P: t.P, Other: t.O})
+	g.in[t.O] = append(g.in[t.O], HalfEdge{P: t.P, Other: t.S})
 	g.byPred[t.P] = append(g.byPred[t.P], t)
+	g.invalidateVertCache()
 	return true
 }
 
@@ -78,6 +102,43 @@ func (g *Graph) AddTerms(s, p, o Term) Triple {
 	t := Triple{S: g.Dict.Encode(s), P: g.Dict.Encode(p), O: g.Dict.Encode(o)}
 	g.Add(t)
 	return t
+}
+
+// Freeze compiles the graph into its immutable CSR form and releases the
+// map indexes. Idempotent; call after bulk loading and before issuing
+// queries. A frozen graph answers the same read API, plus the zero-copy
+// run accessors the matcher uses, several times faster.
+func (g *Graph) Freeze() {
+	if g.frozen != nil {
+		return
+	}
+	g.frozen = buildCSR(g.order)
+	g.out, g.in, g.byPred = nil, nil, nil
+	g.vertMu.Lock()
+	g.vertCache = g.frozen.verts
+	g.vertMu.Unlock()
+}
+
+// Frozen reports whether the graph is in CSR mode.
+func (g *Graph) Frozen() bool { return g.frozen != nil }
+
+// thaw rebuilds the map indexes from the triple list and drops the CSR.
+func (g *Graph) thaw() {
+	g.out = make(map[ID][]HalfEdge, len(g.frozen.verts))
+	g.in = make(map[ID][]HalfEdge, len(g.frozen.verts))
+	g.byPred = make(map[ID][]Triple, len(g.frozen.preds))
+	for _, t := range g.order {
+		g.out[t.S] = append(g.out[t.S], HalfEdge{P: t.P, Other: t.O})
+		g.in[t.O] = append(g.in[t.O], HalfEdge{P: t.P, Other: t.S})
+		g.byPred[t.P] = append(g.byPred[t.P], t)
+	}
+	g.frozen = nil
+}
+
+func (g *Graph) invalidateVertCache() {
+	g.vertMu.Lock()
+	g.vertCache = nil
+	g.vertMu.Unlock()
 }
 
 // Has reports whether the triple is present.
@@ -90,24 +151,55 @@ func (g *Graph) Has(t Triple) bool {
 func (g *Graph) NumTriples() int { return len(g.order) }
 
 // NumVertices returns |V(G)| (distinct subjects and objects).
-func (g *Graph) NumVertices() int {
-	seen := make(map[ID]struct{}, len(g.out)+len(g.in))
-	for v := range g.out {
-		seen[v] = struct{}{}
-	}
-	for v := range g.in {
-		seen[v] = struct{}{}
-	}
-	return len(seen)
-}
+func (g *Graph) NumVertices() int { return len(g.Vertices()) }
 
 // Triples returns the triples in insertion order. The returned slice is
 // owned by the graph and must not be mutated.
 func (g *Graph) Triples() []Triple { return g.order }
 
-// Out returns the outgoing (P, O) pairs of vertex s.
+// OutEdges returns the outgoing (P, Other) adjacency of vertex s. The
+// slice is owned by the graph: zero-copy, do not mutate. When the graph is
+// frozen the run is sorted by (P, Other); in map mode it is in insertion
+// order.
+func (g *Graph) OutEdges(s ID) []HalfEdge {
+	if c := g.frozen; c != nil {
+		return c.out(s)
+	}
+	return g.out[s]
+}
+
+// InEdges returns the incoming (P, Other) adjacency of vertex o, with the
+// same ownership and ordering contract as OutEdges.
+func (g *Graph) InEdges(o ID) []HalfEdge {
+	if c := g.frozen; c != nil {
+		return c.in(o)
+	}
+	return g.in[o]
+}
+
+// OutRun returns s's outgoing edges labelled p. On a frozen graph this is
+// the contiguous (binary-searched) sub-run and exact is true; in map mode
+// it returns the full adjacency with exact false and the caller must
+// filter by P. Zero-copy either way.
+func (g *Graph) OutRun(s, p ID) (run []HalfEdge, exact bool) {
+	if c := g.frozen; c != nil {
+		return predRange(c.out(s), p), true
+	}
+	return g.out[s], false
+}
+
+// InRun is OutRun for incoming edges of o.
+func (g *Graph) InRun(o, p ID) (run []HalfEdge, exact bool) {
+	if c := g.frozen; c != nil {
+		return predRange(c.in(o), p), true
+	}
+	return g.in[o], false
+}
+
+// Out returns the outgoing (P, O) pairs of vertex s as Edge values. It
+// allocates; the matcher uses OutEdges/OutRun instead.
 func (g *Graph) Out(s ID) []Edge {
-	hs := g.out[s]
+	hs := g.OutEdges(s)
 	es := make([]Edge, len(hs))
 	for i, h := range hs {
 		es[i] = Edge{P: h.P, Other: h.Other, Out: true}
@@ -115,9 +207,10 @@ func (g *Graph) Out(s ID) []Edge {
 	return es
 }
 
-// In returns the incoming (P, S) pairs of vertex o.
+// In returns the incoming (P, S) pairs of vertex o as Edge values. It
+// allocates; the matcher uses InEdges/InRun instead.
 func (g *Graph) In(o ID) []Edge {
-	hs := g.in[o]
+	hs := g.InEdges(o)
 	es := make([]Edge, len(hs))
 	for i, h := range hs {
 		es[i] = Edge{P: h.P, Other: h.Other, Out: false}
@@ -126,17 +219,60 @@ func (g *Graph) In(o ID) []Edge {
 }
 
 // Degree returns the total degree (in+out) of v.
-func (g *Graph) Degree(v ID) int { return len(g.out[v]) + len(g.in[v]) }
+func (g *Graph) Degree(v ID) int {
+	return len(g.OutEdges(v)) + len(g.InEdges(v))
+}
+
+// OutDegreeP returns the number of outgoing edges of v labelled p: an
+// exact (vertex, predicate) selectivity. O(log deg) frozen, O(deg) in map
+// mode.
+func (g *Graph) OutDegreeP(v, p ID) int {
+	run, exact := g.OutRun(v, p)
+	if exact {
+		return len(run)
+	}
+	n := 0
+	for _, h := range run {
+		if h.P == p {
+			n++
+		}
+	}
+	return n
+}
+
+// InDegreeP is OutDegreeP for incoming edges.
+func (g *Graph) InDegreeP(v, p ID) int {
+	run, exact := g.InRun(v, p)
+	if exact {
+		return len(run)
+	}
+	n := 0
+	for _, h := range run {
+		if h.P == p {
+			n++
+		}
+	}
+	return n
+}
 
 // ByPredicate returns all triples whose property is p. The slice is owned
-// by the graph.
-func (g *Graph) ByPredicate(p ID) []Triple { return g.byPred[p] }
+// by the graph. On a frozen graph the run comes from the sorted triple
+// arena (ordered by S then O); in map mode it is in insertion order.
+func (g *Graph) ByPredicate(p ID) []Triple {
+	if c := g.frozen; c != nil {
+		return c.pred(p)
+	}
+	return g.byPred[p]
+}
 
 // PredicateCount returns the number of triples labelled p.
-func (g *Graph) PredicateCount(p ID) int { return len(g.byPred[p]) }
+func (g *Graph) PredicateCount(p ID) int { return len(g.ByPredicate(p)) }
 
 // Predicates returns the distinct properties in ascending ID order.
 func (g *Graph) Predicates() []ID {
+	if c := g.frozen; c != nil {
+		return c.preds
+	}
 	ps := make([]ID, 0, len(g.byPred))
 	for p := range g.byPred {
 		ps = append(ps, p)
@@ -145,8 +281,18 @@ func (g *Graph) Predicates() []ID {
 	return ps
 }
 
-// Vertices returns the distinct vertices in ascending ID order.
+// Vertices returns the distinct vertices in ascending ID order. The slice
+// is cached (Add invalidates it) and owned by the graph; do not mutate.
 func (g *Graph) Vertices() []ID {
+	g.vertMu.Lock()
+	defer g.vertMu.Unlock()
+	if g.vertCache != nil {
+		return g.vertCache
+	}
+	if c := g.frozen; c != nil {
+		g.vertCache = c.verts
+		return g.vertCache
+	}
 	seen := make(map[ID]struct{}, len(g.out)+len(g.in))
 	for v := range g.out {
 		seen[v] = struct{}{}
@@ -159,7 +305,11 @@ func (g *Graph) Vertices() []ID {
 		vs = append(vs, v)
 	}
 	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
-	return vs
+	if vs == nil {
+		vs = []ID{} // cache the empty result too
+	}
+	g.vertCache = vs
+	return g.vertCache
 }
 
 // TripleString renders a triple with decoded terms.
@@ -168,6 +318,7 @@ func (g *Graph) TripleString(t Triple) string {
 }
 
 // Clone returns a deep copy of the graph structure sharing the dictionary.
+// The copy is in map mode regardless of the receiver's mode.
 func (g *Graph) Clone() *Graph {
 	c := NewGraph(g.Dict)
 	for _, t := range g.order {

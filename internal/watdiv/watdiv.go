@@ -176,6 +176,7 @@ func Generate(opts Options) *Dataset {
 		g.AddTerms(iri(rt), iri(PropOffers), iri(p))
 		g.AddTerms(iri(p), iri(PropPrice), lit(fmt.Sprintf("%d.99", 1+r.intn(500))))
 	}
+	g.Freeze() // benchmark datasets are read-only once generated
 	return ds
 }
 

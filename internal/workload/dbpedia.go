@@ -119,6 +119,7 @@ func GenerateDBpedia(o DBpediaOptions) (*DBpedia, error) {
 		return nil, err
 	}
 	db.Log = log
+	g.Freeze() // benchmark datasets are read-only once generated
 	return db, nil
 }
 

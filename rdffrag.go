@@ -159,6 +159,9 @@ func (db *DB) DeployParsed(workload []*sparql.Graph) (*Deployment, error) {
 	theta := atLeast1(cfg.Theta * float64(len(workload)))
 	minSup := atLeast1(cfg.MinSupport * float64(len(workload)))
 
+	// Compile the loaded graph into its immutable CSR form before the
+	// match-heavy offline pipeline; Add after deployment thaws it.
+	db.graph.Freeze()
 	hc := fragment.SplitHotCold(db.graph, workload, theta)
 	patterns := (&mining.Miner{MinSup: minSup, MaxEdges: cfg.MaxPatternEdges}).Mine(workload)
 	sel, err := (&fap.Selector{
