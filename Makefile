@@ -1,6 +1,6 @@
 # Local dev targets mirroring .github/workflows/ci.yml: `make ci`
 # reproduces the gate's checks; CI additionally runs `make bench-baseline`
-# (kept out of `ci` because it rewrites BENCH_2.json's current section).
+# (kept out of `ci` because it rewrites BENCH_3.json's current section).
 
 GO ?= go
 # bench-baseline needs pipefail so a panicking benchmark fails the target.
@@ -21,16 +21,36 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-# Storage-engine hot-path benchmarks, recorded as a point of the perf
-# trajectory. The baseline section of BENCH_2.json (the pre-CSR numbers)
-# is preserved across reruns; only the "current" section is refreshed.
-BENCH_HOT := BenchmarkCandidateScan|BenchmarkMatchWatDiv|BenchmarkHashJoin
+# Hot-path benchmarks, recorded as a point of the perf trajectory in
+# BENCH_3.json. Besides the serial hot-path numbers, the parallel section
+# re-measures BenchmarkMatchWatDiv under GOMAXPROCS=1 and the host's full
+# core count (the morsel fan-out's scaling point), and the regression
+# gate fails the target when any benchmark runs >20% slower than the
+# previous committed trajectory file (BENCH_2.json).
+BENCH_HOT := BenchmarkCandidateScan$$|BenchmarkMatchWatDiv$$|BenchmarkHashJoin$$
+# Tolerated ns/op regression vs the previous trajectory file. Wall-clock
+# comparisons across hosts drift; override (e.g. BENCH_MAX_REGRESS=0.5)
+# when the measurement machine differs from the one that recorded the
+# previous file.
+BENCH_MAX_REGRESS ?= 0.20
 bench-baseline:
 	set -o pipefail; \
+	np=$$(nproc); \
+	GOMAXPROCS=1 $(GO) test -run '^$$' -bench 'BenchmarkMatchWatDiv$$' -benchmem -benchtime 1s \
+		./internal/match > .bench_gomaxprocs_1.txt; \
+	if [ "$$np" -gt 1 ]; then \
+		$(GO) test -run '^$$' -bench 'BenchmarkMatchWatDiv$$' -benchmem -benchtime 1s \
+			./internal/match > .bench_gomaxprocs_np.txt; \
+		par="1=.bench_gomaxprocs_1.txt,$$np=.bench_gomaxprocs_np.txt"; \
+	else \
+		par="1=.bench_gomaxprocs_1.txt"; \
+	fi; \
 	$(GO) test -run '^$$' -bench '$(BENCH_HOT)' -benchmem -benchtime 1s \
 		./internal/match ./internal/cluster | \
-		$(GO) run ./cmd/benchjson -pr 2 -out BENCH_2.json \
-		-require 'BenchmarkCandidateScan,BenchmarkMatchWatDiv,BenchmarkHashJoin'
+		$(GO) run ./cmd/benchjson -pr 3 -out BENCH_3.json \
+		-require 'BenchmarkCandidateScan,BenchmarkMatchWatDiv,BenchmarkHashJoin' \
+		-parallel "$$par" -prev BENCH_2.json -max-regress $(BENCH_MAX_REGRESS); \
+	status=$$?; rm -f .bench_gomaxprocs_1.txt .bench_gomaxprocs_np.txt; exit $$status
 
 fmt:
 	gofmt -w .

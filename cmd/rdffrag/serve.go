@@ -31,6 +31,7 @@ func serveMain(args []string) {
 		queue    = fs.Int("queue", 128, "admission queue depth (full queue → 503)")
 		timeout  = fs.Duration("timeout", 30*time.Second, "per-query execution deadline (0 disables)")
 		cache    = fs.Int("cache", 256, "plan cache capacity in entries (negative disables)")
+		parallel = fs.Int("parallel", 0, "intra-query worker budget, divided among in-flight queries (0 = GOMAXPROCS, negative = sequential matching)")
 		profile  = fs.Bool("pprof", false, "expose net/http/pprof handlers under /debug/pprof/")
 	)
 	fs.Parse(args)
@@ -45,6 +46,7 @@ func serveMain(args []string) {
 		QueueDepth:    *queue,
 		Timeout:       *timeout,
 		PlanCacheSize: *cache,
+		Parallelism:   *parallel,
 	})
 	defer srv.Close()
 
@@ -94,6 +96,10 @@ func serveMain(args []string) {
 			"cache_hits":     m.CacheHits,
 			"cache_misses":   m.CacheMisses,
 			"cache_hit_rate": m.CacheHitRate,
+			// Intra-query parallelism: the configured machine-wide
+			// budget and the average share queries actually ran with.
+			"parallelism_budget":    m.ParallelismBudget,
+			"effective_parallelism": m.EffectiveParallelism,
 		})
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -110,8 +116,8 @@ func serveMain(args []string) {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 
-	fmt.Printf("serving on %s (workers=%d queue=%d timeout=%s cache=%d pprof=%v)\n",
-		*addr, *workers, *queue, *timeout, *cache, *profile)
+	fmt.Printf("serving on %s (workers=%d queue=%d timeout=%s cache=%d parallel=%d pprof=%v)\n",
+		*addr, *workers, *queue, *timeout, *cache, *parallel, *profile)
 	if err := http.ListenAndServe(*addr, mux); err != nil {
 		fatal(err)
 	}

@@ -10,6 +10,7 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -155,7 +156,37 @@ type EvalRequest struct {
 	FragIDs []int
 	Query   *sparql.Graph
 	// Filter optionally restricts vertex bindings (minterm push-down).
+	// It is invoked concurrently (fragments evaluate in parallel and the
+	// matcher itself fans out), so it must be safe for concurrent use.
 	Filter func(qv int, id rdf.ID) bool
+	// Parallelism is the site's intra-query worker budget: it bounds how
+	// many fragments evaluate concurrently and how many morsel workers
+	// the matcher uses inside each fragment (the budget is divided
+	// between the two). 0 means GOMAXPROCS.
+	Parallelism int
+}
+
+// split divides the request's parallelism budget over the site's
+// fragment fan-out: at most budget fragments evaluate at once, and each
+// gets budget/fanout morsel workers (≥1) so total worker demand stays
+// near the budget instead of multiplying.
+func (req *EvalRequest) split(fragments int) (fanout, perFragment int) {
+	budget := req.Parallelism
+	if budget <= 0 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+	fanout = fragments
+	if fanout > budget {
+		fanout = budget
+	}
+	if fanout < 1 {
+		fanout = 1
+	}
+	perFragment = budget / fanout
+	if perFragment < 1 {
+		perFragment = 1
+	}
+	return fanout, perFragment
 }
 
 // Eval performs a synchronous request/response round trip to a site: one
@@ -183,19 +214,29 @@ func (c *Cluster) Eval(ctx context.Context, req EvalRequest) (*match.Bindings, e
 	// Evaluate fragments in parallel under the site's worker pool: the
 	// paper's horizontal fragmentation wins latency exactly because a
 	// site's (or cluster's) cores scan several small fragments at once
-	// instead of one big one.
+	// instead of one big one. The request's parallelism budget is split
+	// between this fragment fan-out and the matcher's morsel workers
+	// inside each fragment.
+	fanout, perFragment := req.split(len(graphs))
 	found := make([][]match.Match, len(graphs))
+	gate := make(chan struct{}, fanout)
 	var wg sync.WaitGroup
 	for i, g := range graphs {
 		wg.Add(1)
 		go func(i int, g *rdf.Graph) {
 			defer wg.Done()
 			select {
-			case s.sem <- struct{}{}: // acquire a worker
+			case gate <- struct{}{}: // respect the parallelism budget
 			case <-ctx.Done():
 				return
 			}
-			found[i] = match.Find(req.Query, g, match.Options{VertexFilter: req.Filter})
+			defer func() { <-gate }()
+			select {
+			case s.sem <- struct{}{}: // acquire a site worker
+			case <-ctx.Done():
+				return
+			}
+			found[i] = match.Find(req.Query, g, match.Options{VertexFilter: req.Filter, Parallelism: perFragment})
 			<-s.sem
 		}(i, g)
 	}

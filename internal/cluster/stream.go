@@ -36,6 +36,9 @@ type BatchSink func(*match.Bindings) error
 // message of simulated network cost. Batches are deduplicated within
 // themselves only; cross-batch duplicates (overlapping fragments) are the
 // consumer's concern, exactly as cross-site duplicates already were.
+// Fragments evaluate concurrently, bounded by req.Parallelism (and the
+// site's worker pool); the remaining budget drives the matcher's morsel
+// workers inside each fragment.
 func (c *Cluster) EvalStream(ctx context.Context, req EvalRequest, batchSize int, sink BatchSink) error {
 	if req.SiteID < 0 || req.SiteID >= len(c.Sites) {
 		return fmt.Errorf("cluster: site %d out of range", req.SiteID)
@@ -68,18 +71,27 @@ func (c *Cluster) EvalStream(ctx context.Context, req EvalRequest, batchSize int
 		}
 		mu.Unlock()
 	}
+	fanout, perFragment := req.split(len(graphs))
+	gate := make(chan struct{}, fanout)
 	for _, g := range graphs {
 		wg.Add(1)
 		go func(g *rdf.Graph) {
 			defer wg.Done()
 			select {
-			case s.sem <- struct{}{}: // acquire a worker
+			case gate <- struct{}{}: // respect the parallelism budget
+			case <-ctx.Done():
+				fail(ctx.Err())
+				return
+			}
+			defer func() { <-gate }()
+			select {
+			case s.sem <- struct{}{}: // acquire a site worker
 			case <-ctx.Done():
 				fail(ctx.Err())
 				return
 			}
 			defer func() { <-s.sem }()
-			match.FindBatches(req.Query, g, match.Options{VertexFilter: req.Filter}, batchSize, func(ms []match.Match) bool {
+			match.FindBatches(req.Query, g, match.Options{VertexFilter: req.Filter, Parallelism: perFragment}, batchSize, func(ms []match.Match) bool {
 				if err := ctx.Err(); err != nil {
 					fail(err)
 					return false

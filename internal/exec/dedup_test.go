@@ -1,0 +1,48 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rdffrag/internal/rdf"
+)
+
+// TestRowSetMatchesStringKeys: the packed-key row set must accept and
+// reject exactly the rows a string-keyed set would, across the packed
+// width boundary (≤4 columns packed, >4 string fallback).
+func TestRowSetMatchesStringKeys(t *testing.T) {
+	for _, width := range []int{1, 2, 4, 5, 7} {
+		t.Run(fmt.Sprintf("width%d", width), func(t *testing.T) {
+			r := rand.New(rand.NewSource(int64(width)))
+			set := newRowSet(width)
+			oracle := make(map[string]bool)
+			for i := 0; i < 2000; i++ {
+				row := make([]rdf.ID, width)
+				for j := range row {
+					row[j] = rdf.ID(r.Intn(5)) // small domain: plenty of duplicates
+				}
+				key := fmt.Sprint(row)
+				want := !oracle[key]
+				oracle[key] = true
+				if got := set.insert(row); got != want {
+					t.Fatalf("insert(%v) = %v, want %v", row, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestRowSetAllocs: packed insertion of an already-seen row must not
+// allocate — the point of replacing the per-row string keys.
+func TestRowSetAllocs(t *testing.T) {
+	set := newRowSet(3)
+	row := []rdf.ID{1, 2, 3}
+	set.insert(row)
+	allocs := testing.AllocsPerRun(1000, func() {
+		set.insert(row)
+	})
+	if allocs != 0 {
+		t.Errorf("duplicate packed insert allocates %.1f per run, want 0", allocs)
+	}
+}

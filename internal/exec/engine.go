@@ -31,6 +31,14 @@ type Engine struct {
 	// cluster.DefaultBatchSize).
 	BatchSize int
 
+	// Parallelism is the default intra-query worker budget handed to
+	// every site evaluation: it bounds concurrent fragment evaluations
+	// and the matcher's morsel workers per fragment. 0 means GOMAXPROCS.
+	// A Prepared with its own Parallelism overrides it per execution —
+	// the serving layer uses that to trade intra-query parallelism
+	// against inter-query worker count under load.
+	Parallelism int
+
 	dec *decompose.Decomposer
 }
 
@@ -45,6 +53,9 @@ type QueryStats struct {
 	// IntermediateRows counts actual binding rows shipped to the control
 	// site before joining.
 	IntermediateRows int
+	// Parallelism is the effective intra-query worker budget the
+	// execution ran with (after resolving Prepared and engine defaults).
+	Parallelism int
 }
 
 // New wires an engine and deploys every fragment to its allocated site.
@@ -80,6 +91,11 @@ func (e *Engine) SetNaiveDecomposition(naive bool) { e.dec.Naive = naive }
 type Prepared struct {
 	Dcp  *decompose.Decomposition
 	Plan *plan.Plan
+	// Parallelism, when non-zero, overrides the engine's intra-query
+	// worker budget for executions of this Prepared. Cached Prepareds
+	// leave it 0; the server stamps a per-execution copy so one cached
+	// plan can run at different budgets under different load.
+	Parallelism int
 }
 
 // Prepare decomposes and optimizes q without executing it.

@@ -13,6 +13,7 @@ package exec
 import (
 	"context"
 	"errors"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -61,6 +62,14 @@ func (e *Engine) QueryPrepared(ctx context.Context, q *sparql.Graph, prep *Prepa
 		DecompositionCost: dcp.Cost,
 		PlanCost:          pl.Cost,
 	}
+	par := prep.Parallelism
+	if par == 0 {
+		par = e.Parallelism
+	}
+	if par == 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	stats.Parallelism = par
 	parent := ctx
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -68,7 +77,15 @@ func (e *Engine) QueryPrepared(ctx context.Context, q *sparql.Graph, prep *Prepa
 	st := &runStats{sites: make(map[int]bool)}
 	errCh := make(chan error, len(dcp.Subqueries))
 
-	// One producer per subquery, streaming batches from its sites.
+	// One producer per subquery, streaming batches from its sites. The
+	// query's worker budget is divided across the concurrent subquery
+	// producers here, across each subquery's sites below, and across a
+	// site's fragments in cluster — so total morsel-worker demand stays
+	// near the budget instead of multiplying with the fan-out.
+	sqPar := par / len(dcp.Subqueries)
+	if sqPar < 1 {
+		sqPar = 1
+	}
 	streams := make([]chan *match.Bindings, len(dcp.Subqueries))
 	vars := make([][]string, len(dcp.Subqueries))
 	for i, sq := range dcp.Subqueries {
@@ -76,7 +93,7 @@ func (e *Engine) QueryPrepared(ctx context.Context, q *sparql.Graph, prep *Prepa
 		streams[i] = make(chan *match.Bindings, streamBuf)
 		go func(sq *decompose.Subquery, out chan *match.Bindings) {
 			defer close(out)
-			if err := e.evalSubqueryStream(ctx, sq, out, st); err != nil {
+			if err := e.evalSubqueryStream(ctx, sq, sqPar, out, st); err != nil {
 				errCh <- err
 				cancel()
 			}
@@ -144,7 +161,7 @@ func (e *Engine) consume(ctx context.Context, cancel context.CancelFunc, q *spar
 	}
 
 	out := &match.Bindings{Vars: keptVars}
-	seen := make(map[string]bool)
+	seen := newRowSet(len(keptVars))
 	for b := range in {
 		for _, row := range b.Rows {
 			r := row
@@ -154,11 +171,9 @@ func (e *Engine) consume(ctx context.Context, cancel context.CancelFunc, q *spar
 					r[i] = row[j]
 				}
 			}
-			k := rowKey(r)
-			if seen[k] {
+			if !seen.insert(r) {
 				continue
 			}
-			seen[k] = true
 			out.Rows = append(out.Rows, r)
 			if limit > 0 && len(out.Rows) >= limit {
 				cancel() // stop producers and join stages
@@ -171,12 +186,49 @@ func (e *Engine) consume(ctx context.Context, cancel context.CancelFunc, q *spar
 	return out
 }
 
-func rowKey(r []rdf.ID) string {
+// maxPackedCols is how many columns fit the fixed-size packed dedup key;
+// it mirrors cluster's join-table keys. Almost every projection is ≤4
+// columns wide; wider rows fall back to string keys.
+const maxPackedCols = 4
+
+// rowSet dedups binding rows without materializing a string per row: rows
+// up to maxPackedCols wide key a map by packed [4]rdf.ID value arrays
+// (all rows of one result set share a width, so zero padding cannot
+// collide). It removes the last per-row string materialization in the
+// query path.
+type rowSet struct {
+	packed map[[maxPackedCols]rdf.ID]struct{}
+	str    map[string]struct{}
+}
+
+func newRowSet(width int) *rowSet {
+	if width <= maxPackedCols {
+		return &rowSet{packed: make(map[[maxPackedCols]rdf.ID]struct{})}
+	}
+	return &rowSet{str: make(map[string]struct{})}
+}
+
+// insert adds the row, reporting whether it was new.
+func (s *rowSet) insert(r []rdf.ID) bool {
+	if s.packed != nil {
+		var k [maxPackedCols]rdf.ID
+		copy(k[:], r)
+		if _, ok := s.packed[k]; ok {
+			return false
+		}
+		s.packed[k] = struct{}{}
+		return true
+	}
 	b := make([]byte, 0, len(r)*4)
 	for _, id := range r {
 		b = append(b, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
 	}
-	return string(b)
+	k := string(b)
+	if _, ok := s.str[k]; ok {
+		return false
+	}
+	s.str[k] = struct{}{}
+	return true
 }
 
 // sortRows orders rows lexicographically, the order Dedup historically
@@ -194,9 +246,10 @@ func sortRows(b *match.Bindings) {
 }
 
 // evalSubqueryStream routes one subquery to the sites holding its
-// relevant fragments and streams their binding batches into out. It
+// relevant fragments and streams their binding batches into out,
+// dividing the subquery's worker budget across its concurrent sites. It
 // returns once every site's stream is exhausted (or ctx is cancelled).
-func (e *Engine) evalSubqueryStream(ctx context.Context, sq *decompose.Subquery, out chan<- *match.Bindings, st *runStats) error {
+func (e *Engine) evalSubqueryStream(ctx context.Context, sq *decompose.Subquery, par int, out chan<- *match.Bindings, st *runStats) error {
 	bySite, err := e.routeSubquery(sq)
 	if err != nil {
 		return err
@@ -207,6 +260,13 @@ func (e *Engine) evalSubqueryStream(ctx context.Context, sq *decompose.Subquery,
 	}
 	sort.Ints(sites)
 	st.touch(sites)
+	sitePar := 1
+	if len(sites) > 0 {
+		sitePar = par / len(sites)
+		if sitePar < 1 {
+			sitePar = 1
+		}
+	}
 
 	var (
 		wg       sync.WaitGroup
@@ -218,9 +278,10 @@ func (e *Engine) evalSubqueryStream(ctx context.Context, sq *decompose.Subquery,
 		go func(s int) {
 			defer wg.Done()
 			err := e.Cluster.EvalStream(ctx, cluster.EvalRequest{
-				SiteID:  s,
-				FragIDs: bySite[s],
-				Query:   sq.Graph,
+				SiteID:      s,
+				FragIDs:     bySite[s],
+				Query:       sq.Graph,
+				Parallelism: sitePar,
 			}, e.BatchSize, func(b *match.Bindings) error {
 				st.rows.Add(int64(len(b.Rows)))
 				select {

@@ -267,8 +267,11 @@ func TestMatchAllocsIndependentOfFanout(t *testing.T) {
 		g := hubGraph(fanout, 8)
 		g.Freeze()
 		q := sparql.MustParse(g.Dict, `SELECT ?x WHERE { <hub> <p5> ?x . }`)
+		// Parallelism pinned to 1: this guards the sequential inner
+		// loop; the parallel steady state has its own guard in
+		// parallel_test.go.
 		return testing.AllocsPerRun(50, func() {
-			Count(q, g, Options{})
+			Count(q, g, Options{Parallelism: 1})
 		})
 	}
 	small, large := alloc(64), alloc(4096)

@@ -1,0 +1,392 @@
+package match
+
+// Morsel-driven parallel matching. The backtracking search is
+// embarrassingly parallel in its root edge: every match extends exactly
+// one candidate triple of the first edge in the search order, and the
+// subtrees under distinct root candidates are independent. The parallel
+// driver therefore splits the root edge's CSR candidate run into morsels
+// (small contiguous index ranges) and fans them out to a worker pool.
+// Each worker owns a private searcher — bindings array, cursor stack,
+// result storage — and runs the existing zero-alloc backtracking over the
+// morsels it claims from a shared dispatcher counter, so skewed runs
+// (one root candidate hiding a huge subtree) cannot make a
+// pre-partitioned worker straggle while the others idle: unclaimed
+// morsels are up for grabs until the run ends.
+//
+// Determinism: morsels partition the root candidates in enumeration
+// order, and within a morsel a worker searches in exactly the sequential
+// order, so per-morsel result buckets concatenated in morsel order
+// reproduce the sequential output byte for byte. Find and MatchedGraph
+// always merge that way; FindBatches does when Options.Deterministic is
+// set and otherwise streams batches as workers fill them.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"rdffrag/internal/rdf"
+	"rdffrag/internal/sparql"
+)
+
+const (
+	// parallelMinRoot is the smallest root candidate run worth fanning
+	// out: below it the worker spawn overhead dwarfs the search.
+	parallelMinRoot = 16
+	// morselsPerWorker is the target number of morsels each worker gets
+	// to claim; more morsels per worker means finer-grained stealing of
+	// skewed subtrees at the cost of more dispatcher traffic.
+	morselsPerWorker = 8
+	// maxMorselSize caps how many root candidates one morsel spans, so
+	// huge runs still split finely enough to rebalance.
+	maxMorselSize = 256
+)
+
+// parallelRun is one planned morsel fan-out: the root edge's candidate
+// slice (a zero-copy CSR run), its filter parameters, and the shared
+// dispatcher state.
+type parallelRun struct {
+	q     *sparql.Graph
+	g     *rdf.Graph
+	opts  Options
+	order []int // shared read-only edge order
+
+	rootIdx  int // index of the root edge in q.Edges
+	rootEdge sparql.Edge
+
+	// Root candidates: exactly one of half/tris is non-nil, mirroring
+	// candCursor's curHalf and curTris modes.
+	half  []rdf.HalfEdge
+	tris  []rdf.Triple
+	fixed rdf.ID // curHalf: the bound endpoint's data vertex
+	other rdf.ID // curHalf: required far endpoint; NoID = unconstrained
+	needP rdf.ID // curHalf: required predicate; NoID = already filtered
+	out   bool   // curHalf: fixed endpoint is the subject
+
+	workers    int
+	morselSize int
+	numMorsels int
+
+	next atomic.Int64 // dispatcher: index of the next unclaimed morsel
+	stop atomic.Bool  // kill switch: a callback returned false
+}
+
+// planParallel decides whether a run can fan out and plans the morsels
+// if so, reusing the caller's already-computed edge order. It returns
+// nil — caller falls back to the sequential path — when parallelism is
+// disabled (Parallelism 1, or GOMAXPROCS 1), a Limit is set (sequential
+// keeps the exact first-Limit semantics), or the root candidate run is
+// too small to be worth splitting. The decline checks run before any
+// allocation, so selective subqueries pay only the root-run resolution.
+func planParallel(q *sparql.Graph, g *rdf.Graph, opts Options, order []int) *parallelRun {
+	if opts.Limit > 0 || len(q.Edges) == 0 {
+		return nil
+	}
+	workers := opts.Parallelism
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers <= 1 {
+		return nil
+	}
+	rootIdx := order[0]
+	e := q.Edges[rootIdx]
+
+	// Resolve the root candidate run against the constant bindings only
+	// — nothing else is bound at depth 0. This mirrors initCursor's
+	// bound-endpoint cases with s.bound[v] ⇔ the vertex is a constant.
+	var (
+		half         []rdf.HalfEdge
+		tris         []rdf.Triple
+		fixed        rdf.ID
+		other, needP = rdf.NoID, rdf.NoID
+		out          bool
+	)
+	from, to := q.Verts[e.From], q.Verts[e.To]
+	switch {
+	case !from.IsVar() && !to.IsVar() && !e.IsPredVar():
+		return nil // a single membership test: nothing to split
+	case !from.IsVar():
+		out = true
+		fixed = from.Term
+		if !to.IsVar() {
+			other = to.Term
+		}
+		if e.IsPredVar() {
+			half = g.OutEdges(from.Term)
+		} else {
+			run, exact := g.OutRun(from.Term, e.Pred)
+			half = run
+			if !exact {
+				needP = e.Pred
+			}
+		}
+	case !to.IsVar():
+		fixed = to.Term
+		if e.IsPredVar() {
+			half = g.InEdges(to.Term)
+		} else {
+			run, exact := g.InRun(to.Term, e.Pred)
+			half = run
+			if !exact {
+				needP = e.Pred
+			}
+		}
+	case !e.IsPredVar():
+		tris = g.ByPredicate(e.Pred)
+	default:
+		tris = g.Triples()
+	}
+
+	n := len(half) + len(tris)
+	if n < parallelMinRoot {
+		return nil
+	}
+	r := &parallelRun{
+		q: q, g: g, opts: opts, order: order,
+		rootIdx: rootIdx, rootEdge: e,
+		half: half, tris: tris,
+		fixed: fixed, other: other, needP: needP, out: out,
+	}
+	r.morselSize = n / (workers * morselsPerWorker)
+	if r.morselSize < 1 {
+		r.morselSize = 1
+	}
+	if r.morselSize > maxMorselSize {
+		r.morselSize = maxMorselSize
+	}
+	r.numMorsels = (n + r.morselSize - 1) / r.morselSize
+	if workers > r.numMorsels {
+		workers = r.numMorsels
+	}
+	r.workers = workers
+	return r
+}
+
+// candidate synthesizes root candidate i into *t, applying the run's
+// predicate/endpoint filters; it reports false when i is filtered out.
+func (r *parallelRun) candidate(i int, t *rdf.Triple) bool {
+	if r.tris != nil {
+		*t = r.tris[i]
+		return true
+	}
+	h := r.half[i]
+	if r.needP != rdf.NoID && h.P != r.needP {
+		return false
+	}
+	if r.other != rdf.NoID && h.Other != r.other {
+		return false
+	}
+	if r.out {
+		*t = rdf.Triple{S: r.fixed, P: h.P, O: h.Other}
+	} else {
+		*t = rdf.Triple{S: h.Other, P: h.P, O: r.fixed}
+	}
+	return true
+}
+
+// workerHooks is one worker's private result plumbing. onMatch sees every
+// match of the worker's current morsel (the *Match is reused — clone to
+// keep); returning false trips the shared kill switch. finish runs once
+// as the worker exits, for flushing worker-local accumulators.
+type workerHooks struct {
+	onMatch func(morsel int, m *Match) bool
+	finish  func()
+}
+
+// run fans the morsels out to the planned workers and blocks until all
+// are done. newWorker is called once per worker, from that worker's
+// goroutine, to build its private hooks.
+func (r *parallelRun) run(newWorker func(w int) workerHooks) {
+	var wg sync.WaitGroup
+	for w := 0; w < r.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r.worker(newWorker(w))
+		}(w)
+	}
+	wg.Wait()
+}
+
+// worker claims morsels from the dispatcher until none remain (or the
+// kill switch trips) and runs the backtracking search over each claimed
+// slice with a private searcher.
+func (r *parallelRun) worker(h workerHooks) {
+	if h.finish != nil {
+		defer h.finish()
+	}
+	q, g := r.q, r.g
+	s := &searcher{
+		q:     q,
+		g:     g,
+		opts:  r.opts,
+		order: r.order,
+		m: Match{
+			Vertex:  make([]rdf.ID, len(q.Verts)),
+			Pred:    make(map[string]rdf.ID),
+			Triples: make([]rdf.Triple, len(q.Edges)),
+		},
+		bound: make([]bool, len(q.Verts)),
+		stop:  &r.stop,
+	}
+	for i, v := range q.Verts {
+		if !v.IsVar() {
+			s.m.Vertex[i] = v.Term
+			s.bound[i] = true
+		}
+	}
+	morsel := -1
+	s.fn = func(m *Match) bool { return h.onMatch(morsel, m) }
+
+	n := len(r.half) + len(r.tris)
+	for !r.stop.Load() {
+		morsel = int(r.next.Add(1)) - 1
+		if morsel >= r.numMorsels {
+			return
+		}
+		lo := morsel * r.morselSize
+		hi := lo + r.morselSize
+		if hi > n {
+			hi = n
+		}
+		var t rdf.Triple
+		for i := lo; i < hi; i++ {
+			if s.done {
+				break
+			}
+			if r.candidate(i, &t) {
+				s.expandRoot(r.rootIdx, t)
+			}
+		}
+		if s.done {
+			r.stop.Store(true)
+			return
+		}
+	}
+}
+
+// find is the parallel Find body: clone matches into per-morsel buckets
+// and concatenate them in morsel order — exactly the sequential output.
+func (r *parallelRun) find() []Match {
+	buckets := make([][]Match, r.numMorsels)
+	r.run(func(int) workerHooks {
+		return workerHooks{onMatch: func(morsel int, m *Match) bool {
+			buckets[morsel] = append(buckets[morsel], m.clone())
+			return true
+		}}
+	})
+	var out []Match
+	for _, b := range buckets {
+		out = append(out, b...)
+	}
+	return out
+}
+
+// count is the parallel Count body: worker-local tallies, summed at
+// worker exit — no per-match work at all.
+func (r *parallelRun) count() int {
+	var total atomic.Int64
+	r.run(func(int) workerHooks {
+		n := 0
+		return workerHooks{
+			onMatch: func(int, *Match) bool { n++; return true },
+			finish:  func() { total.Add(int64(n)) },
+		}
+	})
+	return int(total.Load())
+}
+
+// matchedGraph is the parallel MatchedGraph body: matched triples collect
+// in per-morsel buckets and merge into the subgraph in morsel order, so
+// the result's insertion order matches the sequential build.
+func (r *parallelRun) matchedGraph() *rdf.Graph {
+	buckets := make([][]rdf.Triple, r.numMorsels)
+	r.run(func(int) workerHooks {
+		return workerHooks{onMatch: func(morsel int, m *Match) bool {
+			buckets[morsel] = append(buckets[morsel], m.Triples...)
+			return true
+		}}
+	})
+	sub := rdf.NewGraph(r.g.Dict)
+	for _, b := range buckets {
+		for _, t := range b {
+			sub.Add(t)
+		}
+	}
+	return sub
+}
+
+// findBatchesStreaming is the parallel FindBatches body without the
+// determinism knob: each worker fills a private batch and hands it to fn
+// under a lock as soon as it is full, so batches flow while the search is
+// still running. Batch contents follow morsel claiming order, which is
+// nondeterministic across runs.
+func (r *parallelRun) findBatchesStreaming(size int, fn func([]Match) bool) {
+	var (
+		mu      sync.Mutex
+		stopped bool
+	)
+	// deliver hands one batch to fn, serialized; it reports whether the
+	// enumeration should continue.
+	deliver := func(batch []Match) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		if stopped {
+			return false
+		}
+		if !fn(batch) {
+			stopped = true
+			return false
+		}
+		return true
+	}
+	r.run(func(int) workerHooks {
+		batch := make([]Match, 0, size)
+		return workerHooks{
+			onMatch: func(_ int, m *Match) bool {
+				batch = append(batch, m.clone())
+				if len(batch) == size {
+					ok := deliver(batch)
+					batch = batch[:0]
+					return ok
+				}
+				return true
+			},
+			finish: func() {
+				if len(batch) > 0 && !r.stop.Load() {
+					deliver(batch)
+				}
+			},
+		}
+	})
+}
+
+// findBatchesOrdered is the deterministic parallel FindBatches body:
+// matches materialize into per-morsel buckets first, then carve into
+// batches in morsel order — the same batch sequence the sequential path
+// produces.
+func (r *parallelRun) findBatchesOrdered(size int, fn func([]Match) bool) {
+	buckets := make([][]Match, r.numMorsels)
+	r.run(func(int) workerHooks {
+		return workerHooks{onMatch: func(morsel int, m *Match) bool {
+			buckets[morsel] = append(buckets[morsel], m.clone())
+			return true
+		}}
+	})
+	batch := make([]Match, 0, size)
+	for _, b := range buckets {
+		for _, m := range b {
+			batch = append(batch, m)
+			if len(batch) == size {
+				if !fn(batch) {
+					return
+				}
+				batch = batch[:0]
+			}
+		}
+	}
+	if len(batch) > 0 {
+		fn(batch)
+	}
+}

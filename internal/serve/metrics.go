@@ -34,6 +34,12 @@ type Metrics struct {
 	CacheHits    uint64
 	CacheMisses  uint64
 	CacheHitRate float64
+	// ParallelismBudget is the configured machine-wide intra-query
+	// worker budget; EffectiveParallelism is the average per-query
+	// parallelism actually granted (budget divided by concurrent load),
+	// zero until the first execution.
+	ParallelismBudget    int
+	EffectiveParallelism float64
 }
 
 // collector accumulates metrics from concurrent workers.
@@ -47,6 +53,8 @@ type collector struct {
 	inflight    atomic.Int64
 	cacheHits   atomic.Uint64
 	cacheMisses atomic.Uint64
+	parSum      atomic.Int64 // sum of granted per-query parallelism
+	parCount    atomic.Int64 // executions the sum covers
 
 	mu   sync.Mutex
 	lats []time.Duration // ring buffer of recent latencies
@@ -55,6 +63,13 @@ type collector struct {
 
 func newCollector() *collector {
 	return &collector{start: time.Now(), lats: make([]time.Duration, 0, latencyWindow)}
+}
+
+// parallelism records the intra-query worker budget granted to one
+// execution.
+func (m *collector) parallelism(eff int) {
+	m.parSum.Add(int64(eff))
+	m.parCount.Add(1)
 }
 
 func (m *collector) complete(lat time.Duration) {
@@ -86,6 +101,9 @@ func (m *collector) snapshot() Metrics {
 	}
 	if lookups := s.CacheHits + s.CacheMisses; lookups > 0 {
 		s.CacheHitRate = float64(s.CacheHits) / float64(lookups)
+	}
+	if n := m.parCount.Load(); n > 0 {
+		s.EffectiveParallelism = float64(m.parSum.Load()) / float64(n)
 	}
 	m.mu.Lock()
 	lats := append([]time.Duration(nil), m.lats...)

@@ -11,6 +11,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"runtime"
 	"sync"
 	"time"
 
@@ -39,6 +40,14 @@ type Config struct {
 	// PlanCacheSize is the LRU plan cache capacity in entries (default
 	// 128; negative disables caching).
 	PlanCacheSize int
+	// Parallelism is the machine-wide intra-query worker budget (default
+	// GOMAXPROCS; negative forces sequential matching). Each query's
+	// effective parallelism is the budget divided by the number of
+	// queries in flight: a lone query fans its morsels across the whole
+	// budget, while under heavy concurrent traffic queries run near
+	// sequentially and throughput comes from the worker pool instead —
+	// the intra- vs inter-query trade the budget exists to make.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -50,6 +59,11 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PlanCacheSize == 0 {
 		c.PlanCacheSize = 128
+	}
+	if c.Parallelism == 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	} else if c.Parallelism < 0 {
+		c.Parallelism = 1
 	}
 	return c
 }
@@ -181,7 +195,12 @@ func (s *Server) execute(req *request) outcome {
 		s.met.failed.Add(1)
 		return outcome{err: err}
 	}
-	b, stats, err := s.engine.QueryPrepared(ctx, req.q, prep)
+	// Stamp a per-execution copy of the (possibly cached, shared)
+	// Prepared with this query's slice of the parallelism budget.
+	run := *prep
+	run.Parallelism = s.effectiveParallelism()
+	s.met.parallelism(run.Parallelism)
+	b, stats, err := s.engine.QueryPrepared(ctx, req.q, &run)
 	lat := time.Since(req.enqueued)
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
@@ -192,6 +211,22 @@ func (s *Server) execute(req *request) outcome {
 	}
 	s.met.complete(lat)
 	return outcome{resp: &Response{Bindings: b, Stats: stats, CacheHit: hit, Latency: lat}}
+}
+
+// effectiveParallelism divides the machine-wide intra-query budget by
+// the number of queries currently executing (this one included), floored
+// at 1: alone on the server a query fans out fully, under load queries
+// degrade toward sequential and concurrency comes from the worker pool.
+func (s *Server) effectiveParallelism() int {
+	inflight := int(s.met.inflight.Load())
+	if inflight < 1 {
+		inflight = 1
+	}
+	eff := s.cfg.Parallelism / inflight
+	if eff < 1 {
+		eff = 1
+	}
+	return eff
 }
 
 // plan resolves a query's execution plan through the LRU cache.
@@ -217,5 +252,7 @@ func (s *Server) plan(q *sparql.Graph) (*exec.Prepared, bool, error) {
 // Metrics returns a snapshot of the server's counters and latency
 // percentiles.
 func (s *Server) Metrics() Metrics {
-	return s.met.snapshot()
+	m := s.met.snapshot()
+	m.ParallelismBudget = s.cfg.Parallelism
+	return m
 }

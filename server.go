@@ -21,6 +21,10 @@ type ServerConfig struct {
 	Timeout time.Duration
 	// PlanCacheSize is the LRU plan cache capacity (negative disables).
 	PlanCacheSize int
+	// Parallelism is the machine-wide intra-query worker budget, divided
+	// among concurrently executing queries (0 = GOMAXPROCS, negative
+	// forces sequential matching).
+	Parallelism int
 }
 
 // ErrOverloaded is returned by Server.Query when the admission queue is
@@ -48,6 +52,7 @@ func (dep *Deployment) StartServer(cfg ServerConfig) *Server {
 			QueueDepth:    cfg.QueueDepth,
 			Timeout:       cfg.Timeout,
 			PlanCacheSize: cfg.PlanCacheSize,
+			Parallelism:   cfg.Parallelism,
 		}),
 	}
 }
