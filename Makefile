@@ -1,12 +1,12 @@
 # Local dev targets mirroring .github/workflows/ci.yml: `make ci`
 # reproduces the gate's checks; CI additionally runs `make bench-baseline`
-# (kept out of `ci` because it rewrites BENCH_3.json's current section).
+# (kept out of `ci` because it rewrites BENCH_4.json's current section).
 
 GO ?= go
 # bench-baseline needs pipefail so a panicking benchmark fails the target.
 SHELL := /bin/bash
 
-.PHONY: build test race bench bench-baseline fmt fmt-check vet ci
+.PHONY: build test race cover cover-gate bench bench-baseline fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -17,17 +17,36 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The race suite with a merged coverage profile; cover-gate consumes it.
+cover:
+	$(GO) test -race -covermode=atomic -coverprofile=coverage.out ./...
+
+# internal/cluster holds the control-site join operators this repo's
+# correctness hangs on; its statement coverage must never drop below the
+# pre-PR-4 baseline measured when the partitioned join landed.
+COVER_FLOOR_CLUSTER ?= 81.9
+cover-gate:
+	@test -f coverage.out || { echo "coverage.out missing; run 'make cover' first" >&2; exit 1; }
+	@{ head -1 coverage.out; grep 'rdffrag/internal/cluster/' coverage.out; } > .cover_cluster.out; \
+	pct=$$($(GO) tool cover -func=.cover_cluster.out | awk '/^total:/ { sub("%","",$$3); print $$3 }'); \
+	rm -f .cover_cluster.out; \
+	awk -v p="$$pct" -v floor="$(COVER_FLOOR_CLUSTER)" 'BEGIN { \
+		if (p+0 < floor+0) { printf "internal/cluster coverage %.1f%% dropped below the baseline %.1f%%\n", p, floor; exit 1 } \
+		printf "internal/cluster coverage %.1f%% (floor %.1f%%)\n", p, floor }'
+
 # One iteration per benchmark: a compile-and-run smoke, not a measurement.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # Hot-path benchmarks, recorded as a point of the perf trajectory in
-# BENCH_3.json. Besides the serial hot-path numbers, the parallel section
-# re-measures BenchmarkMatchWatDiv under GOMAXPROCS=1 and the host's full
-# core count (the morsel fan-out's scaling point), and the regression
+# BENCH_4.json. The current section includes the partitioned-join
+# per-partition-count sweep (BenchmarkJoinStreamPartitioned/P*); the
+# parallel section re-measures BenchmarkMatchWatDiv and the join sweep
+# under GOMAXPROCS=1 and the host's full core count, and the regression
 # gate fails the target when any benchmark runs >20% slower than the
-# previous committed trajectory file (BENCH_2.json).
-BENCH_HOT := BenchmarkCandidateScan$$|BenchmarkMatchWatDiv$$|BenchmarkHashJoin$$
+# previous committed trajectory file (BENCH_3.json).
+BENCH_HOT := BenchmarkCandidateScan$$|BenchmarkMatchWatDiv$$|BenchmarkHashJoin$$|BenchmarkJoinStreamPartitioned$$
+BENCH_PAR := BenchmarkMatchWatDiv$$|BenchmarkJoinStreamPartitioned$$
 # Tolerated ns/op regression vs the previous trajectory file. Wall-clock
 # comparisons across hosts drift; override (e.g. BENCH_MAX_REGRESS=0.5)
 # when the measurement machine differs from the one that recorded the
@@ -36,20 +55,20 @@ BENCH_MAX_REGRESS ?= 0.20
 bench-baseline:
 	set -o pipefail; \
 	np=$$(nproc); \
-	GOMAXPROCS=1 $(GO) test -run '^$$' -bench 'BenchmarkMatchWatDiv$$' -benchmem -benchtime 1s \
-		./internal/match > .bench_gomaxprocs_1.txt; \
+	GOMAXPROCS=1 $(GO) test -run '^$$' -bench '$(BENCH_PAR)' -benchmem -benchtime 1s \
+		./internal/match ./internal/cluster > .bench_gomaxprocs_1.txt; \
 	if [ "$$np" -gt 1 ]; then \
-		$(GO) test -run '^$$' -bench 'BenchmarkMatchWatDiv$$' -benchmem -benchtime 1s \
-			./internal/match > .bench_gomaxprocs_np.txt; \
+		$(GO) test -run '^$$' -bench '$(BENCH_PAR)' -benchmem -benchtime 1s \
+			./internal/match ./internal/cluster > .bench_gomaxprocs_np.txt; \
 		par="1=.bench_gomaxprocs_1.txt,$$np=.bench_gomaxprocs_np.txt"; \
 	else \
 		par="1=.bench_gomaxprocs_1.txt"; \
 	fi; \
 	$(GO) test -run '^$$' -bench '$(BENCH_HOT)' -benchmem -benchtime 1s \
 		./internal/match ./internal/cluster | \
-		$(GO) run ./cmd/benchjson -pr 3 -out BENCH_3.json \
-		-require 'BenchmarkCandidateScan,BenchmarkMatchWatDiv,BenchmarkHashJoin' \
-		-parallel "$$par" -prev BENCH_2.json -max-regress $(BENCH_MAX_REGRESS); \
+		$(GO) run ./cmd/benchjson -pr 4 -out BENCH_4.json \
+		-require 'BenchmarkCandidateScan,BenchmarkMatchWatDiv,BenchmarkHashJoin,BenchmarkJoinStreamPartitioned/P2' \
+		-parallel "$$par" -prev BENCH_3.json -max-regress $(BENCH_MAX_REGRESS); \
 	status=$$?; rm -f .bench_gomaxprocs_1.txt .bench_gomaxprocs_np.txt; exit $$status
 
 fmt:
@@ -62,4 +81,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check vet build race bench
+ci: fmt-check vet build cover cover-gate bench

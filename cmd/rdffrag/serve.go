@@ -32,6 +32,7 @@ func serveMain(args []string) {
 		timeout  = fs.Duration("timeout", 30*time.Second, "per-query execution deadline (0 disables)")
 		cache    = fs.Int("cache", 256, "plan cache capacity in entries (negative disables)")
 		parallel = fs.Int("parallel", 0, "intra-query worker budget, divided among in-flight queries (0 = GOMAXPROCS, negative = sequential matching)")
+		joinPart = fs.Int("join-partitions", 0, "control-site join partitions per stage (0 = derived from each query's parallelism grant, negative = sequential join)")
 		profile  = fs.Bool("pprof", false, "expose net/http/pprof handlers under /debug/pprof/")
 	)
 	fs.Parse(args)
@@ -42,11 +43,12 @@ func serveMain(args []string) {
 
 	dep := deploy(*dataPath, *wlPath, *strategy, *sites, *minsup)
 	srv := dep.StartServer(rdffrag.ServerConfig{
-		Workers:       *workers,
-		QueueDepth:    *queue,
-		Timeout:       *timeout,
-		PlanCacheSize: *cache,
-		Parallelism:   *parallel,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		Timeout:        *timeout,
+		PlanCacheSize:  *cache,
+		Parallelism:    *parallel,
+		JoinPartitions: *joinPart,
 	})
 	defer srv.Close()
 
@@ -100,6 +102,11 @@ func serveMain(args []string) {
 			// budget and the average share queries actually ran with.
 			"parallelism_budget":    m.ParallelismBudget,
 			"effective_parallelism": m.EffectiveParallelism,
+			// Control-site join fan-out: the configured per-stage
+			// partition override (0 = derived per query) and the average
+			// partition count join-bearing queries ran with.
+			"join_partitions_cap":       m.JoinPartitionsCap,
+			"effective_join_partitions": m.EffectiveJoinPartitions,
 		})
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -116,8 +123,8 @@ func serveMain(args []string) {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 
-	fmt.Printf("serving on %s (workers=%d queue=%d timeout=%s cache=%d parallel=%d pprof=%v)\n",
-		*addr, *workers, *queue, *timeout, *cache, *parallel, *profile)
+	fmt.Printf("serving on %s (workers=%d queue=%d timeout=%s cache=%d parallel=%d join-partitions=%d pprof=%v)\n",
+		*addr, *workers, *queue, *timeout, *cache, *parallel, *joinPart, *profile)
 	if err := http.ListenAndServe(*addr, mux); err != nil {
 		fatal(err)
 	}

@@ -8,50 +8,10 @@ import (
 // HashJoin joins two binding tables on their shared variables, the
 // control-site join of Section 7.3. With no shared variables it degrades
 // to a Cartesian product. Output columns are left's variables followed by
-// right's non-shared variables.
+// right's non-shared variables. It is the single-partition case of
+// HashJoinOpts (see partition.go), sharing the same ordered join core.
 func HashJoin(left, right *match.Bindings) *match.Bindings {
-	shared, rightOnly := alignVars(left.Vars, right.Vars)
-
-	out := &match.Bindings{Vars: append(append([]string(nil), left.Vars...), names(right.Vars, rightOnly)...)}
-	if len(left.Rows) == 0 || len(right.Rows) == 0 {
-		return out
-	}
-
-	width := len(left.Vars) + len(rightOnly)
-	if len(shared) == 0 {
-		total := len(left.Rows) * len(right.Rows)
-		arena := presizedArena(total, width)
-		out.Rows = make([][]rdf.ID, 0, total)
-		for _, lr := range left.Rows {
-			for _, rr := range right.Rows {
-				out.Rows = append(out.Rows, mergeRows(arena, lr, rr, rightOnly))
-			}
-		}
-		return out
-	}
-
-	// Hash the right side on the shared columns, probe with the left.
-	tab := newJoinTable(shared, len(right.Rows))
-	for i, rr := range right.Rows {
-		tab.add(rr, false, int32(i))
-	}
-	// Counting pass: probing twice is far cheaper than growing the output
-	// slice and row storage through repeated reallocation.
-	total := 0
-	for _, lr := range left.Rows {
-		total += len(tab.lookup(lr, true))
-	}
-	if total == 0 {
-		return out
-	}
-	arena := presizedArena(total, width)
-	out.Rows = make([][]rdf.ID, 0, total)
-	for _, lr := range left.Rows {
-		for _, ri := range tab.lookup(lr, true) {
-			out.Rows = append(out.Rows, mergeRows(arena, lr, right.Rows[ri], rightOnly))
-		}
-	}
-	return out
+	return HashJoinOpts(left, right, JoinOptions{})
 }
 
 // colPair pairs the positions of one shared variable in both tables.
@@ -197,12 +157,36 @@ func (a *rowArena) alloc(n int) []rdf.ID {
 }
 
 // mergeRows concatenates a left row with the right-only columns of a
-// right row, carving the output from the arena.
-func mergeRows(a *rowArena, lr, rr []rdf.ID, rightOnly []int) []rdf.ID {
-	out := a.alloc(len(lr) + len(rightOnly))
-	n := copy(out, lr)
-	for i, j := range rightOnly {
-		out[n+i] = rr[j]
+// right row, carving the output from the arena. Every output row is
+// exactly j.width wide: well-formed rows take the branch-light fast
+// path (small enough to inline into the per-output-row emit loops),
+// ragged rows (shorter or longer than their table's width) divert to
+// mergeRowsRagged, which pads missing columns with NoID instead of
+// corrupting or panicking.
+func mergeRows(a *rowArena, j *joinGeom, lr, rr []rdf.ID) []rdf.ID {
+	if len(lr) < j.lw || len(rr) <= j.maxRO {
+		return mergeRowsRagged(a, j, lr, rr)
+	}
+	out := a.alloc(j.width)
+	copy(out, lr[:j.lw])
+	for i, idx := range j.rightOnly {
+		out[j.lw+i] = rr[idx]
+	}
+	return out
+}
+
+func mergeRowsRagged(a *rowArena, j *joinGeom, lr, rr []rdf.ID) []rdf.ID {
+	out := a.alloc(j.width)
+	n := copy(out[:j.lw], lr)
+	for i := n; i < j.lw; i++ {
+		out[i] = rdf.NoID
+	}
+	for i, idx := range j.rightOnly {
+		if idx < len(rr) {
+			out[j.lw+i] = rr[idx]
+		} else {
+			out[j.lw+i] = rdf.NoID
+		}
 	}
 	return out
 }

@@ -1,0 +1,268 @@
+package cluster
+
+// Property harness for the partitioned parallel control-site join. One
+// randomized corpus of binding-table pairs — spanning shared-variable
+// layouts (one shared, reordered multi-shared, all shared, Cartesian,
+// >4-column string-fallback keys), key distributions (uniform, heavily
+// skewed, near-unique), empty sides and ragged rows — drives every join
+// operator against a nested-loop oracle:
+//
+//   - HashJoin and HashJoinOpts at every partition count are
+//     byte-identical to the oracle (exact rows, exact order);
+//   - JoinStreamOpts in deterministic mode is byte-identical to the
+//     oracle at every partition count, batch size and input interleaving;
+//   - JoinStreamOpts in streaming mode (and the legacy JoinStream) emit
+//     exactly the oracle's row multiset.
+//
+// Run under -race in CI, this is the correctness gate for the
+// shared-nothing partition workers and both merge modes.
+
+import (
+	"context"
+	"math/rand"
+	"slices"
+	"testing"
+	"testing/quick"
+
+	"rdffrag/internal/match"
+	"rdffrag/internal/rdf"
+)
+
+// nestedLoopOracle joins two tables the slow, obviously-correct way, in
+// exactly the order the ordered operators must reproduce: for each left
+// row in arrival order, its matching right rows in arrival order. It
+// mirrors the documented semantics: rows missing a shared column have no
+// join key and match nothing; missing output columns pad with NoID.
+func nestedLoopOracle(left, right *match.Bindings) *match.Bindings {
+	g := newJoinGeom(left.Vars, right.Vars)
+	shared, rightOnly := g.shared, g.rightOnly
+	out := &match.Bindings{Vars: JoinVars(left.Vars, right.Vars)}
+	lw := len(left.Vars)
+	for _, lr := range left.Rows {
+		if !g.lKeyable(lr) {
+			continue
+		}
+		for _, rr := range right.Rows {
+			if !g.rKeyable(rr) {
+				continue
+			}
+			eq := true
+			for _, c := range shared {
+				if lr[c.l] != rr[c.r] {
+					eq = false
+					break
+				}
+			}
+			if !eq {
+				continue
+			}
+			row := make([]rdf.ID, lw+len(rightOnly))
+			n := copy(row[:lw], lr)
+			for i := n; i < lw; i++ {
+				row[i] = rdf.NoID
+			}
+			for i, j := range rightOnly {
+				if j < len(rr) {
+					row[lw+i] = rr[j]
+				} else {
+					row[lw+i] = rdf.NoID
+				}
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}
+
+// genJoinCase draws one randomized join instance: a variable layout, two
+// tables with a chosen key distribution, optionally an empty side and
+// optionally ragged rows.
+func genJoinCase(rng *rand.Rand) (left, right *match.Bindings) {
+	var lv, rv []string
+	switch rng.Intn(5) {
+	case 0:
+		lv, rv = []string{"x", "y"}, []string{"y", "z"}
+	case 1:
+		lv, rv = []string{"a", "b", "c"}, []string{"c", "a", "d"}
+	case 2:
+		lv, rv = []string{"x", "y"}, []string{"x", "y"}
+	case 3:
+		lv, rv = []string{"x", "y"}, []string{"z", "w"} // Cartesian
+	case 4:
+		// Five shared columns: wider than maxPackedCols, exercising the
+		// string-fallback keys and their partition routing.
+		lv = []string{"a", "b", "c", "d", "e", "l0"}
+		rv = []string{"e", "d", "c", "b", "a", "r0"}
+	}
+	draw := func(vars []string) *match.Bindings {
+		b := &match.Bindings{Vars: vars}
+		n := rng.Intn(50)
+		if rng.Intn(8) == 0 {
+			n = 0 // empty side
+		}
+		skew := rng.Intn(3)
+		ragged := rng.Intn(4) == 0
+		for i := 0; i < n; i++ {
+			row := make([]rdf.ID, len(vars))
+			for j := range row {
+				switch skew {
+				case 0:
+					row[j] = rdf.ID(rng.Intn(6))
+				case 1:
+					// Heavy skew: ~80% of values collapse onto one key.
+					if rng.Intn(5) > 0 {
+						row[j] = 1
+					} else {
+						row[j] = rdf.ID(rng.Intn(8))
+					}
+				default:
+					row[j] = rdf.ID(rng.Intn(512)) // near-unique
+				}
+			}
+			if ragged && rng.Intn(8) == 0 {
+				row = row[:rng.Intn(len(row))]
+			}
+			b.Rows = append(b.Rows, row)
+		}
+		return b
+	}
+	return draw(lv), draw(rv)
+}
+
+func rowsExactEqual(a, b [][]rdf.ID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !slices.Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// runJoinStream feeds both tables through JoinStreamOpts in randomized
+// batch sizes and collects the emitted rows in emission order.
+func runJoinStream(t *testing.T, rng *rand.Rand, left, right *match.Bindings, opts JoinOptions) *match.Bindings {
+	t.Helper()
+	lch := make(chan *match.Bindings, 2)
+	rch := make(chan *match.Bindings, 2)
+	out := make(chan *match.Bindings, 4)
+	go sendBatches(lch, left.Vars, left.Rows, 1+rng.Intn(16))
+	go sendBatches(rch, right.Vars, right.Rows, 1+rng.Intn(16))
+	go JoinStreamOpts(context.Background(), left.Vars, right.Vars, lch, rch, out, opts)
+	got := collect(out)
+	if got == nil {
+		got = &match.Bindings{Vars: JoinVars(left.Vars, right.Vars)}
+	}
+	return got
+}
+
+// TestPartitionedJoinEquivalenceProperty is the PR's correctness gate:
+// partitioned ≡ sequential ≡ HashJoin ≡ nested-loop oracle across the
+// generated corpus, exact row order for the ordered operators and
+// multiset equality for the streaming ones.
+func TestPartitionedJoinEquivalenceProperty(t *testing.T) {
+	partitionCounts := []int{1, 2, 3, 8}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		left, right := genJoinCase(rng)
+		want := nestedLoopOracle(left, right)
+
+		// Batch operators: byte-identical to the oracle at every P.
+		if got := HashJoin(left, right); !slices.Equal(got.Vars, want.Vars) || !rowsExactEqual(got.Rows, want.Rows) {
+			t.Logf("seed %d: HashJoin diverged from oracle (%d rows vs %d)", seed, len(got.Rows), len(want.Rows))
+			return false
+		}
+		for _, p := range partitionCounts[1:] {
+			if got := HashJoinOpts(left, right, JoinOptions{Partitions: p}); !rowsExactEqual(got.Rows, want.Rows) {
+				t.Logf("seed %d: HashJoinOpts(P=%d) diverged from oracle", seed, p)
+				return false
+			}
+		}
+
+		// Deterministic stream: byte-identical at every P regardless of
+		// batch boundaries and input interleaving.
+		for _, p := range partitionCounts {
+			got := runJoinStream(t, rng, left, right, JoinOptions{Partitions: p, Deterministic: true})
+			if !slices.Equal(got.Vars, want.Vars) || !rowsExactEqual(got.Rows, want.Rows) {
+				t.Logf("seed %d: deterministic JoinStreamOpts(P=%d) diverged from oracle", seed, p)
+				return false
+			}
+		}
+
+		// Streaming mode (and the legacy sequential JoinStream): same
+		// row multiset, order unconstrained.
+		wm := multiset(want)
+		for _, p := range partitionCounts {
+			got := runJoinStream(t, rng, left, right, JoinOptions{Partitions: p})
+			gm := multiset(got)
+			if len(gm) != len(wm) {
+				t.Logf("seed %d: streaming JoinStreamOpts(P=%d): %d distinct rows, want %d", seed, p, len(gm), len(wm))
+				return false
+			}
+			for k, v := range wm {
+				if gm[k] != v {
+					t.Logf("seed %d: streaming JoinStreamOpts(P=%d): row %s count %d, want %d", seed, p, k, gm[k], v)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPartitionRoutingIsConsistent pins the partition-routing invariant
+// the shared-nothing design rests on: rows equal on every shared column
+// route to the same partition, from either side, at any partition count.
+func TestPartitionRoutingIsConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cols := []colPair{{l: 0, r: 1}, {l: 2, r: 0}}
+		lrow := []rdf.ID{rdf.ID(rng.Intn(16)), rdf.ID(rng.Intn(16)), rdf.ID(rng.Intn(16))}
+		rrow := []rdf.ID{lrow[2], lrow[0], rdf.ID(rng.Intn(16))}
+		for _, p := range []int{2, 3, 8, 64} {
+			lp := partitionFor(lrow, cols, true, p)
+			rp := partitionFor(rrow, cols, false, p)
+			if lp != rp {
+				t.Logf("seed %d: matching rows routed to partitions %d and %d of %d", seed, lp, rp, p)
+				return false
+			}
+			if lp < 0 || lp >= p {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestJoinStreamPartitionedCancel: cancelling the context mid-stream
+// stops every router and partition worker and closes the output — the
+// shared kill switch that lets LIMIT terminate a partitioned join early.
+func TestJoinStreamPartitionedCancel(t *testing.T) {
+	for _, det := range []bool{false, true} {
+		ctx, cancel := context.WithCancel(context.Background())
+		lv, rv := []string{"x", "y"}, []string{"y", "z"}
+		left := make(chan *match.Bindings)
+		right := make(chan *match.Bindings)
+		out := make(chan *match.Bindings)
+		done := make(chan struct{})
+		go func() {
+			JoinStreamOpts(ctx, lv, rv, left, right, out, JoinOptions{Partitions: 4, Deterministic: det})
+			close(done)
+		}()
+		// Feed one batch so workers are mid-join, then cancel without
+		// closing the inputs: only the kill switch can stop the join.
+		left <- &match.Bindings{Vars: lv, Rows: [][]rdf.ID{{1, 2}, {3, 4}}}
+		cancel()
+		for range out {
+		}
+		<-done
+	}
+}

@@ -133,77 +133,8 @@ func JoinVars(leftVars, rightVars []string) []string {
 // shared variables it degrades to a streamed Cartesian product. Output
 // columns follow JoinVars(leftVars, rightVars). Cancelling ctx stops the
 // join promptly; the inputs are then left undrained (producers must also
-// watch ctx).
+// watch ctx). It is the single-partition streaming case of
+// JoinStreamOpts (see partition.go).
 func JoinStream(ctx context.Context, leftVars, rightVars []string, left, right <-chan *match.Bindings, out chan<- *match.Bindings) {
-	defer close(out)
-	shared, rightOnly := alignVars(leftVars, rightVars)
-	outVars := JoinVars(leftVars, rightVars)
-
-	var leftRows, rightRows [][]rdf.ID
-	leftTab := newJoinTable(shared, 0)
-	rightTab := newJoinTable(shared, 0)
-	// One arena for the whole stream: merged rows are carved from chunks
-	// that survive across batches, so emitting N rows costs ~N/chunk
-	// allocations instead of N.
-	var arena rowArena
-
-	emit := func(rows [][]rdf.ID) bool {
-		if len(rows) == 0 {
-			return true
-		}
-		select {
-		case out <- &match.Bindings{Vars: outVars, Rows: rows}:
-			return true
-		case <-ctx.Done():
-			return false
-		}
-	}
-
-	// processLeft inserts a batch of left rows and probes the right rows
-	// seen so far; processRight is its mirror image.
-	processLeft := func(b *match.Bindings) bool {
-		var found [][]rdf.ID
-		for _, lr := range b.Rows {
-			leftTab.add(lr, true, int32(len(leftRows)))
-			leftRows = append(leftRows, lr)
-			for _, ri := range rightTab.lookup(lr, true) {
-				found = append(found, mergeRows(&arena, lr, rightRows[ri], rightOnly))
-			}
-		}
-		return emit(found)
-	}
-	processRight := func(b *match.Bindings) bool {
-		var found [][]rdf.ID
-		for _, rr := range b.Rows {
-			rightTab.add(rr, false, int32(len(rightRows)))
-			rightRows = append(rightRows, rr)
-			for _, li := range leftTab.lookup(rr, false) {
-				found = append(found, mergeRows(&arena, leftRows[li], rr, rightOnly))
-			}
-		}
-		return emit(found)
-	}
-
-	for left != nil || right != nil {
-		select {
-		case b, ok := <-left:
-			if !ok {
-				left = nil
-				continue
-			}
-			if !processLeft(b) {
-				return
-			}
-		case b, ok := <-right:
-			if !ok {
-				right = nil
-				continue
-			}
-			if !processRight(b) {
-				return
-			}
-		case <-ctx.Done():
-			return
-		}
-	}
+	JoinStreamOpts(ctx, leftVars, rightVars, left, right, out, JoinOptions{})
 }

@@ -39,6 +39,13 @@ type Engine struct {
 	// against inter-query worker count under load.
 	Parallelism int
 
+	// JoinPartitions overrides the per-stage partition count of the
+	// control-site join pipeline. 0 derives it from the query's
+	// parallelism budget (half the budget, split across the join
+	// stages); 1 forces the sequential symmetric join. A Prepared with
+	// its own JoinPartitions overrides this per execution.
+	JoinPartitions int
+
 	dec *decompose.Decomposer
 }
 
@@ -56,6 +63,9 @@ type QueryStats struct {
 	// Parallelism is the effective intra-query worker budget the
 	// execution ran with (after resolving Prepared and engine defaults).
 	Parallelism int
+	// JoinPartitions is the per-stage partition count the control-site
+	// join pipeline ran with (0 when the plan had no join stages).
+	JoinPartitions int
 }
 
 // New wires an engine and deploys every fragment to its allocated site.
@@ -96,6 +106,10 @@ type Prepared struct {
 	// leave it 0; the server stamps a per-execution copy so one cached
 	// plan can run at different budgets under different load.
 	Parallelism int
+	// JoinPartitions, when non-zero, overrides the engine's per-stage
+	// join partition count for executions of this Prepared, the same way
+	// Parallelism overrides the worker budget.
+	JoinPartitions int
 }
 
 // Prepare decomposes and optimizes q without executing it.

@@ -40,6 +40,13 @@ type Metrics struct {
 	// zero until the first execution.
 	ParallelismBudget    int
 	EffectiveParallelism float64
+	// JoinPartitionsCap is the configured per-stage join partition
+	// override (0 = derived per query from its parallelism grant);
+	// EffectiveJoinPartitions is the average per-stage partition count
+	// completed join-bearing queries actually ran with, zero until the
+	// first such completion.
+	JoinPartitionsCap       int
+	EffectiveJoinPartitions float64
 }
 
 // collector accumulates metrics from concurrent workers.
@@ -55,6 +62,8 @@ type collector struct {
 	cacheMisses atomic.Uint64
 	parSum      atomic.Int64 // sum of granted per-query parallelism
 	parCount    atomic.Int64 // executions the sum covers
+	joinSum     atomic.Int64 // sum of per-stage join partitions ran with
+	joinCount   atomic.Int64 // join-bearing completions the sum covers
 
 	mu   sync.Mutex
 	lats []time.Duration // ring buffer of recent latencies
@@ -70,6 +79,17 @@ func newCollector() *collector {
 func (m *collector) parallelism(eff int) {
 	m.parSum.Add(int64(eff))
 	m.parCount.Add(1)
+}
+
+// joinPartitions records the per-stage join partition count one completed
+// execution ran with; plans without join stages report 0 and are not
+// counted.
+func (m *collector) joinPartitions(p int) {
+	if p <= 0 {
+		return
+	}
+	m.joinSum.Add(int64(p))
+	m.joinCount.Add(1)
 }
 
 func (m *collector) complete(lat time.Duration) {
@@ -104,6 +124,9 @@ func (m *collector) snapshot() Metrics {
 	}
 	if n := m.parCount.Load(); n > 0 {
 		s.EffectiveParallelism = float64(m.parSum.Load()) / float64(n)
+	}
+	if n := m.joinCount.Load(); n > 0 {
+		s.EffectiveJoinPartitions = float64(m.joinSum.Load()) / float64(n)
 	}
 	m.mu.Lock()
 	lats := append([]time.Duration(nil), m.lats...)

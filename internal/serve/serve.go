@@ -48,6 +48,11 @@ type Config struct {
 	// sequentially and throughput comes from the worker pool instead —
 	// the intra- vs inter-query trade the budget exists to make.
 	Parallelism int
+	// JoinPartitions overrides the per-stage partition count of every
+	// query's control-site join pipeline (default 0: each query derives
+	// it from its parallelism grant; negative forces the sequential
+	// symmetric join).
+	JoinPartitions int
 }
 
 func (c Config) withDefaults() Config {
@@ -64,6 +69,9 @@ func (c Config) withDefaults() Config {
 		c.Parallelism = runtime.GOMAXPROCS(0)
 	} else if c.Parallelism < 0 {
 		c.Parallelism = 1
+	}
+	if c.JoinPartitions < 0 {
+		c.JoinPartitions = 1
 	}
 	return c
 }
@@ -196,9 +204,12 @@ func (s *Server) execute(req *request) outcome {
 		return outcome{err: err}
 	}
 	// Stamp a per-execution copy of the (possibly cached, shared)
-	// Prepared with this query's slice of the parallelism budget.
+	// Prepared with this query's slice of the parallelism budget and the
+	// server's join-partition override (0 lets the engine derive the
+	// partition count from the grant).
 	run := *prep
 	run.Parallelism = s.effectiveParallelism()
+	run.JoinPartitions = s.cfg.JoinPartitions
 	s.met.parallelism(run.Parallelism)
 	b, stats, err := s.engine.QueryPrepared(ctx, req.q, &run)
 	lat := time.Since(req.enqueued)
@@ -209,6 +220,7 @@ func (s *Server) execute(req *request) outcome {
 		s.met.failed.Add(1)
 		return outcome{err: err}
 	}
+	s.met.joinPartitions(stats.JoinPartitions)
 	s.met.complete(lat)
 	return outcome{resp: &Response{Bindings: b, Stats: stats, CacheHit: hit, Latency: lat}}
 }
@@ -254,5 +266,6 @@ func (s *Server) plan(q *sparql.Graph) (*exec.Prepared, bool, error) {
 func (s *Server) Metrics() Metrics {
 	m := s.met.snapshot()
 	m.ParallelismBudget = s.cfg.Parallelism
+	m.JoinPartitionsCap = s.cfg.JoinPartitions
 	return m
 }

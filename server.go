@@ -25,6 +25,10 @@ type ServerConfig struct {
 	// among concurrently executing queries (0 = GOMAXPROCS, negative
 	// forces sequential matching).
 	Parallelism int
+	// JoinPartitions overrides the per-stage partition count of every
+	// query's control-site join pipeline (0 = derived per query from its
+	// parallelism grant, negative forces the sequential join).
+	JoinPartitions int
 }
 
 // ErrOverloaded is returned by Server.Query when the admission queue is
@@ -48,11 +52,12 @@ func (dep *Deployment) StartServer(cfg ServerConfig) *Server {
 	return &Server{
 		dep: dep,
 		inner: serve.New(dep.engine, serve.Config{
-			Workers:       cfg.Workers,
-			QueueDepth:    cfg.QueueDepth,
-			Timeout:       cfg.Timeout,
-			PlanCacheSize: cfg.PlanCacheSize,
-			Parallelism:   cfg.Parallelism,
+			Workers:        cfg.Workers,
+			QueueDepth:     cfg.QueueDepth,
+			Timeout:        cfg.Timeout,
+			PlanCacheSize:  cfg.PlanCacheSize,
+			Parallelism:    cfg.Parallelism,
+			JoinPartitions: cfg.JoinPartitions,
 		}),
 	}
 }
