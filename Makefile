@@ -21,31 +21,41 @@ race:
 cover:
 	$(GO) test -race -covermode=atomic -coverprofile=coverage.out ./...
 
-# internal/cluster holds the control-site join operators this repo's
-# correctness hangs on; its statement coverage must never drop below the
-# pre-PR-4 baseline measured when the partitioned join landed.
+# Coverage floors for the packages this repo's correctness hangs on:
+# internal/cluster (control-site join operators, pre-PR-4 baseline),
+# internal/rdf (the CSR + delta-overlay storage engine) and
+# internal/match (the merge-cursor matcher), the latter two at their
+# pre-PR-5 baselines measured before the live-update overlay landed.
 COVER_FLOOR_CLUSTER ?= 81.9
+COVER_FLOOR_RDF ?= 89.8
+COVER_FLOOR_MATCH ?= 88.3
 cover-gate:
 	@test -f coverage.out || { echo "coverage.out missing; run 'make cover' first" >&2; exit 1; }
-	@{ head -1 coverage.out; grep 'rdffrag/internal/cluster/' coverage.out; } > .cover_cluster.out; \
-	pct=$$($(GO) tool cover -func=.cover_cluster.out | awk '/^total:/ { sub("%","",$$3); print $$3 }'); \
-	rm -f .cover_cluster.out; \
-	awk -v p="$$pct" -v floor="$(COVER_FLOOR_CLUSTER)" 'BEGIN { \
-		if (p+0 < floor+0) { printf "internal/cluster coverage %.1f%% dropped below the baseline %.1f%%\n", p, floor; exit 1 } \
-		printf "internal/cluster coverage %.1f%% (floor %.1f%%)\n", p, floor }'
+	@status=0; \
+	for spec in "cluster=$(COVER_FLOOR_CLUSTER)" "rdf=$(COVER_FLOOR_RDF)" "match=$(COVER_FLOOR_MATCH)"; do \
+		pkg=$${spec%%=*}; floor=$${spec##*=}; \
+		{ head -1 coverage.out; grep "rdffrag/internal/$$pkg/" coverage.out; } > .cover_gate.out; \
+		pct=$$($(GO) tool cover -func=.cover_gate.out | awk '/^total:/ { sub("%","",$$3); print $$3 }'); \
+		rm -f .cover_gate.out; \
+		awk -v p="$$pct" -v floor="$$floor" -v pkg="$$pkg" 'BEGIN { \
+			if (p+0 < floor+0) { printf "internal/%s coverage %.1f%% dropped below the baseline %.1f%%\n", pkg, p, floor; exit 1 } \
+			printf "internal/%s coverage %.1f%% (floor %.1f%%)\n", pkg, p, floor }' || status=1; \
+	done; exit $$status
 
 # One iteration per benchmark: a compile-and-run smoke, not a measurement.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # Hot-path benchmarks, recorded as a point of the perf trajectory in
-# BENCH_4.json. The current section includes the partitioned-join
-# per-partition-count sweep (BenchmarkJoinStreamPartitioned/P*); the
-# parallel section re-measures BenchmarkMatchWatDiv and the join sweep
-# under GOMAXPROCS=1 and the host's full core count, and the regression
-# gate fails the target when any benchmark runs >20% slower than the
-# previous committed trajectory file (BENCH_3.json).
-BENCH_HOT := BenchmarkCandidateScan$$|BenchmarkMatchWatDiv$$|BenchmarkHashJoin$$|BenchmarkJoinStreamPartitioned$$
+# BENCH_5.json. The current section includes the partitioned-join
+# per-partition-count sweep (BenchmarkJoinStreamPartitioned/P*) and the
+# live-update mixed add+query pair (BenchmarkLiveMixedAddQuery/overlay
+# vs /refreeze — the delta overlay against the rebuild-per-update
+# baseline); the parallel section re-measures BenchmarkMatchWatDiv and
+# the join sweep under GOMAXPROCS=1 and the host's full core count, and
+# the regression gate fails the target when any benchmark runs >20%
+# slower than the previous committed trajectory file (BENCH_4.json).
+BENCH_HOT := BenchmarkCandidateScan$$|BenchmarkMatchWatDiv$$|BenchmarkHashJoin$$|BenchmarkJoinStreamPartitioned$$|BenchmarkLiveMixedAddQuery$$
 BENCH_PAR := BenchmarkMatchWatDiv$$|BenchmarkJoinStreamPartitioned$$
 # Tolerated ns/op regression vs the previous trajectory file. Wall-clock
 # comparisons across hosts drift; override (e.g. BENCH_MAX_REGRESS=0.5)
@@ -66,9 +76,9 @@ bench-baseline:
 	fi; \
 	$(GO) test -run '^$$' -bench '$(BENCH_HOT)' -benchmem -benchtime 1s \
 		./internal/match ./internal/cluster | \
-		$(GO) run ./cmd/benchjson -pr 4 -out BENCH_4.json \
-		-require 'BenchmarkCandidateScan,BenchmarkMatchWatDiv,BenchmarkHashJoin,BenchmarkJoinStreamPartitioned/P2' \
-		-parallel "$$par" -prev BENCH_3.json -max-regress $(BENCH_MAX_REGRESS); \
+		$(GO) run ./cmd/benchjson -pr 5 -out BENCH_5.json \
+		-require 'BenchmarkCandidateScan,BenchmarkMatchWatDiv,BenchmarkHashJoin,BenchmarkJoinStreamPartitioned/P2,BenchmarkLiveMixedAddQuery/overlay,BenchmarkLiveMixedAddQuery/refreeze' \
+		-parallel "$$par" -prev BENCH_4.json -max-regress $(BENCH_MAX_REGRESS); \
 	status=$$?; rm -f .bench_gomaxprocs_1.txt .bench_gomaxprocs_np.txt; exit $$status
 
 fmt:

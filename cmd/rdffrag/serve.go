@@ -80,6 +80,35 @@ func serveMain(args []string) {
 		}
 		writeResult(w, r, res)
 	})
+	mux.HandleFunc("/update", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST an N-Triples document", http.StatusMethodNotAllowed)
+			return
+		}
+		// MaxBytesReader (not LimitReader) so an oversized batch errors
+		// out whole instead of silently applying a truncated prefix.
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+		if err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+			} else {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+			}
+			return
+		}
+		res, err := srv.Update(r.Context(), string(body))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"added":         res.Added,
+			"delta_triples": res.DeltaTriples,
+			"compactions":   res.Compactions,
+		})
+	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		m := srv.Metrics()
@@ -107,6 +136,13 @@ func serveMain(args []string) {
 			// partition count join-bearing queries ran with.
 			"join_partitions_cap":       m.JoinPartitionsCap,
 			"effective_join_partitions": m.EffectiveJoinPartitions,
+			// Live updates: applied batches, the new triples they
+			// contributed, the global graph's current delta overlay size,
+			// and how many times the delta compacted into the CSR.
+			"updates":       m.Updates,
+			"triples_added": m.TriplesAdded,
+			"delta_triples": m.DeltaTriples,
+			"compactions":   m.Compactions,
 		})
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,252 @@
+package match
+
+// The match half of the differential mutation/query harness: random
+// interleavings of Add/Freeze/Compact and queries run against three
+// copies of the same evolving graph — a delta-carrying frozen overlay, a
+// map-mode oracle, and a rebuilt-from-scratch frozen graph — and the
+// matcher must return byte-identical results on overlay vs rebuild (the
+// merge cursor reproduces the rebuilt CSR's enumeration order exactly)
+// and the same match set as the oracle. The parallel morsel fan-out is
+// held to the same byte-identical standard over delta-carrying roots.
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"rdffrag/internal/rdf"
+	"rdffrag/internal/sparql"
+)
+
+// matchKeys projects matches to a comparable set representation.
+func matchKeys(ms []Match) map[string]bool {
+	seen := map[string]bool{}
+	for _, m := range ms {
+		key := ""
+		for _, id := range m.Vertex {
+			key += fmt.Sprint(id) + "|"
+		}
+		for _, tr := range m.Triples {
+			key += tr.String()
+		}
+		seen[key] = true
+	}
+	return seen
+}
+
+func sameMatchSet(a, b []Match) bool {
+	ka, kb := matchKeys(a), matchKeys(b)
+	if len(ka) != len(kb) {
+		return false
+	}
+	for k := range ka {
+		if !kb[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDeltaOverlayMatchDifferentialProperty: after every mutation step,
+// Find on the overlaid frozen graph is byte-identical to Find on a
+// freshly rebuilt frozen graph, and set-equal to the map-mode oracle and
+// the brute-force oracle.
+func TestDeltaOverlayMatchDifferentialProperty(t *testing.T) {
+	f := func(dataSeed, querySeed int64) bool {
+		r := rand.New(rand.NewSource(dataSeed))
+		overlay := rdf.NewGraph(nil)
+		oracle := rdf.NewGraph(overlay.Dict)
+		if dataSeed%3 == 0 {
+			overlay.SetAutoCompact(0.0001) // compact on every delta add
+		} else {
+			overlay.SetAutoCompact(-1) // let the delta grow
+		}
+		q := randomQuery(querySeed, 3)
+		const nv, np = 6, 3
+		for step := 0; step < 40; step++ {
+			switch op := r.Intn(10); {
+			case op < 8:
+				tr := rdf.Triple{
+					S: rdf.ID(r.Intn(nv)),
+					P: rdf.ID(nv + r.Intn(np)),
+					O: rdf.ID(r.Intn(nv)),
+				}
+				overlay.Add(tr)
+				oracle.Add(tr)
+			case op < 9:
+				overlay.Freeze()
+			default:
+				overlay.Compact()
+			}
+			if !overlay.Frozen() {
+				continue // map mode is covered by the frozen-vs-thawed suite
+			}
+			rebuilt := rdf.NewGraph(overlay.Dict)
+			for _, tr := range overlay.Triples() {
+				rebuilt.Add(tr)
+			}
+			rebuilt.Freeze()
+
+			got := Find(q, overlay, Options{Parallelism: 1})
+			want := Find(q, rebuilt, Options{Parallelism: 1})
+			if !reflect.DeepEqual(got, want) {
+				t.Logf("step %d (delta=%d): overlay Find not byte-identical to rebuilt (%d vs %d matches)",
+					step, overlay.DeltaLen(), len(got), len(want))
+				return false
+			}
+			if !sameMatchSet(got, Find(q, oracle, Options{Parallelism: 1})) {
+				t.Logf("step %d: overlay diverged from map-mode oracle", step)
+				return false
+			}
+			if Count(q, overlay, Options{Parallelism: 1}) != bruteForceCount(q, oracle) {
+				t.Logf("step %d: overlay diverged from brute-force oracle", step)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// deltaHubGraph freezes a hub graph and then streams extra hub edges into
+// the delta overlay (auto-compaction off, so the delta survives),
+// interleaving predicates and objects so delta elements land between CSR
+// run elements in (P, Other) order.
+func deltaHubGraph(fanout, preds, deltaEdges int) *rdf.Graph {
+	g := hubGraph(fanout, preds)
+	g.Freeze()
+	g.SetAutoCompact(-1)
+	hub := g.Dict.MustIRI("hub")
+	for i := 0; i < deltaEdges; i++ {
+		o := g.Dict.MustIRI(fmt.Sprintf("d%d", i))
+		p := g.Dict.MustIRI(fmt.Sprintf("p%d", i%preds))
+		g.Add(rdf.Triple{S: hub, P: p, O: o})
+	}
+	return g
+}
+
+// TestParallelDeltaByteIdentical: the morsel fan-out over a root run that
+// carries a delta overlay (base and delta partitioned along the same
+// boundary keys) returns exactly the sequential enumeration, for Find,
+// Count and MatchedGraph, at several worker counts.
+func TestParallelDeltaByteIdentical(t *testing.T) {
+	g := deltaHubGraph(2048, 8, 300)
+	if g.DeltaLen() == 0 {
+		t.Fatal("setup lost the delta")
+	}
+	queries := []string{
+		`SELECT ?x WHERE { <hub> <p5> ?x . }`,
+		`SELECT ?x ?p WHERE { <hub> ?p ?x . }`,
+		`SELECT ?s ?x WHERE { ?s <p3> ?x . }`,
+	}
+	for _, qs := range queries {
+		q := sparql.MustParse(g.Dict, qs)
+		seq := Find(q, g, Options{Parallelism: 1})
+		for _, w := range []int{2, 4, 8} {
+			par := Find(q, g, Options{Parallelism: w})
+			if !reflect.DeepEqual(seq, par) {
+				t.Fatalf("%s: parallel(%d) Find diverged from sequential (%d vs %d matches)",
+					qs, w, len(par), len(seq))
+			}
+			if c := Count(q, g, Options{Parallelism: w}); c != len(seq) {
+				t.Fatalf("%s: parallel(%d) Count = %d, want %d", qs, w, c, len(seq))
+			}
+		}
+		mg := MatchedGraph(q, g, Options{Parallelism: 4})
+		sg := MatchedGraph(q, g, Options{Parallelism: 1})
+		if !reflect.DeepEqual(mg.Triples(), sg.Triples()) {
+			t.Fatalf("%s: parallel MatchedGraph insertion order diverged", qs)
+		}
+	}
+}
+
+// TestDeltaCursorZeroAllocs: draining the merge cursor over a
+// delta-carrying frozen graph stays allocation-free per candidate — the
+// AllocsPerRun guard the live-update path must keep.
+func TestDeltaCursorZeroAllocs(t *testing.T) {
+	g := deltaHubGraph(2048, 8, 256)
+	hubOut := 2048/8 + 256/8
+	cases := []struct {
+		name  string
+		query string
+		want  int
+	}{
+		{"bound-subject-const-pred", `SELECT ?x WHERE { <hub> <p5> ?x . }`, hubOut},
+		{"bound-subject-var-pred", `SELECT ?x ?p WHERE { <hub> ?p ?x . }`, 2048 + 256},
+		{"unbound-const-pred", `SELECT ?s ?x WHERE { ?s <p5> ?x . }`, hubOut},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			q := sparql.MustParse(g.Dict, tc.query)
+			s := newTestSearcher(q, g)
+			for i, v := range q.Verts {
+				if !v.IsVar() {
+					s.bound[i] = true
+					s.m.Vertex[i] = v.Term
+				}
+			}
+			e := q.Edges[0]
+			allocs := testing.AllocsPerRun(100, func() {
+				var cur candCursor
+				s.initCursor(&cur, e)
+				var tr rdf.Triple
+				n := 0
+				for cur.next(&tr) {
+					n++
+				}
+				if n != tc.want {
+					t.Fatalf("cursor yielded %d candidates, want %d", n, tc.want)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("delta-merge candidate enumeration allocates %.1f per run, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestEmptyDeltaFastPathUntouched pins the steady state: a frozen graph
+// with an empty delta hands the cursor nil delta runs (the merge loop
+// degenerates to the original single-run walk) and candidate enumeration
+// stays zero-alloc.
+func TestEmptyDeltaFastPathUntouched(t *testing.T) {
+	g := hubGraph(2048, 8)
+	g.Freeze()
+	if !g.Frozen() || g.DeltaLen() != 0 {
+		t.Fatal("setup: expected frozen graph with empty delta")
+	}
+	hub := g.Vertices()[0]
+	base, delta := g.OutEdges2(hub)
+	if delta != nil {
+		t.Fatalf("OutEdges2 returned a delta run (%d) on a delta-free graph", len(delta))
+	}
+	if len(base) == 0 {
+		t.Fatal("OutEdges2 returned no base run")
+	}
+	q := sparql.MustParse(g.Dict, `SELECT ?x WHERE { <hub> <p5> ?x . }`)
+	s := newTestSearcher(q, g)
+	for i, v := range q.Verts {
+		if !v.IsVar() {
+			s.bound[i] = true
+			s.m.Vertex[i] = v.Term
+		}
+	}
+	e := q.Edges[0]
+	allocs := testing.AllocsPerRun(100, func() {
+		var cur candCursor
+		s.initCursor(&cur, e)
+		var tr rdf.Triple
+		for cur.next(&tr) {
+		}
+		if cur.dhalf != nil || cur.j != 0 {
+			t.Fatal("cursor engaged the delta run on a delta-free graph")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("empty-delta fast path allocates %.1f per run, want 0", allocs)
+	}
+}

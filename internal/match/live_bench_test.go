@@ -1,0 +1,70 @@
+package match
+
+// Mixed add+query benchmark for the live-update delta overlay: a
+// read-mostly workload (selective point lookups) interleaved with a 1%
+// stream of fresh triples. "overlay" is the delta path this PR adds —
+// Add appends to the frozen graph's delta index and reads merge, with
+// the default auto-compaction threshold amortizing rebuilds. "refreeze"
+// emulates the pre-overlay world at its best: every update pays a full
+// CSR rebuild immediately (the old Add thawed the whole graph to maps,
+// O(|E|), and the next query either ran on slow maps or re-froze — the
+// rebuild-per-update baseline is the cheaper of the two). The
+// bench-baseline gate records both in BENCH_5.json; the acceptance bar
+// is overlay ≥10x refreeze at this update ratio.
+
+import (
+	"fmt"
+	"testing"
+
+	"rdffrag/internal/rdf"
+	"rdffrag/internal/sparql"
+	"rdffrag/internal/watdiv"
+)
+
+// liveUpdateRatio is one update per this many queries (1%).
+const liveUpdateRatio = 100
+
+func liveBenchSetup(b *testing.B) (*rdf.Graph, *sparql.Graph) {
+	b.Helper()
+	wd := watdiv.Generate(watdiv.Options{Triples: 100000, Seed: 20160315})
+	g := wd.Graph
+	if !g.Frozen() {
+		g.Freeze()
+	}
+	// A constant-anchored point lookup on a real vertex: the read-mostly
+	// shape live services serve, cheap enough that update cost shows.
+	t0 := g.Triples()[0]
+	q := sparql.NewGraph()
+	q.AddTriplePattern(
+		sparql.Vertex{Term: t0.S},
+		sparql.Edge{Pred: t0.P},
+		sparql.Vertex{Var: "x"},
+	)
+	return g, q
+}
+
+func BenchmarkLiveMixedAddQuery(b *testing.B) {
+	for _, mode := range []string{"overlay", "refreeze"} {
+		b.Run(mode, func(b *testing.B) {
+			g, q := liveBenchSetup(b)
+			obj := g.Triples()[1].O
+			pred := g.Triples()[0].P
+			serial := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%liveUpdateRatio == 0 {
+					s := g.Dict.MustIRI(fmt.Sprintf("live%d", serial))
+					serial++
+					g.Add(rdf.Triple{S: s, P: pred, O: obj})
+					if mode == "refreeze" {
+						g.Compact() // the rebuild the pre-overlay Add forced
+					}
+				}
+				if n := Count(q, g, Options{Parallelism: 1}); n == 0 {
+					b.Fatal("point lookup matched nothing")
+				}
+			}
+		})
+	}
+}

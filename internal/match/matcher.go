@@ -246,13 +246,13 @@ func edgeOrder(q *sparql.Graph, g *rdf.Graph) []int {
 			selectivity[i] = 0 // membership check: cheapest possible
 		case !from.IsVar():
 			if e.IsPredVar() {
-				selectivity[i] = len(g.OutEdges(from.Term)) + 1
+				selectivity[i] = g.OutDegree(from.Term) + 1
 			} else {
 				selectivity[i] = g.OutDegreeP(from.Term, e.Pred) + 1
 			}
 		case !to.IsVar():
 			if e.IsPredVar() {
-				selectivity[i] = len(g.InEdges(to.Term)) + 1
+				selectivity[i] = g.InDegree(to.Term) + 1
 			} else {
 				selectivity[i] = g.InDegreeP(to.Term, e.Pred) + 1
 			}
@@ -389,21 +389,28 @@ func (s *searcher) expandRoot(ei int, t rdf.Triple) {
 }
 
 // candCursor enumerates the candidate data triples of one query edge
-// without materializing them: it walks a zero-copy index run (a CSR
-// adjacency run, the per-predicate triple arena, or the full triple list)
-// and synthesizes each Triple into caller-provided storage. The cursor
-// itself lives on the searcher's stack — candidate enumeration performs
-// zero heap allocations.
+// without materializing them: it merge-walks up to two zero-copy index
+// runs (a CSR run plus its delta-overlay run, the per-predicate triple
+// arena plus its delta, or the full triple list) and synthesizes each
+// Triple into caller-provided storage. On a frozen graph both runs are
+// sorted, and the two-way merge reproduces exactly the enumeration order
+// a freshly rebuilt CSR would give — the property the differential
+// harness pins. The cursor itself lives on the searcher's stack —
+// candidate enumeration performs zero heap allocations, with or without
+// a delta.
 type candCursor struct {
 	mode  uint8          // one of curHalf, curTris, curSingle, curDone
-	half  []rdf.HalfEdge // curHalf: adjacency run to walk
-	tris  []rdf.Triple   // curTris: triple run to walk
+	half  []rdf.HalfEdge // curHalf: base adjacency run to walk
+	dhalf []rdf.HalfEdge // curHalf: delta-overlay run (nil without delta)
+	tris  []rdf.Triple   // curTris: base triple run to walk
+	dtris []rdf.Triple   // curTris: delta-overlay run (nil without delta)
 	one   rdf.Triple     // curSingle: the only candidate
-	i     int
-	fixed rdf.ID // curHalf: the bound endpoint's data vertex
-	other rdf.ID // curHalf: required far endpoint; NoID = unconstrained
-	needP rdf.ID // curHalf: required predicate; NoID = already filtered
-	out   bool   // curHalf: fixed endpoint is the subject
+	i     int            // position in the base run
+	j     int            // position in the delta run
+	fixed rdf.ID         // curHalf: the bound endpoint's data vertex
+	other rdf.ID         // curHalf: required far endpoint; NoID = unconstrained
+	needP rdf.ID         // curHalf: required predicate; NoID = already filtered
+	out   bool           // curHalf: fixed endpoint is the subject
 }
 
 const (
@@ -415,11 +422,15 @@ const (
 
 // initCursor picks the cheapest index to drive the scan for edge e given
 // the current bindings, threading the edge's constant predicate into the
-// bound-endpoint cases so a frozen graph serves a contiguous run.
+// bound-endpoint cases so a frozen graph serves a contiguous run. The
+// two-run (base + delta overlay) accessors keep this allocation-free even
+// on graphs carrying live updates; the delta runs are nil whenever the
+// graph has no delta, leaving the original single-run walk.
 func (s *searcher) initCursor(c *candCursor, e sparql.Edge) {
 	fromBound := s.bound[e.From]
 	toBound := s.bound[e.To]
-	c.i = 0
+	c.i, c.j = 0, 0
+	c.dhalf, c.dtris = nil, nil
 	c.other = rdf.NoID
 	c.needP = rdf.NoID
 	switch {
@@ -441,10 +452,10 @@ func (s *searcher) initCursor(c *candCursor, e sparql.Edge) {
 			c.other = s.m.Vertex[e.To]
 		}
 		if e.IsPredVar() {
-			c.half = s.g.OutEdges(sub)
+			c.half, c.dhalf = s.g.OutEdges2(sub)
 		} else {
-			run, exact := s.g.OutRun(sub, e.Pred)
-			c.half = run
+			base, delta, exact := s.g.OutRun2(sub, e.Pred)
+			c.half, c.dhalf = base, delta
 			if !exact {
 				c.needP = e.Pred
 			}
@@ -455,42 +466,79 @@ func (s *searcher) initCursor(c *candCursor, e sparql.Edge) {
 		c.out = false
 		c.fixed = obj
 		if e.IsPredVar() {
-			c.half = s.g.InEdges(obj)
+			c.half, c.dhalf = s.g.InEdges2(obj)
 		} else {
-			run, exact := s.g.InRun(obj, e.Pred)
-			c.half = run
+			base, delta, exact := s.g.InRun2(obj, e.Pred)
+			c.half, c.dhalf = base, delta
 			if !exact {
 				c.needP = e.Pred
 			}
 		}
 	case !e.IsPredVar():
 		c.mode = curTris
-		c.tris = s.g.ByPredicate(e.Pred)
+		c.tris, c.dtris = s.g.ByPredicate2(e.Pred)
 	default:
+		// Full scan: the insertion-order triple list already contains the
+		// delta triples as its newest suffix — no second run needed.
 		c.mode = curTris
 		c.tris = s.g.Triples()
 	}
 }
 
 // next advances the cursor, writing the candidate into *t. It returns
-// false when the candidates are exhausted.
+// false when the candidates are exhausted. With a delta run present it
+// two-way merges the sorted base and delta runs, reproducing the
+// enumeration order of a rebuilt CSR; with an empty delta (the steady
+// state) the extra run costs one bounds check per candidate.
 func (c *candCursor) next(t *rdf.Triple) bool {
 	switch c.mode {
 	case curTris:
-		if c.i >= len(c.tris) {
+		var tr rdf.Triple
+		switch {
+		case c.i < len(c.tris) && c.j < len(c.dtris):
+			if rdf.CompareSO(c.dtris[c.j], c.tris[c.i]) < 0 {
+				tr = c.dtris[c.j]
+				c.j++
+			} else {
+				tr = c.tris[c.i]
+				c.i++
+			}
+		case c.i < len(c.tris):
+			tr = c.tris[c.i]
+			c.i++
+		case c.j < len(c.dtris):
+			tr = c.dtris[c.j]
+			c.j++
+		default:
 			return false
 		}
-		*t = c.tris[c.i]
-		c.i++
+		*t = tr
 		return true
 	case curSingle:
 		c.mode = curDone
 		*t = c.one
 		return true
 	case curHalf:
-		for c.i < len(c.half) {
-			h := c.half[c.i]
-			c.i++
+		for {
+			var h rdf.HalfEdge
+			switch {
+			case c.i < len(c.half) && c.j < len(c.dhalf):
+				if rdf.CompareHalf(c.dhalf[c.j], c.half[c.i]) < 0 {
+					h = c.dhalf[c.j]
+					c.j++
+				} else {
+					h = c.half[c.i]
+					c.i++
+				}
+			case c.i < len(c.half):
+				h = c.half[c.i]
+				c.i++
+			case c.j < len(c.dhalf):
+				h = c.dhalf[c.j]
+				c.j++
+			default:
+				return false
+			}
 			if c.needP != rdf.NoID && h.P != c.needP {
 				continue
 			}
@@ -504,7 +552,6 @@ func (c *candCursor) next(t *rdf.Triple) bool {
 			}
 			return true
 		}
-		return false
 	}
 	return false
 }

@@ -22,6 +22,7 @@ package match
 
 import (
 	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -55,17 +56,26 @@ type parallelRun struct {
 	rootEdge sparql.Edge
 
 	// Root candidates: exactly one of half/tris is non-nil, mirroring
-	// candCursor's curHalf and curTris modes.
+	// candCursor's curHalf and curTris modes. dhalf/dtris are the delta
+	// overlay runs of a live-updated frozen graph (nil without a delta);
+	// the sequential cursor merge-walks base and delta in sorted order,
+	// so the morsels partition that merged sequence.
 	half  []rdf.HalfEdge
+	dhalf []rdf.HalfEdge
 	tris  []rdf.Triple
+	dtris []rdf.Triple
 	fixed rdf.ID // curHalf: the bound endpoint's data vertex
 	other rdf.ID // curHalf: required far endpoint; NoID = unconstrained
 	needP rdf.ID // curHalf: required predicate; NoID = already filtered
 	out   bool   // curHalf: fixed endpoint is the subject
 
 	workers    int
-	morselSize int
+	morselSize int // base-run candidates per morsel
 	numMorsels int
+	// dsplit[m] is the delta-run index where morsel m starts: the delta
+	// elements ordered before morsel m's first base candidate belong to
+	// earlier morsels. nil when the delta run is empty.
+	dsplit []int
 
 	next atomic.Int64 // dispatcher: index of the next unclaimed morsel
 	stop atomic.Bool  // kill switch: a callback returned false
@@ -94,10 +104,11 @@ func planParallel(q *sparql.Graph, g *rdf.Graph, opts Options, order []int) *par
 
 	// Resolve the root candidate run against the constant bindings only
 	// — nothing else is bound at depth 0. This mirrors initCursor's
-	// bound-endpoint cases with s.bound[v] ⇔ the vertex is a constant.
+	// bound-endpoint cases with s.bound[v] ⇔ the vertex is a constant,
+	// including the delta-overlay runs of a live-updated frozen graph.
 	var (
-		half         []rdf.HalfEdge
-		tris         []rdf.Triple
+		half, dhalf  []rdf.HalfEdge
+		tris, dtris  []rdf.Triple
 		fixed        rdf.ID
 		other, needP = rdf.NoID, rdf.NoID
 		out          bool
@@ -113,10 +124,10 @@ func planParallel(q *sparql.Graph, g *rdf.Graph, opts Options, order []int) *par
 			other = to.Term
 		}
 		if e.IsPredVar() {
-			half = g.OutEdges(from.Term)
+			half, dhalf = g.OutEdges2(from.Term)
 		} else {
-			run, exact := g.OutRun(from.Term, e.Pred)
-			half = run
+			base, delta, exact := g.OutRun2(from.Term, e.Pred)
+			half, dhalf = base, delta
 			if !exact {
 				needP = e.Pred
 			}
@@ -124,20 +135,26 @@ func planParallel(q *sparql.Graph, g *rdf.Graph, opts Options, order []int) *par
 	case !to.IsVar():
 		fixed = to.Term
 		if e.IsPredVar() {
-			half = g.InEdges(to.Term)
+			half, dhalf = g.InEdges2(to.Term)
 		} else {
-			run, exact := g.InRun(to.Term, e.Pred)
-			half = run
+			base, delta, exact := g.InRun2(to.Term, e.Pred)
+			half, dhalf = base, delta
 			if !exact {
 				needP = e.Pred
 			}
 		}
 	case !e.IsPredVar():
-		tris = g.ByPredicate(e.Pred)
+		tris, dtris = g.ByPredicate2(e.Pred)
 	default:
-		tris = g.Triples()
+		tris = g.Triples() // insertion order already includes the delta
 	}
 
+	// Morsel geometry is defined on the base run; the (small) delta run
+	// is carved along the same boundaries by binary search, so morsel
+	// buckets concatenated in morsel order still reproduce the sequential
+	// merged enumeration. A root whose base run is too small to split
+	// stays sequential even if its delta is large — the delta is bounded
+	// by the compaction threshold, so that case is transient.
 	n := len(half) + len(tris)
 	if n < parallelMinRoot {
 		return nil
@@ -145,7 +162,7 @@ func planParallel(q *sparql.Graph, g *rdf.Graph, opts Options, order []int) *par
 	r := &parallelRun{
 		q: q, g: g, opts: opts, order: order,
 		rootIdx: rootIdx, rootEdge: e,
-		half: half, tris: tris,
+		half: half, dhalf: dhalf, tris: tris, dtris: dtris,
 		fixed: fixed, other: other, needP: needP, out: out,
 	}
 	r.morselSize = n / (workers * morselsPerWorker)
@@ -160,29 +177,73 @@ func planParallel(q *sparql.Graph, g *rdf.Graph, opts Options, order []int) *par
 		workers = r.numMorsels
 	}
 	r.workers = workers
+	if len(dhalf)+len(dtris) > 0 {
+		r.dsplit = make([]int, r.numMorsels+1)
+		r.dsplit[r.numMorsels] = len(dhalf) + len(dtris)
+		for m := 1; m < r.numMorsels; m++ {
+			if half != nil {
+				r.dsplit[m], _ = slices.BinarySearchFunc(dhalf, half[m*r.morselSize], rdf.CompareHalf)
+			} else {
+				r.dsplit[m], _ = slices.BinarySearchFunc(dtris, tris[m*r.morselSize], rdf.CompareSO)
+			}
+		}
+	}
 	return r
 }
 
-// candidate synthesizes root candidate i into *t, applying the run's
-// predicate/endpoint filters; it reports false when i is filtered out.
-func (r *parallelRun) candidate(i int, t *rdf.Triple) bool {
+// runMorsel merge-walks one morsel — its base sub-run and the delta
+// elements the dsplit boundaries assign to it — in the sequential cursor's
+// enumeration order, expanding every candidate that survives the run's
+// predicate/endpoint filters.
+func (r *parallelRun) runMorsel(s *searcher, morsel int) {
+	blo := morsel * r.morselSize
+	bhi := blo + r.morselSize
+	if n := len(r.half) + len(r.tris); bhi > n {
+		bhi = n
+	}
+	dlo, dhi := 0, 0
+	if r.dsplit != nil {
+		dlo, dhi = r.dsplit[morsel], r.dsplit[morsel+1]
+	}
 	if r.tris != nil {
-		*t = r.tris[i]
-		return true
+		i, j := blo, dlo
+		for (i < bhi || j < dhi) && !s.done {
+			var tr rdf.Triple
+			if i < bhi && (j >= dhi || rdf.CompareSO(r.tris[i], r.dtris[j]) <= 0) {
+				tr = r.tris[i]
+				i++
+			} else {
+				tr = r.dtris[j]
+				j++
+			}
+			s.expandRoot(r.rootIdx, tr)
+		}
+		return
 	}
-	h := r.half[i]
-	if r.needP != rdf.NoID && h.P != r.needP {
-		return false
+	i, j := blo, dlo
+	for (i < bhi || j < dhi) && !s.done {
+		var h rdf.HalfEdge
+		if i < bhi && (j >= dhi || rdf.CompareHalf(r.half[i], r.dhalf[j]) <= 0) {
+			h = r.half[i]
+			i++
+		} else {
+			h = r.dhalf[j]
+			j++
+		}
+		if r.needP != rdf.NoID && h.P != r.needP {
+			continue
+		}
+		if r.other != rdf.NoID && h.Other != r.other {
+			continue
+		}
+		var t rdf.Triple
+		if r.out {
+			t = rdf.Triple{S: r.fixed, P: h.P, O: h.Other}
+		} else {
+			t = rdf.Triple{S: h.Other, P: h.P, O: r.fixed}
+		}
+		s.expandRoot(r.rootIdx, t)
 	}
-	if r.other != rdf.NoID && h.Other != r.other {
-		return false
-	}
-	if r.out {
-		*t = rdf.Triple{S: r.fixed, P: h.P, O: h.Other}
-	} else {
-		*t = rdf.Triple{S: h.Other, P: h.P, O: r.fixed}
-	}
-	return true
 }
 
 // workerHooks is one worker's private result plumbing. onMatch sees every
@@ -239,26 +300,12 @@ func (r *parallelRun) worker(h workerHooks) {
 	morsel := -1
 	s.fn = func(m *Match) bool { return h.onMatch(morsel, m) }
 
-	n := len(r.half) + len(r.tris)
 	for !r.stop.Load() {
 		morsel = int(r.next.Add(1)) - 1
 		if morsel >= r.numMorsels {
 			return
 		}
-		lo := morsel * r.morselSize
-		hi := lo + r.morselSize
-		if hi > n {
-			hi = n
-		}
-		var t rdf.Triple
-		for i := lo; i < hi; i++ {
-			if s.done {
-				break
-			}
-			if r.candidate(i, &t) {
-				s.expandRoot(r.rootIdx, t)
-			}
-		}
+		r.runMorsel(s, morsel)
 		if s.done {
 			r.stop.Store(true)
 			return

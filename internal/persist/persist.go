@@ -97,8 +97,21 @@ type State struct {
 	Sites int
 }
 
-// Save encodes the state to w.
+// Save encodes the state to w. Delta-carrying frozen graphs (a live
+// deployment that has taken updates since its last compaction) are
+// compacted first: the snapshot's triple lists already contain the delta
+// triples either way, but compact-on-save means the surviving in-memory
+// deployment keeps serving pure-CSR reads and the snapshot marks a clean
+// LSM generation.
 func Save(w io.Writer, st *State) error {
+	st.Graph.Compact()
+	if st.HC != nil {
+		st.HC.Hot.Compact()
+		st.HC.Cold.Compact()
+	}
+	for _, f := range st.Frag.All() {
+		f.Graph.Compact()
+	}
 	snap := &Snapshot{Version: Version, Sites: st.Sites, Kind: uint8(st.Frag.Kind)}
 
 	d := st.Graph.Dict

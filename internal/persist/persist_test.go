@@ -73,6 +73,70 @@ func TestRoundTripStructure(t *testing.T) {
 	}
 }
 
+// TestRoundTripDeltaCarryingGraphs: a deployment that has taken live
+// updates into its delta overlays snapshots completely — Save compacts
+// the deltas first (the frozen survivors keep serving pure-CSR reads)
+// and Load reproduces every delta triple.
+func TestRoundTripDeltaCarryingGraphs(t *testing.T) {
+	st := buildState(t, false)
+	st.Graph.Freeze()
+	st.Graph.SetAutoCompact(-1)
+	frag0 := st.Frag.Fragments[0]
+	cold := st.Frag.Cold
+
+	// Stream post-freeze updates: one into the global graph + a hot
+	// fragment, one into the global graph + the cold fragment.
+	d := st.Graph.Dict
+	hot := rdf.Triple{S: d.MustIRI("UpdP"), P: d.MustIRI("name"), O: d.MustLiteral("Upd")}
+	coldT := rdf.Triple{S: d.MustIRI("UpdP"), P: d.MustIRI("viaf"), O: d.MustLiteral("42")}
+	st.Graph.Add(hot)
+	st.Graph.Add(coldT)
+	frag0.Graph.Add(hot)
+	cold.Graph.Add(coldT)
+	if st.Graph.DeltaLen() != 2 || frag0.Graph.DeltaLen() == 0 || cold.Graph.DeltaLen() == 0 {
+		t.Fatalf("setup: deltas global=%d frag=%d cold=%d",
+			st.Graph.DeltaLen(), frag0.Graph.DeltaLen(), cold.Graph.DeltaLen())
+	}
+
+	var buf bytes.Buffer
+	if err := Save(&buf, st); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	// Compact-on-save: the saved deployment's graphs carry no deltas now.
+	if st.Graph.DeltaLen() != 0 || frag0.Graph.DeltaLen() != 0 || cold.Graph.DeltaLen() != 0 {
+		t.Errorf("Save left deltas behind: global=%d frag=%d cold=%d",
+			st.Graph.DeltaLen(), frag0.Graph.DeltaLen(), cold.Graph.DeltaLen())
+	}
+	if !st.Graph.Frozen() {
+		t.Error("Save thawed the global graph")
+	}
+
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got.Graph.NumTriples() != st.Graph.NumTriples() {
+		t.Fatalf("graph triples %d vs %d", got.Graph.NumTriples(), st.Graph.NumTriples())
+	}
+	gd := got.Graph.Dict
+	reHot := rdf.Triple{S: mustLookup(t, gd, "UpdP"), P: mustLookup(t, gd, "name"), O: gd.MustLiteral("Upd")}
+	if !got.Graph.Has(reHot) {
+		t.Error("delta triple lost across the round trip")
+	}
+	if !got.Frag.Fragments[0].Graph.Has(reHot) {
+		t.Error("fragment delta triple lost across the round trip")
+	}
+}
+
+func mustLookup(t *testing.T, d *rdf.Dict, iri string) rdf.ID {
+	t.Helper()
+	id, ok := d.Lookup(rdf.NewIRI(iri))
+	if !ok {
+		t.Fatalf("%s not in reloaded dictionary", iri)
+	}
+	return id
+}
+
 func TestVersionMismatch(t *testing.T) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(&Snapshot{Version: 99}); err != nil {

@@ -11,9 +11,9 @@ import "slices"
 // sorted by (P, S, O), replacing the byPred map. All lookups return
 // subslices of the arenas: zero allocations on the match/join hot path.
 //
-// The index is immutable; Graph.Add on a frozen graph thaws back to the
-// map representation first (see ROADMAP: a mutable overlay is future
-// work).
+// The index is immutable; Graph.Add on a frozen graph accumulates in the
+// mutable delta side-index (delta.go) instead, and Compact rebuilds this
+// index with the delta folded in.
 type csrIndex struct {
 	n int // ID-space bound: every S/P/O in the graph is < n
 

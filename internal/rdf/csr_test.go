@@ -140,9 +140,10 @@ func TestFrozenRunsSortedAndExact(t *testing.T) {
 	}
 }
 
-// TestThawOnAdd: adding to a frozen graph transparently thaws it, keeps
-// every triple, and allows re-freezing.
-func TestThawOnAdd(t *testing.T) {
+// TestDeltaOnAdd: adding to a frozen graph keeps it frozen — the triple
+// lands in the delta overlay, reads see it immediately, and Freeze (or
+// Compact) folds it into the CSR.
+func TestDeltaOnAdd(t *testing.T) {
 	ts := randomTriples(11, 40, 6, 3)
 	g := graphOf(ts)
 	g.Freeze()
@@ -150,29 +151,42 @@ func TestThawOnAdd(t *testing.T) {
 	if !g.Frozen() {
 		t.Fatal("not frozen")
 	}
-	// A duplicate Add must not thaw.
+	// A duplicate Add must not grow the delta.
 	if g.Add(ts[0]) {
 		t.Fatal("duplicate add reported new")
 	}
-	if !g.Frozen() {
-		t.Fatal("duplicate add thawed the graph")
+	if !g.Frozen() || g.DeltaLen() != 0 {
+		t.Fatalf("duplicate add mutated the graph (frozen=%v delta=%d)", g.Frozen(), g.DeltaLen())
 	}
 	extra := Triple{S: 100, P: 101, O: 102}
 	if !g.Add(extra) {
 		t.Fatal("add reported duplicate")
 	}
-	if g.Frozen() {
-		t.Fatal("graph still frozen after mutating Add")
+	if !g.Frozen() {
+		t.Fatal("mutating Add thawed the graph; it must stay frozen with a delta overlay")
+	}
+	if g.DeltaLen() != 1 {
+		t.Fatalf("DeltaLen = %d, want 1", g.DeltaLen())
 	}
 	if !g.Has(extra) || g.NumTriples() != len(g.Triples()) {
-		t.Fatal("triple lost across thaw")
+		t.Fatal("triple lost in the delta")
 	}
 	if g.NumVertices() != nv+2 {
 		t.Fatalf("NumVertices = %d, want %d (vertex cache stale?)", g.NumVertices(), nv+2)
 	}
-	g.Freeze()
+	// Overlaid reads serve the delta triple before any compaction.
 	if got := g.OutEdges(100); len(got) != 1 || got[0] != (HalfEdge{P: 101, Other: 102}) {
-		t.Fatalf("OutEdges(100) = %v after refreeze", got)
+		t.Fatalf("OutEdges(100) = %v with delta", got)
+	}
+	if g.OutDegreeP(100, 101) != 1 || g.InDegreeP(102, 101) != 1 || g.PredicateCount(101) != 1 {
+		t.Fatal("degree/count accessors missed the delta triple")
+	}
+	g.Freeze() // on a delta-carrying graph this compacts
+	if g.DeltaLen() != 0 || g.Compactions() == 0 {
+		t.Fatalf("Freeze left delta=%d compactions=%d", g.DeltaLen(), g.Compactions())
+	}
+	if got := g.OutEdges(100); len(got) != 1 || got[0] != (HalfEdge{P: 101, Other: 102}) {
+		t.Fatalf("OutEdges(100) = %v after compaction", got)
 	}
 }
 

@@ -1,0 +1,96 @@
+package rdf
+
+import "slices"
+
+// deltaIndex is the mutable side-index of a frozen graph: post-freeze
+// Adds accumulate here instead of thawing the CSR, LSM-style. Each
+// per-vertex run is kept sorted by (P, Other) and each per-predicate run
+// by (S, O) — the same orders the CSR arenas use — so read paths can
+// two-way merge a CSR run with its delta run and produce exactly the
+// sequence a freshly rebuilt CSR would serve. Inserts are
+// binary-search-and-shift, O(run) per triple; runs stay small because the
+// graph compacts the delta into the CSR once it crosses the auto-compact
+// threshold (Graph.SetAutoCompact).
+//
+// The index is not safe for mutation concurrent with reads; callers that
+// interleave updates and queries (internal/serve) serialize them with a
+// reader/writer lock.
+type deltaIndex struct {
+	n      int               // triples in the delta
+	out    map[ID][]HalfEdge // subject -> (P,O), sorted by (P, Other)
+	in     map[ID][]HalfEdge // object  -> (P,S), sorted by (P, Other)
+	byPred map[ID][]Triple   // property -> triples, sorted by (S, O)
+}
+
+func newDeltaIndex() *deltaIndex {
+	return &deltaIndex{
+		out:    make(map[ID][]HalfEdge),
+		in:     make(map[ID][]HalfEdge),
+		byPred: make(map[ID][]Triple),
+	}
+}
+
+// CompareHalf orders adjacency entries by (P, Other) — the CSR run order.
+func CompareHalf(a, b HalfEdge) int {
+	if a.P != b.P {
+		return int(a.P) - int(b.P)
+	}
+	return int(a.Other) - int(b.Other)
+}
+
+// CompareSO orders same-predicate triples by (S, O) — the predicate arena's
+// within-run order.
+func CompareSO(a, b Triple) int {
+	if a.S != b.S {
+		return int(a.S) - int(b.S)
+	}
+	return int(a.O) - int(b.O)
+}
+
+// add inserts one (already deduplicated) triple, keeping every run sorted.
+func (d *deltaIndex) add(t Triple) {
+	d.n++
+	d.out[t.S] = insertHalf(d.out[t.S], HalfEdge{P: t.P, Other: t.O})
+	d.in[t.O] = insertHalf(d.in[t.O], HalfEdge{P: t.P, Other: t.S})
+	run := d.byPred[t.P]
+	i, _ := slices.BinarySearchFunc(run, t, CompareSO)
+	d.byPred[t.P] = slices.Insert(run, i, t)
+}
+
+func insertHalf(run []HalfEdge, h HalfEdge) []HalfEdge {
+	i, _ := slices.BinarySearchFunc(run, h, CompareHalf)
+	return slices.Insert(run, i, h)
+}
+
+// mergeSorted interleaves two sorted runs into one allocated slice,
+// preferring base on ties (ties cannot occur between a CSR run and its
+// delta — a triple lives in exactly one of the two). It backs the legacy
+// single-slice accessors and the vertex/predicate set merges; the hot
+// path merges inline in the match cursor instead.
+func mergeSorted[T any](base, delta []T, cmp func(T, T) int) []T {
+	out := make([]T, 0, len(base)+len(delta))
+	i, j := 0, 0
+	for i < len(base) && j < len(delta) {
+		if cmp(delta[j], base[i]) < 0 {
+			out = append(out, delta[j])
+			j++
+		} else {
+			out = append(out, base[i])
+			i++
+		}
+	}
+	out = append(out, base[i:]...)
+	return append(out, delta[j:]...)
+}
+
+// mergeHalf merges a CSR adjacency run and a delta run in (P, Other)
+// order.
+func mergeHalf(base, delta []HalfEdge) []HalfEdge {
+	return mergeSorted(base, delta, CompareHalf)
+}
+
+// mergeTriples merges a predicate arena run and its delta run in (S, O)
+// order.
+func mergeTriples(base, delta []Triple) []Triple {
+	return mergeSorted(base, delta, CompareSO)
+}

@@ -1,0 +1,250 @@
+package rdf
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+	"testing/quick"
+)
+
+// rebuiltFrozen builds a fresh graph from the same triple sequence and
+// freezes it: the ground truth an overlaid graph must be byte-identical
+// to.
+func rebuiltFrozen(ts []Triple) *Graph {
+	g := graphOf(ts)
+	g.Freeze()
+	return g
+}
+
+// checkEquivalent asserts the full read API agrees across the overlaid
+// graph, the map-mode oracle and a rebuilt-frozen graph: byte-identical
+// runs against the rebuild (both are sorted), set-equal adjacency against
+// the oracle, and exact degrees/counts everywhere.
+func checkEquivalent(t *testing.T, overlay, oracle *Graph) bool {
+	t.Helper()
+	rebuilt := rebuiltFrozen(overlay.Triples())
+	if overlay.NumTriples() != oracle.NumTriples() || overlay.NumTriples() != rebuilt.NumTriples() {
+		t.Logf("NumTriples: overlay %d oracle %d rebuilt %d",
+			overlay.NumTriples(), oracle.NumTriples(), rebuilt.NumTriples())
+		return false
+	}
+	if !slices.Equal(overlay.Vertices(), rebuilt.Vertices()) || !slices.Equal(overlay.Vertices(), oracle.Vertices()) {
+		t.Logf("Vertices diverged: overlay %v rebuilt %v oracle %v",
+			overlay.Vertices(), rebuilt.Vertices(), oracle.Vertices())
+		return false
+	}
+	if !slices.Equal(overlay.Predicates(), rebuilt.Predicates()) || !slices.Equal(overlay.Predicates(), oracle.Predicates()) {
+		t.Logf("Predicates diverged")
+		return false
+	}
+	for _, v := range rebuilt.Vertices() {
+		// Frozen overlays must serve byte-identical merged runs vs the
+		// rebuild; in map mode runs are insertion-ordered, so compare
+		// sorted.
+		outA, outB := overlay.OutEdges(v), rebuilt.OutEdges(v)
+		inA, inB := overlay.InEdges(v), rebuilt.InEdges(v)
+		if !overlay.Frozen() {
+			outA, inA = sortedEdges(outA), sortedEdges(inA)
+		}
+		if !slices.Equal(outA, outB) {
+			t.Logf("OutEdges(%d): overlay %v rebuilt %v", v, outA, outB)
+			return false
+		}
+		if !slices.Equal(inA, inB) {
+			t.Logf("InEdges(%d): overlay %v rebuilt %v", v, inA, inB)
+			return false
+		}
+		// Set-equal adjacency vs the map-mode oracle.
+		if !slices.Equal(sortedEdges(overlay.OutEdges(v)), sortedEdges(oracle.OutEdges(v))) {
+			t.Logf("OutEdges(%d) vs oracle diverged", v)
+			return false
+		}
+		if overlay.Degree(v) != oracle.Degree(v) || overlay.OutDegree(v) != oracle.OutDegree(v) || overlay.InDegree(v) != oracle.InDegree(v) {
+			t.Logf("degrees of %d diverged", v)
+			return false
+		}
+		for _, p := range rebuilt.Predicates() {
+			if overlay.OutDegreeP(v, p) != oracle.OutDegreeP(v, p) || overlay.InDegreeP(v, p) != oracle.InDegreeP(v, p) {
+				t.Logf("OutDegreeP/InDegreeP(%d, %d) diverged", v, p)
+				return false
+			}
+			if overlay.Frozen() { // map mode serves inexact runs by contract
+				run, exact := overlay.OutRun(v, p)
+				wantRun, _ := rebuilt.OutRun(v, p)
+				if !exact || !slices.Equal(run, wantRun) {
+					t.Logf("OutRun(%d,%d): overlay %v (exact=%v) rebuilt %v", v, p, run, exact, wantRun)
+					return false
+				}
+			}
+		}
+	}
+	for _, p := range rebuilt.Predicates() {
+		if overlay.PredicateCount(p) != oracle.PredicateCount(p) {
+			t.Logf("PredicateCount(%d) diverged", p)
+			return false
+		}
+		if overlay.Frozen() && !slices.Equal(overlay.ByPredicate(p), rebuilt.ByPredicate(p)) {
+			t.Logf("ByPredicate(%d): overlay %v rebuilt %v", p, overlay.ByPredicate(p), rebuilt.ByPredicate(p))
+			return false
+		}
+	}
+	for _, tr := range overlay.Triples() {
+		if !overlay.Has(tr) || !oracle.Has(tr) {
+			t.Logf("Has(%v) lost a triple", tr)
+			return false
+		}
+	}
+	return true
+}
+
+// TestDeltaOverlayDifferentialProperty is the storage half of the
+// differential mutation harness: a random interleaving of
+// Add/Freeze/Compact ops runs against an overlaid graph and a map-mode
+// oracle, and after every mutation the whole read API must agree with
+// both the oracle (as sets) and a freshly rebuilt frozen graph (byte for
+// byte) — before and after every compaction.
+func TestDeltaOverlayDifferentialProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		overlay := NewGraph(nil)
+		oracle := NewGraph(overlay.Dict)
+		// A third of the runs auto-compact aggressively (every delta
+		// triple crosses the threshold), a third never, a third default.
+		switch seed % 3 {
+		case 0:
+			overlay.SetAutoCompact(-1)
+		case 1:
+			overlay.SetAutoCompact(0.0001)
+		}
+		const nv, np = 8, 4
+		randomTriple := func() Triple {
+			return Triple{
+				S: ID(r.Intn(nv)),
+				P: ID(nv + r.Intn(np)),
+				O: ID(r.Intn(nv)),
+			}
+		}
+		for step := 0; step < 60; step++ {
+			switch op := r.Intn(10); {
+			case op < 7: // Add
+				tr := randomTriple()
+				if overlay.Add(tr) != oracle.Add(tr) {
+					t.Logf("Add(%v) novelty diverged", tr)
+					return false
+				}
+			case op < 9: // Freeze (compacts when already frozen)
+				overlay.Freeze()
+			default: // Compact
+				overlay.Compact()
+			}
+			if !checkEquivalent(t, overlay, oracle) {
+				t.Logf("seed %d diverged at step %d (frozen=%v delta=%d compactions=%d)",
+					seed, step, overlay.Frozen(), overlay.DeltaLen(), overlay.Compactions())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAutoCompaction: the delta folds into the CSR once it crosses the
+// configured fraction of the base, and never does when disabled.
+func TestAutoCompaction(t *testing.T) {
+	ts := randomTriples(3, 400, 24, 6)
+	g := graphOf(ts)
+	g.Freeze()
+	base := g.NumTriples()
+	g.SetAutoCompact(0.1)
+	// minCompactDelta floors the threshold; push well past both bounds.
+	want := int(0.1 * float64(base))
+	if want < minCompactDelta {
+		want = minCompactDelta
+	}
+	added := 0
+	for i := 0; added < 2*want; i++ {
+		if g.Add(Triple{S: ID(1000 + i), P: ID(2000), O: ID(3000 + i)}) {
+			added++
+		}
+	}
+	if g.Compactions() == 0 {
+		t.Fatalf("no auto-compaction after %d delta adds (threshold %d)", added, want)
+	}
+	if g.DeltaLen() >= want {
+		t.Fatalf("delta %d still at/above threshold %d after compaction", g.DeltaLen(), want)
+	}
+	if !g.Frozen() {
+		t.Fatal("auto-compaction left the graph unfrozen")
+	}
+
+	g2 := graphOf(ts)
+	g2.Freeze()
+	g2.SetAutoCompact(-1)
+	for i := 0; i < 3*minCompactDelta; i++ {
+		g2.Add(Triple{S: ID(1000 + i), P: ID(2000), O: ID(3000 + i)})
+	}
+	if g2.Compactions() != 0 {
+		t.Fatalf("disabled auto-compaction still compacted %d times", g2.Compactions())
+	}
+	if g2.DeltaLen() != 3*minCompactDelta {
+		t.Fatalf("delta = %d, want %d", g2.DeltaLen(), 3*minCompactDelta)
+	}
+}
+
+// TestDeltaVertexCacheInvalidation is the stale-cache regression test:
+// Vertices/NumVertices are cached on frozen graphs, and a delta Add must
+// invalidate the cache even though the graph stays frozen.
+func TestDeltaVertexCacheInvalidation(t *testing.T) {
+	g := graphOf(randomTriples(5, 50, 6, 3))
+	g.Freeze()
+	_ = g.Vertices() // warm the cache
+	nv := g.NumVertices()
+	g.Add(Triple{S: 500, P: 501, O: 502})
+	if g.NumVertices() != nv+2 {
+		t.Fatalf("NumVertices = %d after delta add, want %d (stale cache)", g.NumVertices(), nv+2)
+	}
+	vs := g.Vertices()
+	if !slices.Contains(vs, ID(500)) || !slices.Contains(vs, ID(502)) {
+		t.Fatalf("Vertices() = %v missing delta vertices", vs)
+	}
+	if !slices.IsSorted(vs) {
+		t.Fatalf("Vertices() not sorted with delta: %v", vs)
+	}
+	// New predicate must surface too.
+	if !slices.Contains(g.Predicates(), ID(501)) {
+		t.Fatalf("Predicates() = %v missing delta predicate", g.Predicates())
+	}
+}
+
+// TestDeltaReadZeroAllocs: the two-run accessors on a delta-carrying
+// frozen graph stay allocation-free — the matcher's hot path does not
+// regress when live updates are pending.
+func TestDeltaReadZeroAllocs(t *testing.T) {
+	ts := randomTriples(13, 200, 12, 6)
+	g := graphOf(ts)
+	g.Freeze()
+	g.SetAutoCompact(-1)
+	for i := 0; i < 40; i++ {
+		g.Add(Triple{S: ID(i % 12), P: ID(12 + i%6), O: ID((i + 5) % 12)})
+	}
+	if g.DeltaLen() == 0 {
+		t.Fatal("setup produced no delta")
+	}
+	v := g.Vertices()[0]
+	p := g.Predicates()[0]
+	allocs := testing.AllocsPerRun(200, func() {
+		_, _ = g.OutEdges2(v)
+		_, _ = g.InEdges2(v)
+		_, _, _ = g.OutRun2(v, p)
+		_, _, _ = g.InRun2(v, p)
+		_, _ = g.ByPredicate2(p)
+		_ = g.OutDegreeP(v, p)
+		_ = g.PredicateCount(p)
+		_ = g.Degree(v)
+	})
+	if allocs != 0 {
+		t.Fatalf("two-run accessors allocate %.1f per run with a delta, want 0", allocs)
+	}
+}

@@ -30,6 +30,23 @@ type HalfEdge struct {
 	Other ID
 }
 
+// DefaultCompactFraction is the auto-compaction threshold: a frozen
+// graph folds its delta into the CSR once the delta exceeds this
+// fraction of the CSR's triples (see SetAutoCompact).
+const DefaultCompactFraction = 0.25
+
+// minCompactDelta is the smallest delta worth compacting automatically;
+// below it a rebuild costs more than the merged reads save.
+const minCompactDelta = 64
+
+// maxCompactDelta caps the auto-compact threshold in absolute terms.
+// Delta inserts are binary-search-and-shift, O(run length) each, so on a
+// huge graph a fraction-of-|E| threshold alone would let a skewed update
+// stream (every triple sharing one predicate) grow a single sorted run
+// to millions of entries and turn the stream quadratic. The cap bounds
+// any run — and the per-read merge work — regardless of graph size.
+const maxCompactDelta = 1 << 16
+
 // Graph is an in-memory RDF graph (Definition 1): vertices are all subjects
 // and objects, directed edges are triples labelled by property.
 //
@@ -37,12 +54,19 @@ type HalfEdge struct {
 // indexes (adjacency and per-property), cheap to append to. Freeze
 // compiles those into an immutable CSR index — flat adjacency arenas with
 // per-vertex offset tables, runs sorted by (P, Other) — which the matcher
-// iterates without allocating; the maps are released. Add on a frozen
-// graph transparently thaws back to map mode (O(|E|)), so freezing is
-// always safe; re-freeze after bulk updates.
+// iterates without allocating; the maps are released.
 //
-// Graph is not safe for concurrent mutation; concurrent reads are fine
-// once loading (and freezing, if used) has finished.
+// Add on a frozen graph does NOT thaw: the triple lands in a small sorted
+// delta side-index (LSM-style) and reads merge the CSR run with the delta
+// run, preserving the CSR order. Compact folds the delta back into the
+// CSR in one rebuild; it runs automatically once the delta crosses the
+// auto-compact threshold, so the delta's per-read merge cost stays
+// bounded.
+//
+// Graph is not safe for concurrent mutation, nor for mutation concurrent
+// with reads; concurrent reads are fine between mutations. Layers that
+// interleave live updates with queries (internal/serve) serialize the two
+// with a reader/writer lock.
 type Graph struct {
 	Dict *Dict
 
@@ -54,8 +78,19 @@ type Graph struct {
 	in     map[ID][]HalfEdge // object  -> (P,S)
 	byPred map[ID][]Triple   // property -> triples
 
-	// frozen is the CSR index; non-nil once Freeze has run.
+	// frozen is the CSR index; non-nil once Freeze has run. delta holds
+	// post-freeze Adds until Compact folds them into a rebuilt CSR.
 	frozen *csrIndex
+	delta  *deltaIndex
+
+	// autoCompact is the delta/CSR size ratio that triggers Compact from
+	// Add; 0 means DefaultCompactFraction, negative disables.
+	autoCompact float64
+	compactions uint64
+
+	// epoch increments on every successful Add. Derived caches (Stats)
+	// compare epochs to decide whether they are stale.
+	epoch uint64
 
 	// vertCache memoizes the sorted vertex set; Add invalidates it.
 	// Guarded by vertMu so lazy computation is safe under the concurrent
@@ -80,16 +115,26 @@ func NewGraph(d *Dict) *Graph {
 }
 
 // Add inserts a triple; duplicates are ignored. It reports whether the
-// triple was new. Adding to a frozen graph thaws it first.
+// triple was new. On a frozen graph the triple goes to the delta overlay
+// (possibly triggering an auto-compaction) and the graph stays frozen.
 func (g *Graph) Add(t Triple) bool {
 	if _, ok := g.triples[t]; ok {
 		return false
 	}
-	if g.frozen != nil {
-		g.thaw()
-	}
 	g.triples[t] = struct{}{}
 	g.order = append(g.order, t)
+	g.epoch++
+	if g.frozen != nil {
+		if g.delta == nil {
+			g.delta = newDeltaIndex()
+		}
+		g.delta.add(t)
+		g.invalidateVertCache()
+		if g.shouldCompact() {
+			g.Compact()
+		}
+		return true
+	}
 	g.out[t.S] = append(g.out[t.S], HalfEdge{P: t.P, Other: t.O})
 	g.in[t.O] = append(g.in[t.O], HalfEdge{P: t.P, Other: t.S})
 	g.byPred[t.P] = append(g.byPred[t.P], t)
@@ -106,10 +151,11 @@ func (g *Graph) AddTerms(s, p, o Term) Triple {
 
 // Freeze compiles the graph into its immutable CSR form and releases the
 // map indexes. Idempotent; call after bulk loading and before issuing
-// queries. A frozen graph answers the same read API, plus the zero-copy
-// run accessors the matcher uses, several times faster.
+// queries. On an already-frozen graph carrying a delta it compacts, so
+// Freeze always leaves a pure CSR behind.
 func (g *Graph) Freeze() {
 	if g.frozen != nil {
+		g.Compact()
 		return
 	}
 	g.frozen = buildCSR(g.order)
@@ -119,20 +165,64 @@ func (g *Graph) Freeze() {
 	g.vertMu.Unlock()
 }
 
-// Frozen reports whether the graph is in CSR mode.
+// Frozen reports whether the graph is in CSR mode (possibly carrying a
+// delta overlay; see DeltaLen).
 func (g *Graph) Frozen() bool { return g.frozen != nil }
 
-// thaw rebuilds the map indexes from the triple list and drops the CSR.
-func (g *Graph) thaw() {
-	g.out = make(map[ID][]HalfEdge, len(g.frozen.verts))
-	g.in = make(map[ID][]HalfEdge, len(g.frozen.verts))
-	g.byPred = make(map[ID][]Triple, len(g.frozen.preds))
-	for _, t := range g.order {
-		g.out[t.S] = append(g.out[t.S], HalfEdge{P: t.P, Other: t.O})
-		g.in[t.O] = append(g.in[t.O], HalfEdge{P: t.P, Other: t.S})
-		g.byPred[t.P] = append(g.byPred[t.P], t)
+// DeltaLen returns the number of post-freeze triples waiting in the delta
+// overlay (0 in map mode or right after a compaction).
+func (g *Graph) DeltaLen() int {
+	if g.delta == nil {
+		return 0
 	}
-	g.frozen = nil
+	return g.delta.n
+}
+
+// Compactions returns how many times the delta has been folded into the
+// CSR, by Compact directly or by the auto-compaction threshold.
+func (g *Graph) Compactions() uint64 { return g.compactions }
+
+// Epoch returns the graph's mutation counter: it increments on every
+// successful Add. Derived caches (Stats) use it to detect staleness.
+func (g *Graph) Epoch() uint64 { return g.epoch }
+
+// SetAutoCompact sets the delta/CSR ratio beyond which Add compacts
+// automatically. 0 restores DefaultCompactFraction; a negative fraction
+// disables auto-compaction (Compact/Freeze still work explicitly).
+func (g *Graph) SetAutoCompact(fraction float64) { g.autoCompact = fraction }
+
+func (g *Graph) shouldCompact() bool {
+	if g.autoCompact < 0 || g.delta == nil {
+		return false
+	}
+	frac := g.autoCompact
+	if frac == 0 {
+		frac = DefaultCompactFraction
+	}
+	base := len(g.order) - g.delta.n
+	threshold := int(frac * float64(base))
+	if threshold < minCompactDelta {
+		threshold = minCompactDelta
+	}
+	if threshold > maxCompactDelta {
+		threshold = maxCompactDelta
+	}
+	return g.delta.n >= threshold
+}
+
+// Compact folds the delta overlay into a freshly rebuilt CSR (one pass
+// over the triple list) and drops the delta. No-op in map mode or when
+// the delta is empty.
+func (g *Graph) Compact() {
+	if g.frozen == nil || g.delta == nil {
+		return
+	}
+	g.frozen = buildCSR(g.order)
+	g.delta = nil
+	g.compactions++
+	g.vertMu.Lock()
+	g.vertCache = g.frozen.verts
+	g.vertMu.Unlock()
 }
 
 func (g *Graph) invalidateVertCache() {
@@ -153,51 +243,110 @@ func (g *Graph) NumTriples() int { return len(g.order) }
 // NumVertices returns |V(G)| (distinct subjects and objects).
 func (g *Graph) NumVertices() int { return len(g.Vertices()) }
 
-// Triples returns the triples in insertion order. The returned slice is
-// owned by the graph and must not be mutated.
+// Triples returns the triples in insertion order (delta triples included —
+// they are the newest suffix). The returned slice is owned by the graph
+// and must not be mutated.
 func (g *Graph) Triples() []Triple { return g.order }
 
-// OutEdges returns the outgoing (P, Other) adjacency of vertex s. The
-// slice is owned by the graph: zero-copy, do not mutate. When the graph is
-// frozen the run is sorted by (P, Other); in map mode it is in insertion
-// order.
+// OutEdges returns the outgoing (P, Other) adjacency of vertex s. With no
+// delta the slice is owned by the graph: zero-copy, do not mutate. When
+// the graph is frozen the run is sorted by (P, Other); in map mode it is
+// in insertion order. A frozen graph with delta edges at s returns a
+// freshly merged (allocated) slice in the same sorted order; the matcher
+// avoids that allocation via OutEdges2.
 func (g *Graph) OutEdges(s ID) []HalfEdge {
-	if c := g.frozen; c != nil {
-		return c.out(s)
+	base, delta := g.OutEdges2(s)
+	if len(delta) == 0 {
+		return base
 	}
-	return g.out[s]
+	return mergeHalf(base, delta)
 }
 
-// InEdges returns the incoming (P, Other) adjacency of vertex o, with the
+// InEdges returns the incoming (P, S) adjacency of vertex o, with the
 // same ownership and ordering contract as OutEdges.
 func (g *Graph) InEdges(o ID) []HalfEdge {
-	if c := g.frozen; c != nil {
-		return c.in(o)
+	base, delta := g.InEdges2(o)
+	if len(delta) == 0 {
+		return base
 	}
-	return g.in[o]
+	return mergeHalf(base, delta)
+}
+
+// OutEdges2 is the two-run overlay variant of OutEdges: the base run
+// (CSR or map mode) and the delta run, both zero-copy. The delta run is
+// nil unless the graph is frozen and carries post-freeze edges at s; both
+// runs are then sorted by (P, Other), so a two-way merge reproduces
+// exactly the adjacency a rebuilt CSR would serve.
+func (g *Graph) OutEdges2(s ID) (base, delta []HalfEdge) {
+	if c := g.frozen; c != nil {
+		if g.delta != nil {
+			delta = g.delta.out[s]
+		}
+		return c.out(s), delta
+	}
+	return g.out[s], nil
+}
+
+// InEdges2 is OutEdges2 for incoming edges of o.
+func (g *Graph) InEdges2(o ID) (base, delta []HalfEdge) {
+	if c := g.frozen; c != nil {
+		if g.delta != nil {
+			delta = g.delta.in[o]
+		}
+		return c.in(o), delta
+	}
+	return g.in[o], nil
 }
 
 // OutRun returns s's outgoing edges labelled p. On a frozen graph this is
 // the contiguous (binary-searched) sub-run and exact is true; in map mode
 // it returns the full adjacency with exact false and the caller must
-// filter by P. Zero-copy either way.
+// filter by P. Zero-copy unless a delta run exists for (s, p), in which
+// case the result is a freshly merged slice (see OutRun2 for the
+// allocation-free form).
 func (g *Graph) OutRun(s, p ID) (run []HalfEdge, exact bool) {
-	if c := g.frozen; c != nil {
-		return predRange(c.out(s), p), true
+	base, delta, exact := g.OutRun2(s, p)
+	if len(delta) == 0 {
+		return base, exact
 	}
-	return g.out[s], false
+	return mergeHalf(base, delta), exact
 }
 
 // InRun is OutRun for incoming edges of o.
 func (g *Graph) InRun(o, p ID) (run []HalfEdge, exact bool) {
-	if c := g.frozen; c != nil {
-		return predRange(c.in(o), p), true
+	base, delta, exact := g.InRun2(o, p)
+	if len(delta) == 0 {
+		return base, exact
 	}
-	return g.in[o], false
+	return mergeHalf(base, delta), exact
+}
+
+// OutRun2 is the two-run overlay variant of OutRun: the CSR sub-run and
+// the delta sub-run for (s, p), both zero-copy and sorted by (P, Other).
+// In map mode it returns the full adjacency with exact false (delta nil).
+func (g *Graph) OutRun2(s, p ID) (base, delta []HalfEdge, exact bool) {
+	if c := g.frozen; c != nil {
+		if g.delta != nil {
+			delta = predRange(g.delta.out[s], p)
+		}
+		return predRange(c.out(s), p), delta, true
+	}
+	return g.out[s], nil, false
+}
+
+// InRun2 is OutRun2 for incoming edges of o.
+func (g *Graph) InRun2(o, p ID) (base, delta []HalfEdge, exact bool) {
+	if c := g.frozen; c != nil {
+		if g.delta != nil {
+			delta = predRange(g.delta.in[o], p)
+		}
+		return predRange(c.in(o), p), delta, true
+	}
+	return g.in[o], nil, false
 }
 
 // Out returns the outgoing (P, O) pairs of vertex s as Edge values. It
-// allocates; the matcher uses OutEdges/OutRun instead.
+// allocates; the matcher uses OutEdges2/OutRun2 instead.
 func (g *Graph) Out(s ID) []Edge {
 	hs := g.OutEdges(s)
 	es := make([]Edge, len(hs))
@@ -208,7 +357,7 @@ func (g *Graph) Out(s ID) []Edge {
 }
 
 // In returns the incoming (P, S) pairs of vertex o as Edge values. It
-// allocates; the matcher uses InEdges/InRun instead.
+// allocates; the matcher uses InEdges2/InRun2 instead.
 func (g *Graph) In(o ID) []Edge {
 	hs := g.InEdges(o)
 	es := make([]Edge, len(hs))
@@ -218,21 +367,34 @@ func (g *Graph) In(o ID) []Edge {
 	return es
 }
 
+// OutDegree returns the number of outgoing edges of v, merging CSR and
+// delta without materializing either.
+func (g *Graph) OutDegree(v ID) int {
+	base, delta := g.OutEdges2(v)
+	return len(base) + len(delta)
+}
+
+// InDegree is OutDegree for incoming edges.
+func (g *Graph) InDegree(v ID) int {
+	base, delta := g.InEdges2(v)
+	return len(base) + len(delta)
+}
+
 // Degree returns the total degree (in+out) of v.
 func (g *Graph) Degree(v ID) int {
-	return len(g.OutEdges(v)) + len(g.InEdges(v))
+	return g.OutDegree(v) + g.InDegree(v)
 }
 
 // OutDegreeP returns the number of outgoing edges of v labelled p: an
 // exact (vertex, predicate) selectivity. O(log deg) frozen, O(deg) in map
 // mode.
 func (g *Graph) OutDegreeP(v, p ID) int {
-	run, exact := g.OutRun(v, p)
+	base, delta, exact := g.OutRun2(v, p)
 	if exact {
-		return len(run)
+		return len(base) + len(delta)
 	}
 	n := 0
-	for _, h := range run {
+	for _, h := range base {
 		if h.P == p {
 			n++
 		}
@@ -242,12 +404,12 @@ func (g *Graph) OutDegreeP(v, p ID) int {
 
 // InDegreeP is OutDegreeP for incoming edges.
 func (g *Graph) InDegreeP(v, p ID) int {
-	run, exact := g.InRun(v, p)
+	base, delta, exact := g.InRun2(v, p)
 	if exact {
-		return len(run)
+		return len(base) + len(delta)
 	}
 	n := 0
-	for _, h := range run {
+	for _, h := range base {
 		if h.P == p {
 			n++
 		}
@@ -255,23 +417,48 @@ func (g *Graph) InDegreeP(v, p ID) int {
 	return n
 }
 
-// ByPredicate returns all triples whose property is p. The slice is owned
-// by the graph. On a frozen graph the run comes from the sorted triple
-// arena (ordered by S then O); in map mode it is in insertion order.
+// ByPredicate returns all triples whose property is p. On a frozen graph
+// the run comes from the sorted triple arena (ordered by S then O); in
+// map mode it is in insertion order. Zero-copy unless a delta run exists
+// for p, in which case the result is a freshly merged slice (see
+// ByPredicate2).
 func (g *Graph) ByPredicate(p ID) []Triple {
-	if c := g.frozen; c != nil {
-		return c.pred(p)
+	base, delta := g.ByPredicate2(p)
+	if len(delta) == 0 {
+		return base
 	}
-	return g.byPred[p]
+	return mergeTriples(base, delta)
+}
+
+// ByPredicate2 is the two-run overlay variant of ByPredicate: the CSR
+// arena run and the delta run for p, both zero-copy and sorted by (S, O)
+// when frozen. In map mode the delta run is nil and the base run is in
+// insertion order.
+func (g *Graph) ByPredicate2(p ID) (base, delta []Triple) {
+	if c := g.frozen; c != nil {
+		if g.delta != nil {
+			delta = g.delta.byPred[p]
+		}
+		return c.pred(p), delta
+	}
+	return g.byPred[p], nil
 }
 
 // PredicateCount returns the number of triples labelled p.
-func (g *Graph) PredicateCount(p ID) int { return len(g.ByPredicate(p)) }
+func (g *Graph) PredicateCount(p ID) int {
+	base, delta := g.ByPredicate2(p)
+	return len(base) + len(delta)
+}
 
 // Predicates returns the distinct properties in ascending ID order.
 func (g *Graph) Predicates() []ID {
 	if c := g.frozen; c != nil {
-		return c.preds
+		if g.delta == nil {
+			return c.preds
+		}
+		return mergeIDs(c.preds, sortedKeysNotIn(g.delta.byPred, func(p ID) bool {
+			return len(c.pred(p)) > 0
+		}))
 	}
 	ps := make([]ID, 0, len(g.byPred))
 	for p := range g.byPred {
@@ -290,7 +477,25 @@ func (g *Graph) Vertices() []ID {
 		return g.vertCache
 	}
 	if c := g.frozen; c != nil {
-		g.vertCache = c.verts
+		if g.delta == nil {
+			g.vertCache = c.verts
+			return g.vertCache
+		}
+		seen := make(map[ID]struct{}, 2*g.delta.n)
+		for v := range g.delta.out {
+			seen[v] = struct{}{}
+		}
+		for v := range g.delta.in {
+			seen[v] = struct{}{}
+		}
+		extra := make([]ID, 0, len(seen))
+		for v := range seen {
+			if len(c.out(v)) == 0 && len(c.in(v)) == 0 {
+				extra = append(extra, v)
+			}
+		}
+		sort.Slice(extra, func(i, j int) bool { return extra[i] < extra[j] })
+		g.vertCache = mergeIDs(c.verts, extra)
 		return g.vertCache
 	}
 	seen := make(map[ID]struct{}, len(g.out)+len(g.in))
@@ -310,6 +515,35 @@ func (g *Graph) Vertices() []ID {
 	}
 	g.vertCache = vs
 	return g.vertCache
+}
+
+// sortedKeysNotIn collects the map's keys that fail the exclusion test,
+// sorted ascending.
+func sortedKeysNotIn[V any](m map[ID]V, inBase func(ID) bool) []ID {
+	out := make([]ID, 0, len(m))
+	for k := range m {
+		if !inBase(k) {
+			out = append(out, k)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// mergeIDs merges two sorted, disjoint ID slices. With an empty extra it
+// returns base unchanged (zero-copy).
+func mergeIDs(base, extra []ID) []ID {
+	if len(extra) == 0 {
+		return base
+	}
+	return mergeSorted(base, extra, func(a, b ID) int {
+		if a < b {
+			return -1
+		} else if a > b {
+			return 1
+		}
+		return 0
+	})
 }
 
 // TripleString renders a triple with decoded terms.

@@ -1,16 +1,27 @@
 package rdf
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Stats caches per-predicate statistics of a graph: triple counts and
 // distinct subject/object counts. The cost models use these to estimate
 // constant selectivities (a triple pattern with a bound object matches
-// count/distinctObjects triples on average). Build once after loading;
-// the underlying graph must not change afterwards.
+// count/distinctObjects triples on average). Computation is lazy and
+// epoch-aware: the cache rebuilds on first use after any mutation
+// (Graph.Epoch), so live updates through the delta overlay cannot leave
+// stale cardinalities behind.
 type Stats struct {
-	g    *Graph
-	once sync.Once
+	g *Graph
 
+	// built is 1 + the graph epoch the cache was computed at (0 = never):
+	// concurrent planners take only the read path while it matches the
+	// graph's current epoch. Mutations are externally serialized against
+	// reads (the graph's concurrency contract), so the epoch cannot move
+	// during a read window.
+	built   atomic.Uint64
+	mu      sync.RWMutex
 	perPred map[ID]PredStats
 }
 
@@ -29,13 +40,17 @@ func (s *Stats) compute() {
 	for _, p := range s.g.Predicates() {
 		subs := make(map[ID]struct{})
 		objs := make(map[ID]struct{})
-		ts := s.g.ByPredicate(p)
-		for _, t := range ts {
-			subs[t.S] = struct{}{}
-			objs[t.O] = struct{}{}
+		count := 0
+		base, delta := s.g.ByPredicate2(p)
+		for _, run := range [][]Triple{base, delta} {
+			for _, t := range run {
+				subs[t.S] = struct{}{}
+				objs[t.O] = struct{}{}
+			}
+			count += len(run)
 		}
 		s.perPred[p] = PredStats{
-			Count:            len(ts),
+			Count:            count,
 			DistinctSubjects: len(subs),
 			DistinctObjects:  len(objs),
 		}
@@ -43,8 +58,21 @@ func (s *Stats) compute() {
 }
 
 // Predicate returns the statistics for property p (zero value if absent).
+// The cache recomputes when the graph has mutated since the last call;
+// fresh-cache lookups contend only on a read lock.
 func (s *Stats) Predicate(p ID) PredStats {
-	s.once.Do(s.compute)
+	want := s.g.Epoch() + 1
+	if s.built.Load() == want {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return s.perPred[p]
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.built.Load() != want { // lost the recompute race: already fresh
+		s.compute()
+		s.built.Store(want)
+	}
 	return s.perPred[p]
 }
 

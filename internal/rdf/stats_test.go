@@ -37,6 +37,47 @@ func TestPredicateStats(t *testing.T) {
 	}
 }
 
+// TestStatsRefreshOnMutation is the stale-stats regression test: the
+// per-predicate cache must recompute after any Add — map mode, delta
+// overlay, and across a compaction — instead of serving the counts from
+// the first computation forever.
+func TestStatsRefreshOnMutation(t *testing.T) {
+	g := statsGraph()
+	st := NewStats(g)
+	p, _ := g.Dict.Lookup(NewIRI("p"))
+	if got := st.Predicate(p).Count; got != 6 {
+		t.Fatalf("initial count = %d, want 6", got)
+	}
+	// Map-mode Add.
+	g.AddTerms(NewIRI("s4"), NewIRI("p"), NewIRI("o3"))
+	if ps := st.Predicate(p); ps.Count != 7 || ps.DistinctSubjects != 4 || ps.DistinctObjects != 3 {
+		t.Fatalf("stats after map-mode add = %+v (stale cache)", ps)
+	}
+	// Delta-overlay Add on the frozen graph.
+	g.Freeze()
+	if got := st.Predicate(p).Count; got != 7 {
+		t.Fatalf("count after freeze = %d, want 7", got)
+	}
+	g.AddTerms(NewIRI("s5"), NewIRI("p"), NewIRI("o1"))
+	if !g.Frozen() || g.DeltaLen() != 1 {
+		t.Fatalf("setup: frozen=%v delta=%d", g.Frozen(), g.DeltaLen())
+	}
+	if ps := st.Predicate(p); ps.Count != 8 || ps.DistinctSubjects != 5 {
+		t.Fatalf("stats after delta add = %+v (stale cache)", ps)
+	}
+	// Unchanged across compaction (same logical content).
+	g.Compact()
+	if ps := st.Predicate(p); ps.Count != 8 || ps.DistinctSubjects != 5 || ps.DistinctObjects != 3 {
+		t.Fatalf("stats after compaction = %+v", ps)
+	}
+	// A brand-new predicate arriving via the delta must appear.
+	g.AddTerms(NewIRI("a"), NewIRI("r"), NewIRI("b"))
+	r, _ := g.Dict.Lookup(NewIRI("r"))
+	if got := st.Predicate(r).Count; got != 1 {
+		t.Fatalf("new delta predicate count = %d, want 1", got)
+	}
+}
+
 func TestEstimateTriplePattern(t *testing.T) {
 	g := statsGraph()
 	st := NewStats(g)

@@ -47,6 +47,16 @@ type Metrics struct {
 	// first such completion.
 	JoinPartitionsCap       int
 	EffectiveJoinPartitions float64
+	// Updates counts applied live-update batches; TriplesAdded is the
+	// total of new triples they contributed (duplicates excluded).
+	Updates      uint64
+	TriplesAdded uint64
+	// DeltaTriples is the global graph's delta overlay size after the
+	// most recent update (0 right after a compaction); Compactions is
+	// its cumulative compaction count. Both are zero until the first
+	// update.
+	DeltaTriples int
+	Compactions  uint64
 }
 
 // collector accumulates metrics from concurrent workers.
@@ -60,10 +70,14 @@ type collector struct {
 	inflight    atomic.Int64
 	cacheHits   atomic.Uint64
 	cacheMisses atomic.Uint64
-	parSum      atomic.Int64 // sum of granted per-query parallelism
-	parCount    atomic.Int64 // executions the sum covers
-	joinSum     atomic.Int64 // sum of per-stage join partitions ran with
-	joinCount   atomic.Int64 // join-bearing completions the sum covers
+	parSum      atomic.Int64  // sum of granted per-query parallelism
+	parCount    atomic.Int64  // executions the sum covers
+	joinSum     atomic.Int64  // sum of per-stage join partitions ran with
+	joinCount   atomic.Int64  // join-bearing completions the sum covers
+	updates     atomic.Uint64 // applied live-update batches
+	triplesAdd  atomic.Uint64 // new triples those batches contributed
+	deltaGauge  atomic.Int64  // global delta size after the last update
+	compactions atomic.Uint64 // global graph's cumulative compactions
 
 	mu   sync.Mutex
 	lats []time.Duration // ring buffer of recent latencies
@@ -92,6 +106,14 @@ func (m *collector) joinPartitions(p int) {
 	m.joinCount.Add(1)
 }
 
+// update records one applied live-update batch.
+func (m *collector) update(st UpdateStats) {
+	m.updates.Add(1)
+	m.triplesAdd.Add(uint64(st.Added))
+	m.deltaGauge.Store(int64(st.DeltaTriples))
+	m.compactions.Store(st.Compactions)
+}
+
 func (m *collector) complete(lat time.Duration) {
 	m.completed.Add(1)
 	m.mu.Lock()
@@ -106,15 +128,19 @@ func (m *collector) complete(lat time.Duration) {
 
 func (m *collector) snapshot() Metrics {
 	s := Metrics{
-		Uptime:      time.Since(m.start),
-		Completed:   m.completed.Load(),
-		Failed:      m.failed.Load(),
-		Rejected:    m.rejected.Load(),
-		TimedOut:    m.timedOut.Load(),
-		QueueDepth:  int(m.queued.Load()),
-		InFlight:    int(m.inflight.Load()),
-		CacheHits:   m.cacheHits.Load(),
-		CacheMisses: m.cacheMisses.Load(),
+		Uptime:       time.Since(m.start),
+		Completed:    m.completed.Load(),
+		Failed:       m.failed.Load(),
+		Rejected:     m.rejected.Load(),
+		TimedOut:     m.timedOut.Load(),
+		QueueDepth:   int(m.queued.Load()),
+		InFlight:     int(m.inflight.Load()),
+		CacheHits:    m.cacheHits.Load(),
+		CacheMisses:  m.cacheMisses.Load(),
+		Updates:      m.updates.Load(),
+		TriplesAdded: m.triplesAdd.Load(),
+		DeltaTriples: int(m.deltaGauge.Load()),
+		Compactions:  m.compactions.Load(),
 	}
 	if sec := s.Uptime.Seconds(); sec > 0 {
 		s.QPS = float64(s.Completed) / sec

@@ -17,6 +17,7 @@ import (
 
 	"rdffrag/internal/exec"
 	"rdffrag/internal/match"
+	"rdffrag/internal/rdf"
 	"rdffrag/internal/sparql"
 )
 
@@ -26,6 +27,10 @@ var ErrOverloaded = errors.New("serve: admission queue full")
 
 // ErrClosed is returned for queries submitted after Close.
 var ErrClosed = errors.New("serve: server closed")
+
+// ErrNoUpdater is returned by Update when the server was configured
+// without an Apply sink.
+var ErrNoUpdater = errors.New("serve: no update sink configured")
 
 // Config tunes the server. The zero value is usable.
 type Config struct {
@@ -53,6 +58,24 @@ type Config struct {
 	// it from its parallelism grant; negative forces the sequential
 	// symmetric join).
 	JoinPartitions int
+	// Apply, when non-nil, is the live-update sink: Update routes triple
+	// batches through it while holding the server's data write lock, so
+	// the deployment's delta overlays mutate with no query in flight
+	// (each query holds the read lock for its whole execution and sees a
+	// consistent snapshot). The callback reports what the batch did.
+	Apply func(ts []rdf.Triple) UpdateStats
+}
+
+// UpdateStats reports the effect of one applied update batch.
+type UpdateStats struct {
+	// Added counts triples that were new to the global graph (duplicates
+	// are skipped).
+	Added int
+	// DeltaTriples is the global graph's delta overlay size after the
+	// batch (0 right after a compaction).
+	DeltaTriples int
+	// Compactions is the global graph's cumulative compaction count.
+	Compactions uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -109,6 +132,13 @@ type Server struct {
 	mu     sync.RWMutex // guards closed vs. queue sends
 	closed bool
 	wg     sync.WaitGroup
+
+	// dataMu serializes live updates against query executions: queries
+	// run under the read lock (concurrently with each other), Update
+	// applies its batch under the write lock. Graph delta overlays are
+	// mutable-but-not-concurrent structures; this lock is what makes the
+	// read-mostly-plus-updates workload safe.
+	dataMu sync.RWMutex
 }
 
 // New starts a server over a deployed engine: cfg.Workers goroutines
@@ -141,6 +171,12 @@ func (s *Server) Close() {
 	close(s.queue)
 	s.mu.Unlock()
 	s.wg.Wait()
+	// Barrier for in-flight updates: an Update that passed the closed
+	// check before it flipped either finishes before this lock is granted
+	// or re-checks closed under dataMu and backs out — after Close
+	// returns, nothing mutates the deployment's graphs.
+	s.dataMu.Lock()
+	s.dataMu.Unlock() //nolint:staticcheck // empty critical section is the point
 }
 
 // Query executes an already-parsed query graph. Admission is
@@ -198,6 +234,12 @@ func (s *Server) execute(req *request) outcome {
 		defer cancel()
 	}
 
+	// The data read lock covers planning and execution: the graphs this
+	// query reads (including their delta overlays) cannot mutate under
+	// it, so the whole execution sees one consistent snapshot.
+	s.dataMu.RLock()
+	defer s.dataMu.RUnlock()
+
 	prep, hit, err := s.plan(req.q)
 	if err != nil {
 		s.met.failed.Add(1)
@@ -223,6 +265,63 @@ func (s *Server) execute(req *request) outcome {
 	s.met.joinPartitions(stats.JoinPartitions)
 	s.met.complete(lat)
 	return outcome{resp: &Response{Bindings: b, Stats: stats, CacheHit: hit, Latency: lat}}
+}
+
+// Update applies a batch of triples to the deployment through the
+// configured Apply sink. It takes the data write lock, so it waits for
+// in-flight queries to finish and blocks new ones while the graphs'
+// delta overlays mutate — updates are cheap (delta appends, amortized
+// compactions), so the write section is short. Returns ErrNoUpdater when
+// the server has no sink and ErrClosed after Close. A cancelled ctx is
+// honoured before the lock is taken; once applying, the batch always
+// completes (partial updates would be torn).
+func (s *Server) Update(ctx context.Context, ts []rdf.Triple) (UpdateStats, error) {
+	s.mu.RLock()
+	closed := s.closed
+	s.mu.RUnlock()
+	if closed {
+		return UpdateStats{}, ErrClosed
+	}
+	if s.cfg.Apply == nil {
+		return UpdateStats{}, ErrNoUpdater
+	}
+	if err := ctx.Err(); err != nil {
+		return UpdateStats{}, err
+	}
+	s.dataMu.Lock()
+	defer s.dataMu.Unlock()
+	// Re-check under the data lock: Close does not wait on dataMu, so an
+	// update that raced past the first check must not mutate graphs the
+	// owner may already be tearing down or snapshotting post-Close.
+	s.mu.RLock()
+	closed = s.closed
+	s.mu.RUnlock()
+	if closed {
+		return UpdateStats{}, ErrClosed
+	}
+	// The lock wait can be long (queries hold the read side for their
+	// whole execution); nothing has been applied yet, so a caller that
+	// gave up while we waited still backs out cleanly.
+	if err := ctx.Err(); err != nil {
+		return UpdateStats{}, err
+	}
+	st := s.cfg.Apply(ts)
+	// Publish the gauges before releasing the lock so concurrent updates
+	// cannot interleave apply order and publish order (the gauge must
+	// reflect the last-applied batch).
+	s.met.update(st)
+	return st, nil
+}
+
+// Exclusive runs fn while holding the data write lock: no query executes
+// and no update applies until fn returns. Maintenance that mutates the
+// deployment's graphs outside the Apply sink (snapshotting with
+// compact-on-save, manual compaction) must run through it to preserve
+// the queries-see-consistent-snapshots guarantee.
+func (s *Server) Exclusive(fn func()) {
+	s.dataMu.Lock()
+	defer s.dataMu.Unlock()
+	fn()
 }
 
 // effectiveParallelism divides the machine-wide intra-query budget by

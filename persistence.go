@@ -14,7 +14,9 @@ import (
 // Save serializes the deployment — term dictionary, hot/cold split,
 // fragments with their generating patterns and minterms, and the
 // allocation — so it can be reloaded with LoadDeployment without
-// re-running the offline pipeline.
+// re-running the offline pipeline. Save compacts delta-carrying graphs
+// first (a mutation), so while a Server is running use Server.Save,
+// which takes the server's exclusive data lock.
 func (dep *Deployment) Save(w io.Writer) error {
 	return persist.Save(w, &persist.State{
 		Graph: dep.db.graph,

@@ -160,7 +160,8 @@ func (db *DB) DeployParsed(workload []*sparql.Graph) (*Deployment, error) {
 	minSup := atLeast1(cfg.MinSupport * float64(len(workload)))
 
 	// Compile the loaded graph into its immutable CSR form before the
-	// match-heavy offline pipeline; Add after deployment thaws it.
+	// match-heavy offline pipeline; Add after deployment goes to the
+	// delta overlay (Server.Update), not back to map mode.
 	db.graph.Freeze()
 	hc := fragment.SplitHotCold(db.graph, workload, theta)
 	patterns := (&mining.Miner{MinSup: minSup, MaxEdges: cfg.MaxPatternEdges}).Mine(workload)

@@ -2,6 +2,7 @@ package rdffrag
 
 import (
 	"context"
+	"io"
 	"time"
 
 	"rdffrag/internal/serve"
@@ -47,7 +48,9 @@ type Server struct {
 }
 
 // StartServer starts a concurrent query server over the deployment.
-// Close it when done.
+// Close it when done. The server accepts live updates (Update) alongside
+// queries: update batches apply under a write lock while queries share a
+// read lock, so every query sees a consistent snapshot.
 func (dep *Deployment) StartServer(cfg ServerConfig) *Server {
 	return &Server{
 		dep: dep,
@@ -58,6 +61,7 @@ func (dep *Deployment) StartServer(cfg ServerConfig) *Server {
 			PlanCacheSize:  cfg.PlanCacheSize,
 			Parallelism:    cfg.Parallelism,
 			JoinPartitions: cfg.JoinPartitions,
+			Apply:          dep.applyUpdate,
 		}),
 	}
 }
@@ -83,6 +87,16 @@ func (s *Server) QueryParsed(ctx context.Context, q *sparql.Graph) (*Result, err
 
 // Close stops accepting queries and waits for in-flight work to finish.
 func (s *Server) Close() { s.inner.Close() }
+
+// Save snapshots the deployment under the server's exclusive data lock:
+// no query or update runs while the snapshot's compact-on-save mutates
+// the graphs. Use this instead of Deployment.Save while the server is
+// live.
+func (s *Server) Save(w io.Writer) error {
+	var err error
+	s.inner.Exclusive(func() { err = s.dep.Save(w) })
+	return err
+}
 
 // ServerMetrics mirrors the serving layer's snapshot for API consumers.
 type ServerMetrics = serve.Metrics

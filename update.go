@@ -1,0 +1,212 @@
+package rdffrag
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"rdffrag/internal/fragment"
+	"rdffrag/internal/match"
+	"rdffrag/internal/rdf"
+	"rdffrag/internal/serve"
+	"rdffrag/internal/sparql"
+)
+
+// UpdateResult reports what one live-update batch did: triples new to
+// the deployment (duplicates skipped), the global graph's delta overlay
+// size after the batch, and its cumulative compaction count.
+type UpdateResult = serve.UpdateStats
+
+// ErrNoUpdater is returned by Server.Update when the server has no update
+// sink (servers started by Deployment.StartServer always have one).
+var ErrNoUpdater = serve.ErrNoUpdater
+
+// Update parses an N-Triples document and applies its triples to the live
+// deployment through the server's update path: triples land in the delta
+// overlays of the global graph, the hot/cold split, and the relevant
+// fragment graphs — no thaw, no re-fragmentation — while the server's
+// data lock keeps in-flight queries on a consistent snapshot. Queries
+// admitted after Update returns see the new triples.
+func (s *Server) Update(ctx context.Context, ntriples string) (*UpdateResult, error) {
+	// Parse into a scratch graph with a private dictionary first: a batch
+	// rejected for syntax (or an already-dead ctx) leaves nothing behind,
+	// not even interned terms in the shared dictionary. Only a valid
+	// batch re-encodes into the deployment dictionary (concurrency-safe
+	// inserts); a valid batch that then fails admission (server closed)
+	// may leave its terms interned, which is benign — terms are
+	// content-addressed and carry no graph state.
+	scratch := rdf.NewGraph(nil)
+	if _, err := rdf.ReadNTriples(scratch, strings.NewReader(ntriples)); err != nil {
+		return nil, err
+	}
+	if scratch.NumTriples() == 0 {
+		return nil, fmt.Errorf("rdffrag: update carried no triples")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	d := s.dep.db.graph.Dict
+	ts := make([]rdf.Triple, 0, scratch.NumTriples())
+	for _, t := range scratch.Triples() {
+		ts = append(ts, rdf.Triple{
+			S: d.Encode(scratch.Dict.Decode(t.S)),
+			P: d.Encode(scratch.Dict.Decode(t.P)),
+			O: d.Encode(scratch.Dict.Decode(t.O)),
+		})
+	}
+	st, err := s.inner.Update(ctx, ts)
+	if err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// applyUpdate is the serve layer's Apply sink: it routes each new triple
+// into every graph the query path might read it from. The caller
+// (serve.Server.Update) holds the data write lock.
+func (dep *Deployment) applyUpdate(ts []rdf.Triple) serve.UpdateStats {
+	added := 0
+	for _, t := range ts {
+		if !dep.db.graph.Add(t) {
+			continue // duplicate
+		}
+		added++
+		dep.routeTriple(t)
+	}
+	return serve.UpdateStats{
+		Added:        added,
+		DeltaTriples: dep.db.graph.DeltaLen(),
+		Compactions:  dep.db.graph.Compactions(),
+	}
+}
+
+// routeTriple places one new triple so every decomposition class finds
+// it: hot-predicate triples go to the hot graph and — via incremental
+// pattern maintenance — to every fragment whose generating pattern they
+// complete a match of (pattern-routed subqueries read exactly those;
+// fragments may overlap, and the control site dedups), everything else
+// goes to the cold graph and the cold fragment (cold subqueries read it
+// there; global subqueries read all fragments, cold included). Fragment
+// graphs stay frozen — triples land in their delta overlays.
+func (dep *Deployment) routeTriple(t rdf.Triple) {
+	if dep.hc.FreqProps[t.P] {
+		dep.hc.Hot.Add(t)
+		placed := false
+		for _, f := range dep.frag.Fragments {
+			if dep.maintainFragment(f, t) {
+				placed = true
+			}
+		}
+		if placed {
+			return
+		}
+		// A hot triple that completes no pattern match yet (selection
+		// integrity makes this rare: one-edge patterns match any triple
+		// of their property) stays reachable through the cold fragment,
+		// the catch-all every global subquery reads. Later updates that
+		// do complete a match re-discover it in the global graph.
+	} else {
+		dep.hc.Cold.Add(t)
+	}
+	dep.coldFragmentAdd(t)
+}
+
+// maintainFragment incrementally maintains one pattern fragment for a
+// new triple t: for every pattern edge t can bind, the pattern is
+// anchored on t (the edge's endpoints and predicate replaced by t's
+// constants) and matched against the global graph, and every triple of
+// every match joins the fragment. Fragment contents are MatchedGraph(P)
+// — matches only, not all property-relevant triples — so this is what
+// pulls in partner triples that were pruned at fragmentation time
+// because they completed no match back then (e.g. a <name> edge whose
+// subject only now gained the pattern's other property). It reports
+// whether t completed at least one match (every anchored match contains
+// t itself).
+func (dep *Deployment) maintainFragment(f *fragment.Fragment, t rdf.Triple) bool {
+	if f.Pattern == nil {
+		return false
+	}
+	p := f.Pattern.Graph
+	found := false
+	for ei, e := range p.Edges {
+		if !e.IsPredVar() && e.Pred != t.P {
+			continue
+		}
+		if from := p.Verts[e.From]; !from.IsVar() && from.Term != t.S {
+			continue
+		}
+		if to := p.Verts[e.To]; !to.IsVar() && to.Term != t.O {
+			continue
+		}
+		if e.From == e.To && t.S != t.O {
+			continue // a self-loop edge cannot bind a non-loop triple
+		}
+		match.ForEach(anchorPattern(p, ei, t), dep.db.graph, match.Options{}, func(m *match.Match) bool {
+			found = true
+			for _, tr := range m.Triples {
+				f.Graph.Add(tr)
+			}
+			return true
+		})
+	}
+	return found
+}
+
+// anchorPattern returns a copy of pattern p with edge ei bound to the
+// data triple t: the edge's endpoint variables become the constants t.S
+// and t.O everywhere they occur, and its predicate variable (if any)
+// becomes t.P on every edge sharing it. Matches of the anchored pattern
+// over the full graph are exactly the pattern matches t participates in
+// through edge ei (a superset for patterns reusing the endpoints, which
+// only adds other real matches — safe, fragments may overlap).
+func anchorPattern(p *sparql.Graph, ei int, t rdf.Triple) *sparql.Graph {
+	e := p.Edges[ei]
+	subst := func(vi int) sparql.Vertex {
+		switch vi {
+		case e.From:
+			return sparql.Vertex{Term: t.S}
+		case e.To:
+			return sparql.Vertex{Term: t.O}
+		}
+		return p.Verts[vi]
+	}
+	g := sparql.NewGraph()
+	for _, pe := range p.Edges {
+		pe2 := sparql.Edge{Pred: pe.Pred, PredVar: pe.PredVar}
+		if e.IsPredVar() && pe.PredVar == e.PredVar {
+			pe2 = sparql.Edge{Pred: t.P}
+		}
+		g.AddTriplePattern(subst(pe.From), pe2, subst(pe.To))
+	}
+	return g
+}
+
+// coldFragmentAdd appends to the cold fragment, materializing and placing
+// it on demand: deployments whose cold graph was empty at fragmentation
+// time have no cold site until the first cold-bound update arrives.
+func (dep *Deployment) coldFragmentAdd(t rdf.Triple) {
+	fr := dep.frag
+	if fr.Cold == nil {
+		maxID := 0
+		for _, f := range fr.Fragments {
+			if f.ID >= maxID {
+				maxID = f.ID + 1
+			}
+		}
+		fr.Cold = &fragment.Fragment{
+			ID:    maxID,
+			Kind:  fragment.ColdKind,
+			Graph: rdf.NewGraph(dep.db.graph.Dict),
+		}
+	}
+	fr.Cold.Graph.Add(t)
+	if dep.alloc.ColdSite < 0 {
+		site := 0
+		if err := dep.cluster.Place(site, fr.Cold.ID, fr.Cold.Graph); err != nil {
+			return // site 0 always exists; unreachable
+		}
+		dep.alloc.Sites[site] = append(dep.alloc.Sites[site], fr.Cold)
+		dep.alloc.SiteOf[fr.Cold.ID] = site
+		dep.alloc.ColdSite = site
+	}
+}
