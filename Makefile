@@ -1,6 +1,6 @@
 # Local dev targets mirroring .github/workflows/ci.yml: `make ci`
 # reproduces the gate's checks; CI additionally runs `make bench-baseline`
-# (kept out of `ci` because it rewrites BENCH_4.json's current section).
+# (kept out of `ci` because it rewrites BENCH_6.json's current section).
 
 GO ?= go
 # bench-baseline needs pipefail so a panicking benchmark fails the target.
@@ -25,14 +25,17 @@ cover:
 # internal/cluster (control-site join operators, pre-PR-4 baseline),
 # internal/rdf (the CSR + delta-overlay storage engine) and
 # internal/match (the merge-cursor matcher), the latter two at their
-# pre-PR-5 baselines measured before the live-update overlay landed.
+# pre-PR-5 baselines measured before the live-update overlay landed, and
+# internal/serve (the MVCC query admission/update path) at its PR-6
+# baseline measured when snapshot reads landed.
 COVER_FLOOR_CLUSTER ?= 81.9
 COVER_FLOOR_RDF ?= 89.8
 COVER_FLOOR_MATCH ?= 88.3
+COVER_FLOOR_SERVE ?= 88.0
 cover-gate:
 	@test -f coverage.out || { echo "coverage.out missing; run 'make cover' first" >&2; exit 1; }
 	@status=0; \
-	for spec in "cluster=$(COVER_FLOOR_CLUSTER)" "rdf=$(COVER_FLOOR_RDF)" "match=$(COVER_FLOOR_MATCH)"; do \
+	for spec in "cluster=$(COVER_FLOOR_CLUSTER)" "rdf=$(COVER_FLOOR_RDF)" "match=$(COVER_FLOOR_MATCH)" "serve=$(COVER_FLOOR_SERVE)"; do \
 		pkg=$${spec%%=*}; floor=$${spec##*=}; \
 		{ head -1 coverage.out; grep "rdffrag/internal/$$pkg/" coverage.out; } > .cover_gate.out; \
 		pct=$$($(GO) tool cover -func=.cover_gate.out | awk '/^total:/ { sub("%","",$$3); print $$3 }'); \
@@ -47,16 +50,21 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # Hot-path benchmarks, recorded as a point of the perf trajectory in
-# BENCH_5.json. The current section includes the partitioned-join
-# per-partition-count sweep (BenchmarkJoinStreamPartitioned/P*) and the
+# BENCH_6.json. The current section includes the partitioned-join
+# per-partition-count sweep (BenchmarkJoinStreamPartitioned/P*), the
 # live-update mixed add+query pair (BenchmarkLiveMixedAddQuery/overlay
-# vs /refreeze — the delta overlay against the rebuild-per-update
-# baseline); the parallel section re-measures BenchmarkMatchWatDiv and
-# the join sweep under GOMAXPROCS=1 and the host's full core count, and
-# the regression gate fails the target when any benchmark runs >20%
-# slower than the previous committed trajectory file (BENCH_4.json).
+# vs /refreeze) and the MVCC writer-latency pair
+# (BenchmarkUpdateLatencyUnderLoad/mvcc vs /rwlock — per-update latency
+# with long queries in flight, snapshot reads against the retired
+# data-lock architecture; run at a fixed iteration count because the
+# rwlock side costs a full query latency per op); the parallel section
+# re-measures BenchmarkMatchWatDiv and the join sweep under GOMAXPROCS=1
+# and the host's full core count, and the regression gate fails the
+# target when any benchmark runs >20% slower than the previous committed
+# trajectory file (BENCH_5.json).
 BENCH_HOT := BenchmarkCandidateScan$$|BenchmarkMatchWatDiv$$|BenchmarkHashJoin$$|BenchmarkJoinStreamPartitioned$$|BenchmarkLiveMixedAddQuery$$
 BENCH_PAR := BenchmarkMatchWatDiv$$|BenchmarkJoinStreamPartitioned$$
+BENCH_SERVE := BenchmarkUpdateLatencyUnderLoad$$
 # Tolerated ns/op regression vs the previous trajectory file. Wall-clock
 # comparisons across hosts drift; override (e.g. BENCH_MAX_REGRESS=0.5)
 # when the measurement machine differs from the one that recorded the
@@ -74,12 +82,14 @@ bench-baseline:
 	else \
 		par="1=.bench_gomaxprocs_1.txt"; \
 	fi; \
-	$(GO) test -run '^$$' -bench '$(BENCH_HOT)' -benchmem -benchtime 1s \
-		./internal/match ./internal/cluster | \
-		$(GO) run ./cmd/benchjson -pr 5 -out BENCH_5.json \
-		-require 'BenchmarkCandidateScan,BenchmarkMatchWatDiv,BenchmarkHashJoin,BenchmarkJoinStreamPartitioned/P2,BenchmarkLiveMixedAddQuery/overlay,BenchmarkLiveMixedAddQuery/refreeze' \
-		-parallel "$$par" -prev BENCH_4.json -max-regress $(BENCH_MAX_REGRESS); \
-	status=$$?; rm -f .bench_gomaxprocs_1.txt .bench_gomaxprocs_np.txt; exit $$status
+	$(GO) test -run '^$$' -bench '$(BENCH_SERVE)' -benchmem -benchtime 200x \
+		./internal/serve > .bench_serve.txt; \
+	{ $(GO) test -run '^$$' -bench '$(BENCH_HOT)' -benchmem -benchtime 1s \
+		./internal/match ./internal/cluster; cat .bench_serve.txt; } | \
+		$(GO) run ./cmd/benchjson -pr 6 -out BENCH_6.json \
+		-require 'BenchmarkCandidateScan,BenchmarkMatchWatDiv,BenchmarkHashJoin,BenchmarkJoinStreamPartitioned/P2,BenchmarkLiveMixedAddQuery/overlay,BenchmarkLiveMixedAddQuery/refreeze,BenchmarkUpdateLatencyUnderLoad/mvcc,BenchmarkUpdateLatencyUnderLoad/rwlock' \
+		-parallel "$$par" -prev BENCH_5.json -max-regress $(BENCH_MAX_REGRESS); \
+	status=$$?; rm -f .bench_gomaxprocs_1.txt .bench_gomaxprocs_np.txt .bench_serve.txt; exit $$status
 
 fmt:
 	gofmt -w .

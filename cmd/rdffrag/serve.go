@@ -143,6 +143,12 @@ func serveMain(args []string) {
 			"triples_added": m.TriplesAdded,
 			"delta_triples": m.DeltaTriples,
 			"compactions":   m.Compactions,
+			// MVCC health: CSR generations still alive (current +
+			// retired-but-pinned) and snapshot pins held by in-flight
+			// queries; generations settling back to one per graph when
+			// idle means retired generations are being reclaimed.
+			"generations":      m.Generations,
+			"pinned_snapshots": m.PinnedSnapshots,
 		})
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {

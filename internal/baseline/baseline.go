@@ -89,13 +89,15 @@ func BuildWARP(g *rdf.Graph, patterns []*mining.Pattern, m int) *Placement {
 		m = 1
 	}
 	g.Freeze() // pattern replication matches every pattern against g
+	gsn := g.Snapshot()
+	defer gsn.Close()
 	p := &Placement{Strategy: WARP, SiteGraphs: make([]*rdf.Graph, m)}
 	for i := range p.SiteGraphs {
 		p.SiteGraphs[i] = rdf.NewGraph(g.Dict)
 	}
 
 	// Compact vertex numbering for the partitioner.
-	verts := g.Vertices()
+	verts := gsn.Vertices()
 	idx := make(map[rdf.ID]int, len(verts))
 	for i, v := range verts {
 		idx[v] = i
@@ -115,7 +117,7 @@ func BuildWARP(g *rdf.Graph, patterns []*mining.Pattern, m int) *Placement {
 
 	// Pattern replication: each match fully resident at one site.
 	for _, pat := range patterns {
-		match.ForEach(pat.Graph, g, match.Options{}, func(mt *match.Match) bool {
+		match.ForEach(pat.Graph, gsn, match.Options{}, func(mt *match.Match) bool {
 			home := partOf(mt.Vertex[0])
 			for _, t := range mt.Triples {
 				p.SiteGraphs[home].Add(t)

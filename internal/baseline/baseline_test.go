@@ -72,7 +72,7 @@ func TestWARPLessRedundantThanSHAPE(t *testing.T) {
 }
 
 func centralized(q *sparql.Graph, env *testenv.Env) *match.Bindings {
-	ms := match.Find(q, env.G, match.Options{})
+	ms := match.Find(q, env.G.Snapshot(), match.Options{})
 	b := match.ToBindings(q, ms)
 	if len(q.Select) > 0 {
 		b = cluster.Project(b, q.Select)

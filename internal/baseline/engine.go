@@ -41,9 +41,11 @@ func NewEngine(c *cluster.Cluster, p *Placement, patterns []*mining.Pattern, ori
 		}
 	}
 	e := &Engine{Cluster: c, Placement: p, Patterns: patterns, predCount: make(map[rdf.ID]int)}
-	for _, pr := range original.Predicates() {
-		e.predCount[pr] = original.PredicateCount(pr)
+	osn := original.Snapshot()
+	for _, pr := range osn.Predicates() {
+		e.predCount[pr] = osn.PredicateCount(pr)
 	}
+	osn.Close()
 	e.triples = original.NumTriples()
 	return e, nil
 }

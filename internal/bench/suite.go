@@ -333,7 +333,9 @@ func Sample(log []*sparql.Graph, fraction float64) []*sparql.Graph {
 // semantics as the distributed engines (distinct projected rows); used by
 // tests and the validation mode of cmd/experiments.
 func CentralAnswerSize(q *sparql.Graph, g *rdf.Graph) int {
-	ms := match.Find(q, g, match.Options{})
+	sn := g.Snapshot()
+	defer sn.Close()
+	ms := match.Find(q, sn, match.Options{})
 	b := match.ToBindings(q, ms)
 	if len(q.Select) > 0 {
 		b = cluster.Project(b, q.Select)

@@ -75,7 +75,17 @@ type Cluster struct {
 
 	outLink sync.Mutex // control site's send link
 	inLink  sync.Mutex // control site's receive link
+
+	// views publishes batch-atomic MVCC read views over every placed
+	// fragment graph: the serving layer republishes after each update
+	// batch, and queries pin the latest view instead of locking the data.
+	views *rdf.ViewSource
 }
+
+// Views returns the cluster's view source. The serving layer publishes a
+// new view after each applied update batch; query paths acquire it to
+// pin a consistent snapshot of every fragment at once.
+func (c *Cluster) Views() *rdf.ViewSource { return c.views }
 
 func (c *Cluster) sendRequest(ctx context.Context, bytes int) error {
 	if c.Latency.PerMessage == 0 && c.Latency.PerKB == 0 {
@@ -114,7 +124,7 @@ func New(m, workersPerSite int) *Cluster {
 	if workersPerSite < 1 {
 		workersPerSite = 1
 	}
-	c := &Cluster{Sites: make([]*Site, m)}
+	c := &Cluster{Sites: make([]*Site, m), views: rdf.NewViewSource()}
 	for i := range c.Sites {
 		c.Sites[i] = &Site{
 			ID:    i,
@@ -125,7 +135,8 @@ func New(m, workersPerSite int) *Cluster {
 	return c
 }
 
-// Place stores a fragment graph at a site.
+// Place stores a fragment graph at a site and registers it with the
+// cluster's view source, so subsequently published views cover it.
 func (c *Cluster) Place(siteID, fragID int, g *rdf.Graph) error {
 	if siteID < 0 || siteID >= len(c.Sites) {
 		return fmt.Errorf("cluster: site %d out of range", siteID)
@@ -134,6 +145,7 @@ func (c *Cluster) Place(siteID, fragID int, g *rdf.Graph) error {
 	s.mu.Lock()
 	s.frags[fragID] = g
 	s.mu.Unlock()
+	c.views.Register(g)
 	return nil
 }
 
@@ -164,6 +176,11 @@ type EvalRequest struct {
 	// the matcher uses inside each fragment (the budget is divided
 	// between the two). 0 means GOMAXPROCS.
 	Parallelism int
+	// View is the query's pinned MVCC read view; fragments are read
+	// through it so one query sees a single batch-atomic cut across every
+	// site. A nil View reads each fragment's current state instead (a
+	// per-graph-consistent fallback used by offline callers).
+	View *rdf.ViewHandle
 }
 
 // split divides the request's parallelism budget over the site's
@@ -236,7 +253,7 @@ func (c *Cluster) Eval(ctx context.Context, req EvalRequest) (*match.Bindings, e
 			case <-ctx.Done():
 				return
 			}
-			found[i] = match.Find(req.Query, g, match.Options{VertexFilter: req.Filter, Parallelism: perFragment})
+			found[i] = match.Find(req.Query, req.View.Snap(g), match.Options{VertexFilter: req.Filter, Parallelism: perFragment})
 			<-s.sem
 		}(i, g)
 	}

@@ -66,12 +66,14 @@ func Build(fr *fragment.Fragmentation, alloc *allocation.Allocation, workload []
 		d.hotStats = rdf.NewStats(fr.Hot)
 	}
 	for _, f := range fr.Fragments {
+		fsn := f.Graph.Snapshot()
 		e := &Entry{
 			Fragment:    f,
 			Site:        -1,
 			Size:        f.Graph.NumTriples(),
-			Cardinality: match.Count(f.Pattern.Graph, f.Graph, match.Options{}),
+			Cardinality: match.Count(f.Pattern.Graph, fsn, match.Options{}),
 		}
+		fsn.Close()
 		if alloc != nil {
 			if s, ok := alloc.SiteOf[f.ID]; ok {
 				e.Site = s
@@ -87,10 +89,12 @@ func Build(fr *fragment.Fragmentation, alloc *allocation.Allocation, workload []
 		d.patterns[f.Pattern.Code] = f.Pattern
 	}
 	if fr.Cold != nil {
-		d.coldTriples = fr.Cold.Graph.NumTriples()
-		for _, p := range fr.Cold.Graph.Predicates() {
-			d.coldPredCount[p] = fr.Cold.Graph.PredicateCount(p)
+		csn := fr.Cold.Graph.Snapshot()
+		d.coldTriples = csn.NumTriples()
+		for _, p := range csn.Predicates() {
+			d.coldPredCount[p] = csn.PredicateCount(p)
 		}
+		csn.Close()
 	}
 	return d
 }

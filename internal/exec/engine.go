@@ -16,6 +16,7 @@ import (
 	"rdffrag/internal/fragment"
 	"rdffrag/internal/match"
 	"rdffrag/internal/plan"
+	"rdffrag/internal/rdf"
 	"rdffrag/internal/sparql"
 )
 
@@ -93,6 +94,10 @@ func New(c *cluster.Cluster, d *dict.Dictionary, fr *fragment.Fragmentation, all
 // (the decomposition ablation); pass false to restore Algorithm 3.
 func (e *Engine) SetNaiveDecomposition(naive bool) { e.dec.Naive = naive }
 
+// Views exposes the cluster's view source: the serving layer publishes a
+// new cut there after each update batch and pins one per query.
+func (e *Engine) Views() *rdf.ViewSource { return e.Cluster.Views() }
+
 // Prepared is a query's cached execution plan: the chosen decomposition
 // (Algorithm 3) and join order (Algorithm 4). A Prepared is immutable
 // after Prepare and may be reused concurrently for any query whose graph
@@ -110,6 +115,14 @@ type Prepared struct {
 	// join partition count for executions of this Prepared, the same way
 	// Parallelism overrides the worker budget.
 	JoinPartitions int
+	// View, when non-nil, is the pinned read view every site evaluation
+	// of this execution reads from — the MVCC replacement for the old
+	// per-query data lock. Cached Prepareds leave it nil; the server
+	// stamps a per-execution copy with the view acquired at admission.
+	// A nil View makes each site evaluation fall back to a
+	// per-graph-consistent snapshot of the current state (fine for
+	// offline callers with no concurrent writer).
+	View *rdf.ViewHandle
 }
 
 // Prepare decomposes and optimizes q without executing it.

@@ -30,7 +30,7 @@ func newEngine(t *testing.T, horizontal bool) (*exec.Engine, *testenv.Env) {
 // centralizedAnswer evaluates q over the whole graph with the local
 // matcher, the ground truth for distributed results.
 func centralizedAnswer(q *sparql.Graph, g *rdf.Graph) *match.Bindings {
-	ms := match.Find(q, g, match.Options{})
+	ms := match.Find(q, g.Snapshot(), match.Options{})
 	b := match.ToBindings(q, ms)
 	if len(q.Select) > 0 {
 		b = cluster.Project(b, q.Select)

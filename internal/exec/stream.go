@@ -139,7 +139,7 @@ func (e *Engine) QueryPrepared(ctx context.Context, q *sparql.Graph, prep *Prepa
 		streams[i] = make(chan *match.Bindings, streamBuf)
 		go func(sq *decompose.Subquery, out chan *match.Bindings) {
 			defer close(out)
-			if err := e.evalSubqueryStream(ctx, sq, sqPar, out, st); err != nil {
+			if err := e.evalSubqueryStream(ctx, sq, prep.View, sqPar, out, st); err != nil {
 				errCh <- err
 				cancel()
 			}
@@ -314,7 +314,8 @@ func sortRows(b *match.Bindings) {
 // relevant fragments and streams their binding batches into out,
 // dividing the subquery's worker budget across its concurrent sites. It
 // returns once every site's stream is exhausted (or ctx is cancelled).
-func (e *Engine) evalSubqueryStream(ctx context.Context, sq *decompose.Subquery, par int, out chan<- *match.Bindings, st *runStats) error {
+// Every site evaluation reads from view, the execution's pinned cut.
+func (e *Engine) evalSubqueryStream(ctx context.Context, sq *decompose.Subquery, view *rdf.ViewHandle, par int, out chan<- *match.Bindings, st *runStats) error {
 	bySite, err := e.routeSubquery(sq)
 	if err != nil {
 		return err
@@ -346,6 +347,7 @@ func (e *Engine) evalSubqueryStream(ctx context.Context, sq *decompose.Subquery,
 				SiteID:      s,
 				FragIDs:     bySite[s],
 				Query:       sq.Graph,
+				View:        view,
 				Parallelism: sitePar,
 			}, e.BatchSize, func(b *match.Bindings) error {
 				st.rows.Add(int64(len(b.Rows)))

@@ -52,12 +52,17 @@ func (s *Selector) Select(patterns []*mining.Pattern, workload []*sparql.Graph, 
 
 	uniq, weights := mining.Normalize(workload)
 
+	// Offline pipeline: one read view of the hot graph serves the whole
+	// selection pass.
+	hsn := hot.Snapshot()
+	defer hsn.Close()
+
 	sel := &Selection{FragSize: make(map[string]int)}
 	fragSize := func(p *mining.Pattern) int {
 		if sz, ok := sel.FragSize[p.Code]; ok {
 			return sz
 		}
-		sz := match.MatchedGraph(p.Graph, hot, match.Options{}).NumTriples()
+		sz := match.MatchedGraph(p.Graph, hsn, match.Options{}).NumTriples()
 		sel.FragSize[p.Code] = sz
 		return sz
 	}
@@ -74,7 +79,7 @@ func (s *Selector) Select(patterns []*mining.Pattern, workload []*sparql.Graph, 
 	// Lines 3–6: one-edge pattern per frequent property in the hot graph.
 	oneEdgeCodes := make(map[string]bool)
 	totalSize := 0
-	for _, pred := range hot.Predicates() {
+	for _, pred := range hsn.Predicates() {
 		g := sparql.NewGraph()
 		g.AddTriplePattern(sparql.Vertex{Var: "a"}, sparql.Edge{Pred: pred}, sparql.Vertex{Var: "b"})
 		code := mining.CanonicalCode(g)

@@ -39,9 +39,11 @@ func TestSelectIncludesAllOneEdgePatterns(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Select: %v", err)
 	}
-	if len(sel.OneEdge) != len(g.Predicates()) {
+	gsn := g.Snapshot()
+	defer gsn.Close()
+	if len(sel.OneEdge) != len(gsn.Predicates()) {
 		t.Fatalf("one-edge patterns = %d, want %d (one per property)",
-			len(sel.OneEdge), len(g.Predicates()))
+			len(sel.OneEdge), len(gsn.Predicates()))
 	}
 	// Every hot edge must be coverable: union of one-edge fragment sizes
 	// equals the graph size.

@@ -47,13 +47,15 @@ func Horizontal(sel *fap.Selection, workload []*sparql.Graph, hc *HotCold, opts 
 	}
 
 	fr := &Fragmentation{Kind: HorizontalKind, Hot: hc.Hot}
+	hsn := hc.Hot.Snapshot()
+	defer hsn.Close()
 	id := 0
 	for _, p := range sel.Patterns {
 		preds := harvestSimplePreds(p, workload, maxPreds, minSupport)
 		minterms := enumerateMinterms(p, preds)
 		if len(minterms) == 0 {
 			// No constants in the workload for this pattern: one fragment.
-			g := match.MatchedGraph(p.Graph, hc.Hot, match.Options{})
+			g := match.MatchedGraph(p.Graph, hsn, match.Options{})
 			if g.NumTriples() == 0 && p.Size() > 1 {
 				continue
 			}
@@ -65,7 +67,7 @@ func Horizontal(sel *fap.Selection, workload []*sparql.Graph, hc *HotCold, opts 
 			continue
 		}
 		for _, mt := range minterms {
-			g := match.MatchedGraph(p.Graph, hc.Hot, match.Options{VertexFilter: mt.VertexFilter()})
+			g := match.MatchedGraph(p.Graph, hsn, match.Options{VertexFilter: mt.VertexFilter()})
 			if g.NumTriples() == 0 {
 				continue
 			}

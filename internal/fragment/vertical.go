@@ -12,9 +12,11 @@ import (
 // black-box fragment.
 func Vertical(sel *fap.Selection, hc *HotCold) *Fragmentation {
 	fr := &Fragmentation{Kind: VerticalKind, Hot: hc.Hot}
+	hsn := hc.Hot.Snapshot()
+	defer hsn.Close()
 	id := 0
 	for _, p := range sel.Patterns {
-		g := match.MatchedGraph(p.Graph, hc.Hot, match.Options{})
+		g := match.MatchedGraph(p.Graph, hsn, match.Options{})
 		if g.NumTriples() == 0 && p.Size() > 1 {
 			continue // multi-edge pattern with no matches adds nothing
 		}

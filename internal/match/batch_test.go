@@ -20,11 +20,11 @@ func TestFindBatchesCoversAllMatches(t *testing.T) {
 	g := batchGraph(25)
 	q := sparql.MustParse(g.Dict, `SELECT ?x ?y WHERE { ?x <p> ?y . }`)
 
-	want := Find(q, g, Options{})
+	want := Find(q, g.Snapshot(), Options{})
 
 	var got []Match
 	sizes := []int{}
-	FindBatches(q, g, Options{}, 7, func(ms []Match) bool {
+	FindBatches(q, g.Snapshot(), Options{}, 7, func(ms []Match) bool {
 		got = append(got, append([]Match(nil), ms...)...)
 		sizes = append(sizes, len(ms))
 		return true
@@ -51,7 +51,7 @@ func TestFindBatchesEarlyStop(t *testing.T) {
 	g := batchGraph(30)
 	q := sparql.MustParse(g.Dict, `SELECT ?x WHERE { ?x <p> ?y . }`)
 	calls := 0
-	FindBatches(q, g, Options{}, 5, func(ms []Match) bool {
+	FindBatches(q, g.Snapshot(), Options{}, 5, func(ms []Match) bool {
 		calls++
 		return false // stop after the first batch
 	})
@@ -64,7 +64,7 @@ func TestFindBatchesDefaultSize(t *testing.T) {
 	g := batchGraph(10)
 	q := sparql.MustParse(g.Dict, `SELECT ?x WHERE { ?x <p> ?y . }`)
 	n := 0
-	FindBatches(q, g, Options{}, 0, func(ms []Match) bool {
+	FindBatches(q, g.Snapshot(), Options{}, 0, func(ms []Match) bool {
 		n += len(ms)
 		return true
 	})

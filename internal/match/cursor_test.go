@@ -19,7 +19,7 @@ func referenceCandidates(s *searcher, e sparql.Edge) []rdf.Triple {
 		sub := s.m.Vertex[e.From]
 		obj := s.m.Vertex[e.To]
 		var out []rdf.Triple
-		for _, h := range s.g.Out(sub) {
+		for _, h := range s.g.OutEdges(sub) {
 			if h.Other == obj {
 				out = append(out, rdf.Triple{S: sub, P: h.P, O: obj})
 			}
@@ -28,14 +28,14 @@ func referenceCandidates(s *searcher, e sparql.Edge) []rdf.Triple {
 	case fromBound:
 		sub := s.m.Vertex[e.From]
 		var out []rdf.Triple
-		for _, h := range s.g.Out(sub) {
+		for _, h := range s.g.OutEdges(sub) {
 			out = append(out, rdf.Triple{S: sub, P: h.P, O: h.Other})
 		}
 		return out
 	case toBound:
 		obj := s.m.Vertex[e.To]
 		var out []rdf.Triple
-		for _, h := range s.g.In(obj) {
+		for _, h := range s.g.InEdges(obj) {
 			out = append(out, rdf.Triple{S: h.Other, P: h.P, O: obj})
 		}
 		return out
@@ -62,7 +62,7 @@ func cursorCandidates(s *searcher, e sparql.Edge) []rdf.Triple {
 func newTestSearcher(q *sparql.Graph, g *rdf.Graph) *searcher {
 	return &searcher{
 		q: q,
-		g: g,
+		g: g.Snapshot(),
 		m: Match{
 			Vertex:  make([]rdf.ID, len(q.Verts)),
 			Pred:    make(map[string]rdf.ID),
@@ -119,7 +119,7 @@ func TestCursorAgreesWithReferenceProperty(t *testing.T) {
 		s := newTestSearcher(q, g)
 		// Bind an arbitrary subset of query vertices to arbitrary data
 		// vertices, exercising all four cursor modes.
-		dom := g.Vertices()
+		dom := s.g.Vertices()
 		if len(dom) == 0 {
 			return true
 		}
@@ -164,8 +164,8 @@ func TestFrozenMatchEquivalenceProperty(t *testing.T) {
 			}
 			return seen
 		}
-		a := keys(Find(q, thawed, Options{}))
-		b := keys(Find(q, frozen, Options{}))
+		a := keys(Find(q, thawed.Snapshot(), Options{}))
+		b := keys(Find(q, frozen.Snapshot(), Options{}))
 		if len(a) != len(b) {
 			return false
 		}
@@ -189,7 +189,7 @@ func TestFrozenVarPredEquivalence(t *testing.T) {
 		frozen := randomData(seed, 20)
 		frozen.Freeze()
 		q := sparql.MustParse(thawed.Dict, `SELECT * WHERE { ?x ?p ?y . ?y ?p ?z . }`)
-		if a, b := Count(q, thawed, Options{}), Count(q, frozen, Options{}); a != b {
+		if a, b := Count(q, thawed.Snapshot(), Options{}), Count(q, frozen.Snapshot(), Options{}); a != b {
 			t.Fatalf("seed %d: thawed count %d != frozen count %d", seed, a, b)
 		}
 	}
@@ -271,7 +271,7 @@ func TestMatchAllocsIndependentOfFanout(t *testing.T) {
 		// loop; the parallel steady state has its own guard in
 		// parallel_test.go.
 		return testing.AllocsPerRun(50, func() {
-			Count(q, g, Options{Parallelism: 1})
+			Count(q, g.Snapshot(), Options{Parallelism: 1})
 		})
 	}
 	small, large := alloc(64), alloc(4096)

@@ -89,18 +89,18 @@ func TestDeltaOverlayMatchDifferentialProperty(t *testing.T) {
 			}
 			rebuilt.Freeze()
 
-			got := Find(q, overlay, Options{Parallelism: 1})
-			want := Find(q, rebuilt, Options{Parallelism: 1})
+			got := Find(q, overlay.Snapshot(), Options{Parallelism: 1})
+			want := Find(q, rebuilt.Snapshot(), Options{Parallelism: 1})
 			if !reflect.DeepEqual(got, want) {
 				t.Logf("step %d (delta=%d): overlay Find not byte-identical to rebuilt (%d vs %d matches)",
 					step, overlay.DeltaLen(), len(got), len(want))
 				return false
 			}
-			if !sameMatchSet(got, Find(q, oracle, Options{Parallelism: 1})) {
+			if !sameMatchSet(got, Find(q, oracle.Snapshot(), Options{Parallelism: 1})) {
 				t.Logf("step %d: overlay diverged from map-mode oracle", step)
 				return false
 			}
-			if Count(q, overlay, Options{Parallelism: 1}) != bruteForceCount(q, oracle) {
+			if Count(q, overlay.Snapshot(), Options{Parallelism: 1}) != bruteForceCount(q, oracle) {
 				t.Logf("step %d: overlay diverged from brute-force oracle", step)
 				return false
 			}
@@ -145,19 +145,19 @@ func TestParallelDeltaByteIdentical(t *testing.T) {
 	}
 	for _, qs := range queries {
 		q := sparql.MustParse(g.Dict, qs)
-		seq := Find(q, g, Options{Parallelism: 1})
+		seq := Find(q, g.Snapshot(), Options{Parallelism: 1})
 		for _, w := range []int{2, 4, 8} {
-			par := Find(q, g, Options{Parallelism: w})
+			par := Find(q, g.Snapshot(), Options{Parallelism: w})
 			if !reflect.DeepEqual(seq, par) {
 				t.Fatalf("%s: parallel(%d) Find diverged from sequential (%d vs %d matches)",
 					qs, w, len(par), len(seq))
 			}
-			if c := Count(q, g, Options{Parallelism: w}); c != len(seq) {
+			if c := Count(q, g.Snapshot(), Options{Parallelism: w}); c != len(seq) {
 				t.Fatalf("%s: parallel(%d) Count = %d, want %d", qs, w, c, len(seq))
 			}
 		}
-		mg := MatchedGraph(q, g, Options{Parallelism: 4})
-		sg := MatchedGraph(q, g, Options{Parallelism: 1})
+		mg := MatchedGraph(q, g.Snapshot(), Options{Parallelism: 4})
+		sg := MatchedGraph(q, g.Snapshot(), Options{Parallelism: 1})
 		if !reflect.DeepEqual(mg.Triples(), sg.Triples()) {
 			t.Fatalf("%s: parallel MatchedGraph insertion order diverged", qs)
 		}
@@ -219,8 +219,10 @@ func TestEmptyDeltaFastPathUntouched(t *testing.T) {
 	if !g.Frozen() || g.DeltaLen() != 0 {
 		t.Fatal("setup: expected frozen graph with empty delta")
 	}
-	hub := g.Vertices()[0]
-	base, delta := g.OutEdges2(hub)
+	sn := g.Snapshot()
+	defer sn.Close()
+	hub := sn.Vertices()[0]
+	base, delta := sn.OutEdges2(hub)
 	if delta != nil {
 		t.Fatalf("OutEdges2 returned a delta run (%d) on a delta-free graph", len(delta))
 	}

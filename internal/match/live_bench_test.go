@@ -61,7 +61,7 @@ func BenchmarkLiveMixedAddQuery(b *testing.B) {
 						g.Compact() // the rebuild the pre-overlay Add forced
 					}
 				}
-				if n := Count(q, g, Options{Parallelism: 1}); n == 0 {
+				if n := Count(q, g.Snapshot(), Options{Parallelism: 1}); n == 0 {
 					b.Fatal("point lookup matched nothing")
 				}
 			}

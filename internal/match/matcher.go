@@ -56,7 +56,7 @@ type Options struct {
 // ForEach enumerates homomorphisms of q in g, invoking fn for each. The
 // Match passed to fn is reused between calls; copy what you keep. fn
 // returning false stops the enumeration early.
-func ForEach(q *sparql.Graph, g *rdf.Graph, opts Options, fn func(*Match) bool) {
+func ForEach(q *sparql.Graph, g *rdf.Snapshot, opts Options, fn func(*Match) bool) {
 	if len(q.Edges) == 0 {
 		return
 	}
@@ -66,7 +66,7 @@ func ForEach(q *sparql.Graph, g *rdf.Graph, opts Options, fn func(*Match) bool) 
 // forEachOrdered is ForEach with a precomputed edge order, so entry
 // points that already ran edgeOrder for the parallel planner don't pay
 // for it twice when the plan declines.
-func forEachOrdered(q *sparql.Graph, g *rdf.Graph, opts Options, order []int, fn func(*Match) bool) {
+func forEachOrdered(q *sparql.Graph, g *rdf.Snapshot, opts Options, order []int, fn func(*Match) bool) {
 	s := &searcher{
 		q:     q,
 		g:     g,
@@ -110,7 +110,7 @@ func (m *Match) clone() Match {
 // deterministic regardless of opts.Parallelism: the parallel path merges
 // per-morsel results in morsel order, reproducing the sequential
 // enumeration order exactly.
-func Find(q *sparql.Graph, g *rdf.Graph, opts Options) []Match {
+func Find(q *sparql.Graph, g *rdf.Snapshot, opts Options) []Match {
 	if len(q.Edges) == 0 {
 		return nil
 	}
@@ -133,7 +133,7 @@ func Find(q *sparql.Graph, g *rdf.Graph, opts Options) []Match {
 // false stops the enumeration early. It powers streaming subquery
 // evaluation: sites ship bindings to the control-site join as they are
 // found instead of materializing the full result first.
-func FindBatches(q *sparql.Graph, g *rdf.Graph, opts Options, size int, fn func([]Match) bool) {
+func FindBatches(q *sparql.Graph, g *rdf.Snapshot, opts Options, size int, fn func([]Match) bool) {
 	if size <= 0 {
 		size = 256
 	}
@@ -176,7 +176,7 @@ func FindBatches(q *sparql.Graph, g *rdf.Graph, opts Options, size int, fn func(
 // Without a limit it runs through the parallel path: each worker counts
 // its morsels locally (no per-match allocation) and the tallies are
 // summed.
-func Count(q *sparql.Graph, g *rdf.Graph, opts Options) int {
+func Count(q *sparql.Graph, g *rdf.Snapshot, opts Options) int {
 	if len(q.Edges) == 0 {
 		return 0
 	}
@@ -197,15 +197,15 @@ func Count(q *sparql.Graph, g *rdf.Graph, opts Options) int {
 // The parallel path collects matched triples per morsel and merges the
 // buckets in morsel order, so the result graph's insertion order equals
 // the sequential one.
-func MatchedGraph(q *sparql.Graph, g *rdf.Graph, opts Options) *rdf.Graph {
+func MatchedGraph(q *sparql.Graph, g *rdf.Snapshot, opts Options) *rdf.Graph {
 	if len(q.Edges) == 0 {
-		return rdf.NewGraph(g.Dict)
+		return rdf.NewGraph(g.Dict())
 	}
 	order := edgeOrder(q, g)
 	if r := planParallel(q, g, opts, order); r != nil {
 		return r.matchedGraph()
 	}
-	sub := rdf.NewGraph(g.Dict)
+	sub := rdf.NewGraph(g.Dict())
 	forEachOrdered(q, g, opts, order, func(m *Match) bool {
 		for _, t := range m.Triples {
 			sub.Add(t)
@@ -217,7 +217,7 @@ func MatchedGraph(q *sparql.Graph, g *rdf.Graph, opts Options) *rdf.Graph {
 
 type searcher struct {
 	q     *sparql.Graph
-	g     *rdf.Graph
+	g     *rdf.Snapshot
 	opts  Options
 	order []int
 	m     Match
@@ -236,7 +236,7 @@ type searcher struct {
 // Constant-anchored edges are costed by the exact degree of the constant
 // vertex — restricted to the edge's predicate when that is constant too
 // (an O(log deg) lookup on a frozen graph) — instead of a flat guess.
-func edgeOrder(q *sparql.Graph, g *rdf.Graph) []int {
+func edgeOrder(q *sparql.Graph, g *rdf.Snapshot) []int {
 	n := len(q.Edges)
 	selectivity := make([]int, n)
 	for i, e := range q.Edges {
@@ -399,18 +399,19 @@ func (s *searcher) expandRoot(ei int, t rdf.Triple) {
 // candidate enumeration performs zero heap allocations, with or without
 // a delta.
 type candCursor struct {
-	mode  uint8          // one of curHalf, curTris, curSingle, curDone
-	half  []rdf.HalfEdge // curHalf: base adjacency run to walk
-	dhalf []rdf.HalfEdge // curHalf: delta-overlay run (nil without delta)
-	tris  []rdf.Triple   // curTris: base triple run to walk
-	dtris []rdf.Triple   // curTris: delta-overlay run (nil without delta)
-	one   rdf.Triple     // curSingle: the only candidate
-	i     int            // position in the base run
-	j     int            // position in the delta run
-	fixed rdf.ID         // curHalf: the bound endpoint's data vertex
-	other rdf.ID         // curHalf: required far endpoint; NoID = unconstrained
-	needP rdf.ID         // curHalf: required predicate; NoID = already filtered
-	out   bool           // curHalf: fixed endpoint is the subject
+	mode  uint8             // one of curHalf, curTris, curSingle, curDone
+	half  []rdf.HalfEdge    // curHalf: base adjacency run to walk
+	dhalf []rdf.DeltaHalf   // curHalf: delta-overlay run (nil without delta)
+	tris  []rdf.Triple      // curTris: base triple run to walk
+	dtris []rdf.DeltaTriple // curTris: delta-overlay run (nil without delta)
+	one   rdf.Triple        // curSingle: the only candidate
+	i     int               // position in the base run
+	j     int               // position in the delta run
+	bound uint32            // snapshot visibility bound: delta entries with Seq >= bound are skipped
+	fixed rdf.ID            // curHalf: the bound endpoint's data vertex
+	other rdf.ID            // curHalf: required far endpoint; NoID = unconstrained
+	needP rdf.ID            // curHalf: required predicate; NoID = already filtered
+	out   bool              // curHalf: fixed endpoint is the subject
 }
 
 const (
@@ -431,6 +432,7 @@ func (s *searcher) initCursor(c *candCursor, e sparql.Edge) {
 	toBound := s.bound[e.To]
 	c.i, c.j = 0, 0
 	c.dhalf, c.dtris = nil, nil
+	c.bound = s.g.Bound()
 	c.other = rdf.NoID
 	c.needP = rdf.NoID
 	switch {
@@ -489,15 +491,21 @@ func (s *searcher) initCursor(c *candCursor, e sparql.Edge) {
 // false when the candidates are exhausted. With a delta run present it
 // two-way merges the sorted base and delta runs, reproducing the
 // enumeration order of a rebuilt CSR; with an empty delta (the steady
-// state) the extra run costs one bounds check per candidate.
+// state) the extra run costs one bounds check per candidate. Delta
+// entries with Seq >= the snapshot's bound — appended by the writer
+// after the snapshot was pinned — are skipped, so a pinned reader's
+// enumeration never changes mid-query.
 func (c *candCursor) next(t *rdf.Triple) bool {
 	switch c.mode {
 	case curTris:
+		for c.j < len(c.dtris) && c.dtris[c.j].Seq >= c.bound {
+			c.j++
+		}
 		var tr rdf.Triple
 		switch {
 		case c.i < len(c.tris) && c.j < len(c.dtris):
-			if rdf.CompareSO(c.dtris[c.j], c.tris[c.i]) < 0 {
-				tr = c.dtris[c.j]
+			if rdf.CompareSO(c.dtris[c.j].T, c.tris[c.i]) < 0 {
+				tr = c.dtris[c.j].T
 				c.j++
 			} else {
 				tr = c.tris[c.i]
@@ -507,7 +515,7 @@ func (c *candCursor) next(t *rdf.Triple) bool {
 			tr = c.tris[c.i]
 			c.i++
 		case c.j < len(c.dtris):
-			tr = c.dtris[c.j]
+			tr = c.dtris[c.j].T
 			c.j++
 		default:
 			return false
@@ -520,11 +528,14 @@ func (c *candCursor) next(t *rdf.Triple) bool {
 		return true
 	case curHalf:
 		for {
+			for c.j < len(c.dhalf) && c.dhalf[c.j].Seq >= c.bound {
+				c.j++
+			}
 			var h rdf.HalfEdge
 			switch {
 			case c.i < len(c.half) && c.j < len(c.dhalf):
-				if rdf.CompareHalf(c.dhalf[c.j], c.half[c.i]) < 0 {
-					h = c.dhalf[c.j]
+				if rdf.CompareHalf(c.dhalf[c.j].H, c.half[c.i]) < 0 {
+					h = c.dhalf[c.j].H
 					c.j++
 				} else {
 					h = c.half[c.i]
@@ -534,7 +545,7 @@ func (c *candCursor) next(t *rdf.Triple) bool {
 				h = c.half[c.i]
 				c.i++
 			case c.j < len(c.dhalf):
-				h = c.dhalf[c.j]
+				h = c.dhalf[c.j].H
 				c.j++
 			default:
 				return false

@@ -57,6 +57,8 @@ func randomQuery(seed int64, edges int) *sparql.Graph {
 // bruteForceCount enumerates all variable assignments exhaustively — the
 // oracle the backtracking matcher must agree with.
 func bruteForceCount(q *sparql.Graph, g *rdf.Graph) int {
+	sn := g.Snapshot()
+	defer sn.Close()
 	// Collect vertex variables; constants are fixed.
 	varIdx := []int{}
 	for i, v := range q.Verts {
@@ -64,7 +66,7 @@ func bruteForceCount(q *sparql.Graph, g *rdf.Graph) int {
 			varIdx = append(varIdx, i)
 		}
 	}
-	domain := g.Vertices()
+	domain := sn.Vertices()
 	assign := make([]rdf.ID, len(q.Verts))
 	for i, v := range q.Verts {
 		if !v.IsVar() {
@@ -106,7 +108,7 @@ func TestMatcherAgreesWithBruteForceProperty(t *testing.T) {
 	f := func(dataSeed, querySeed int64) bool {
 		g := randomData(dataSeed, 15)
 		q := randomQuery(querySeed, 3)
-		ms := Find(q, g, Options{})
+		ms := Find(q, g.Snapshot(), Options{})
 		seen := map[string]bool{}
 		for _, m := range ms {
 			key := ""
@@ -130,13 +132,13 @@ func TestMatchedGraphIsSubsetProperty(t *testing.T) {
 	f := func(dataSeed, querySeed int64) bool {
 		g := randomData(dataSeed, 20)
 		q := randomQuery(querySeed, 2)
-		sub := MatchedGraph(q, g, Options{})
+		sub := MatchedGraph(q, g.Snapshot(), Options{})
 		for _, tr := range sub.Triples() {
 			if !g.Has(tr) {
 				return false
 			}
 		}
-		return Count(q, sub, Options{}) == Count(q, g, Options{})
+		return Count(q, sub.Snapshot(), Options{}) == Count(q, g.Snapshot(), Options{})
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
 		t.Error(err)
@@ -149,9 +151,9 @@ func TestVertexFilterMonotoneProperty(t *testing.T) {
 	f := func(dataSeed, querySeed int64, mod uint8) bool {
 		g := randomData(dataSeed, 15)
 		q := randomQuery(querySeed, 3)
-		all := Count(q, g, Options{})
+		all := Count(q, g.Snapshot(), Options{})
 		m := int(mod%3) + 2
-		filtered := Count(q, g, Options{VertexFilter: func(qv int, id rdf.ID) bool {
+		filtered := Count(q, g.Snapshot(), Options{VertexFilter: func(qv int, id rdf.ID) bool {
 			return int(id)%m != 0
 		}})
 		return filtered <= all

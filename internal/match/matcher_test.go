@@ -36,7 +36,7 @@ func philosopherGraph() *rdf.Graph {
 func TestFindStar(t *testing.T) {
 	g := philosopherGraph()
 	q := sparql.MustParse(g.Dict, `SELECT ?x ?n WHERE { ?x <name> ?n . ?x <mainInterest> ?i . }`)
-	ms := Find(q, g, Options{})
+	ms := Find(q, g.Snapshot(), Options{})
 	if len(ms) != 4 {
 		t.Fatalf("matches = %d, want 4", len(ms))
 	}
@@ -45,7 +45,7 @@ func TestFindStar(t *testing.T) {
 func TestFindConstantAnchor(t *testing.T) {
 	g := philosopherGraph()
 	q := sparql.MustParse(g.Dict, `SELECT ?x WHERE { ?x <influencedBy> <Aristotle> . }`)
-	ms := Find(q, g, Options{})
+	ms := Find(q, g.Snapshot(), Options{})
 	if len(ms) != 1 {
 		t.Fatalf("matches = %d, want 1", len(ms))
 	}
@@ -58,7 +58,7 @@ func TestFindConstantAnchor(t *testing.T) {
 func TestFindChain(t *testing.T) {
 	g := philosopherGraph()
 	q := sparql.MustParse(g.Dict, `SELECT * WHERE { ?x <placeOfDeath> ?p . ?p <country> ?c . ?p <postalCode> ?z . }`)
-	ms := Find(q, g, Options{})
+	ms := Find(q, g.Snapshot(), Options{})
 	if len(ms) != 1 {
 		t.Fatalf("matches = %d, want 1", len(ms))
 	}
@@ -73,7 +73,7 @@ func TestHomomorphismAllowsVertexMerge(t *testing.T) {
 	p := rdf.NewIRI("p")
 	g.AddTerms(a, p, a) // self loop
 	q := sparql.MustParse(g.Dict, `SELECT * WHERE { ?x <p> ?y . }`)
-	ms := Find(q, g, Options{})
+	ms := Find(q, g.Snapshot(), Options{})
 	if len(ms) != 1 {
 		t.Fatalf("matches = %d, want 1 (?x and ?y may coincide)", len(ms))
 	}
@@ -89,7 +89,7 @@ func TestVariablePredicateConsistent(t *testing.T) {
 	add("b", "p", "c")
 	add("b", "q", "c")
 	q := sparql.MustParse(g.Dict, `SELECT * WHERE { ?x ?r ?y . ?y ?r ?z . }`)
-	ms := Find(q, g, Options{})
+	ms := Find(q, g.Snapshot(), Options{})
 	// ?r must bind consistently: (a-p-b, b-p-c) only; (a-p-b, b-q-c) invalid.
 	// Self-pairs like (a-p-b paired with itself) are allowed by homomorphism
 	// only if endpoints chain: y=b needs x->y then y->z; count carefully:
@@ -105,10 +105,10 @@ func TestVariablePredicateConsistent(t *testing.T) {
 func TestCountLimit(t *testing.T) {
 	g := philosopherGraph()
 	q := sparql.MustParse(g.Dict, `SELECT ?x WHERE { ?x <name> ?n . }`)
-	if n := Count(q, g, Options{}); n != 4 {
+	if n := Count(q, g.Snapshot(), Options{}); n != 4 {
 		t.Fatalf("Count = %d, want 4", n)
 	}
-	if n := Count(q, g, Options{Limit: 2}); n != 2 {
+	if n := Count(q, g.Snapshot(), Options{Limit: 2}); n != 2 {
 		t.Fatalf("Count limited = %d, want 2", n)
 	}
 }
@@ -119,7 +119,7 @@ func TestVertexFilter(t *testing.T) {
 	ethics, _ := g.Dict.Lookup(rdf.NewIRI("Ethics"))
 	// Restrict ?i (vertex index of the object) to Ethics.
 	objIdx := q.Edges[0].To
-	n := Count(q, g, Options{VertexFilter: func(qv int, id rdf.ID) bool {
+	n := Count(q, g.Snapshot(), Options{VertexFilter: func(qv int, id rdf.ID) bool {
 		if qv == objIdx {
 			return id == ethics
 		}
@@ -133,14 +133,16 @@ func TestVertexFilter(t *testing.T) {
 func TestMatchedGraph(t *testing.T) {
 	g := philosopherGraph()
 	q := sparql.MustParse(g.Dict, `SELECT * WHERE { ?x <influencedBy> ?y . ?x <mainInterest> ?i . ?x <name> ?n . }`)
-	sub := MatchedGraph(q, g, Options{})
+	sub := MatchedGraph(q, g.Snapshot(), Options{})
 	// Aristotle, Nietzsche, Horkheimer match (Boethius has no influencedBy).
 	if sub.NumTriples() != 9 {
 		t.Fatalf("fragment triples = %d, want 9", sub.NumTriples())
 	}
 	// Boethius' edges must be absent.
 	b, _ := g.Dict.Lookup(rdf.NewIRI("Boethius"))
-	if len(sub.Out(b)) != 0 {
+	ssn := sub.Snapshot()
+	defer ssn.Close()
+	if len(ssn.OutEdges(b)) != 0 {
 		t.Error("Boethius leaked into fragment")
 	}
 }
@@ -148,7 +150,7 @@ func TestMatchedGraph(t *testing.T) {
 func TestToBindingsAndDedup(t *testing.T) {
 	g := philosopherGraph()
 	q := sparql.MustParse(g.Dict, `SELECT ?i WHERE { ?x <mainInterest> ?i . }`)
-	ms := Find(q, g, Options{})
+	ms := Find(q, g.Snapshot(), Options{})
 	b := ToBindings(q, ms)
 	if len(b.Rows) != 4 {
 		t.Fatalf("rows = %d, want 4", len(b.Rows))
@@ -176,11 +178,11 @@ func TestToBindingsAndDedup(t *testing.T) {
 func TestEmptyQueryAndNoMatch(t *testing.T) {
 	g := philosopherGraph()
 	empty := sparql.NewGraph()
-	if n := Count(empty, g, Options{}); n != 0 {
+	if n := Count(empty, g.Snapshot(), Options{}); n != 0 {
 		t.Errorf("empty query count = %d", n)
 	}
 	q := sparql.MustParse(g.Dict, `SELECT ?x WHERE { ?x <noSuchPred> ?y . }`)
-	if n := Count(q, g, Options{}); n != 0 {
+	if n := Count(q, g.Snapshot(), Options{}); n != 0 {
 		t.Errorf("no-match count = %d", n)
 	}
 }
@@ -192,7 +194,7 @@ func TestTriangleHomomorphism(t *testing.T) {
 	add("b", "p", "c")
 	add("c", "p", "a")
 	q := sparql.MustParse(g.Dict, `SELECT * WHERE { ?x <p> ?y . ?y <p> ?z . ?z <p> ?x . }`)
-	ms := Find(q, g, Options{})
+	ms := Find(q, g.Snapshot(), Options{})
 	if len(ms) != 3 {
 		t.Fatalf("triangle matches = %d, want 3 rotations", len(ms))
 	}
@@ -203,6 +205,6 @@ func BenchmarkMatchStar(b *testing.B) {
 	q := sparql.MustParse(g.Dict, `SELECT ?x ?n WHERE { ?x <name> ?n . ?x <mainInterest> ?i . }`)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		Count(q, g, Options{})
+		Count(q, g.Snapshot(), Options{})
 	}
 }

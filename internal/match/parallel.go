@@ -48,7 +48,7 @@ const (
 // dispatcher state.
 type parallelRun struct {
 	q     *sparql.Graph
-	g     *rdf.Graph
+	g     *rdf.Snapshot
 	opts  Options
 	order []int // shared read-only edge order
 
@@ -61,9 +61,10 @@ type parallelRun struct {
 	// the sequential cursor merge-walks base and delta in sorted order,
 	// so the morsels partition that merged sequence.
 	half  []rdf.HalfEdge
-	dhalf []rdf.HalfEdge
+	dhalf []rdf.DeltaHalf
 	tris  []rdf.Triple
-	dtris []rdf.Triple
+	dtris []rdf.DeltaTriple
+	bound uint32 // snapshot visibility bound for the delta runs
 	fixed rdf.ID // curHalf: the bound endpoint's data vertex
 	other rdf.ID // curHalf: required far endpoint; NoID = unconstrained
 	needP rdf.ID // curHalf: required predicate; NoID = already filtered
@@ -88,7 +89,7 @@ type parallelRun struct {
 // keeps the exact first-Limit semantics), or the root candidate run is
 // too small to be worth splitting. The decline checks run before any
 // allocation, so selective subqueries pay only the root-run resolution.
-func planParallel(q *sparql.Graph, g *rdf.Graph, opts Options, order []int) *parallelRun {
+func planParallel(q *sparql.Graph, g *rdf.Snapshot, opts Options, order []int) *parallelRun {
 	if opts.Limit > 0 || len(q.Edges) == 0 {
 		return nil
 	}
@@ -107,8 +108,10 @@ func planParallel(q *sparql.Graph, g *rdf.Graph, opts Options, order []int) *par
 	// bound-endpoint cases with s.bound[v] ⇔ the vertex is a constant,
 	// including the delta-overlay runs of a live-updated frozen graph.
 	var (
-		half, dhalf  []rdf.HalfEdge
-		tris, dtris  []rdf.Triple
+		half         []rdf.HalfEdge
+		dhalf        []rdf.DeltaHalf
+		tris         []rdf.Triple
+		dtris        []rdf.DeltaTriple
 		fixed        rdf.ID
 		other, needP = rdf.NoID, rdf.NoID
 		out          bool
@@ -163,6 +166,7 @@ func planParallel(q *sparql.Graph, g *rdf.Graph, opts Options, order []int) *par
 		q: q, g: g, opts: opts, order: order,
 		rootIdx: rootIdx, rootEdge: e,
 		half: half, dhalf: dhalf, tris: tris, dtris: dtris,
+		bound: g.Bound(),
 		fixed: fixed, other: other, needP: needP, out: out,
 	}
 	r.morselSize = n / (workers * morselsPerWorker)
@@ -182,9 +186,11 @@ func planParallel(q *sparql.Graph, g *rdf.Graph, opts Options, order []int) *par
 		r.dsplit[r.numMorsels] = len(dhalf) + len(dtris)
 		for m := 1; m < r.numMorsels; m++ {
 			if half != nil {
-				r.dsplit[m], _ = slices.BinarySearchFunc(dhalf, half[m*r.morselSize], rdf.CompareHalf)
+				r.dsplit[m], _ = slices.BinarySearchFunc(dhalf, half[m*r.morselSize],
+					func(a rdf.DeltaHalf, b rdf.HalfEdge) int { return rdf.CompareHalf(a.H, b) })
 			} else {
-				r.dsplit[m], _ = slices.BinarySearchFunc(dtris, tris[m*r.morselSize], rdf.CompareSO)
+				r.dsplit[m], _ = slices.BinarySearchFunc(dtris, tris[m*r.morselSize],
+					func(a rdf.DeltaTriple, b rdf.Triple) int { return rdf.CompareSO(a.T, b) })
 			}
 		}
 	}
@@ -207,13 +213,19 @@ func (r *parallelRun) runMorsel(s *searcher, morsel int) {
 	}
 	if r.tris != nil {
 		i, j := blo, dlo
-		for (i < bhi || j < dhi) && !s.done {
+		for !s.done {
+			for j < dhi && r.dtris[j].Seq >= r.bound {
+				j++
+			}
+			if i >= bhi && j >= dhi {
+				break
+			}
 			var tr rdf.Triple
-			if i < bhi && (j >= dhi || rdf.CompareSO(r.tris[i], r.dtris[j]) <= 0) {
+			if i < bhi && (j >= dhi || rdf.CompareSO(r.tris[i], r.dtris[j].T) <= 0) {
 				tr = r.tris[i]
 				i++
 			} else {
-				tr = r.dtris[j]
+				tr = r.dtris[j].T
 				j++
 			}
 			s.expandRoot(r.rootIdx, tr)
@@ -221,13 +233,19 @@ func (r *parallelRun) runMorsel(s *searcher, morsel int) {
 		return
 	}
 	i, j := blo, dlo
-	for (i < bhi || j < dhi) && !s.done {
+	for !s.done {
+		for j < dhi && r.dhalf[j].Seq >= r.bound {
+			j++
+		}
+		if i >= bhi && j >= dhi {
+			break
+		}
 		var h rdf.HalfEdge
-		if i < bhi && (j >= dhi || rdf.CompareHalf(r.half[i], r.dhalf[j]) <= 0) {
+		if i < bhi && (j >= dhi || rdf.CompareHalf(r.half[i], r.dhalf[j].H) <= 0) {
 			h = r.half[i]
 			i++
 		} else {
-			h = r.dhalf[j]
+			h = r.dhalf[j].H
 			j++
 		}
 		if r.needP != rdf.NoID && h.P != r.needP {
@@ -355,7 +373,7 @@ func (r *parallelRun) matchedGraph() *rdf.Graph {
 			return true
 		}}
 	})
-	sub := rdf.NewGraph(r.g.Dict)
+	sub := rdf.NewGraph(r.g.Dict())
 	for _, b := range buckets {
 		for _, t := range b {
 			sub.Add(t)

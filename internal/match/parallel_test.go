@@ -26,9 +26,9 @@ func TestParallelFindEqualsSequentialQuick(t *testing.T) {
 			g.Freeze()
 		}
 		q := randomQuery(querySeed, 3)
-		seq := Find(q, g, Options{Parallelism: 1})
+		seq := Find(q, g.Snapshot(), Options{Parallelism: 1})
 		for _, w := range parallelOpts {
-			par := Find(q, g, Options{Parallelism: w})
+			par := Find(q, g.Snapshot(), Options{Parallelism: w})
 			if !matchesEqual(t, seq, par) {
 				t.Logf("workers=%d: parallel Find diverged (seq %d matches, par %d)", w, len(seq), len(par))
 				return false
@@ -82,14 +82,14 @@ func TestParallelCountAndMatchedGraphQuick(t *testing.T) {
 	f := func(dataSeed, querySeed int64) bool {
 		g := randomData(dataSeed, 300)
 		q := randomQuery(querySeed, 3)
-		wantCount := Count(q, g, Options{Parallelism: 1})
-		wantSub := MatchedGraph(q, g, Options{Parallelism: 1})
+		wantCount := Count(q, g.Snapshot(), Options{Parallelism: 1})
+		wantSub := MatchedGraph(q, g.Snapshot(), Options{Parallelism: 1})
 		for _, w := range parallelOpts {
-			if got := Count(q, g, Options{Parallelism: w}); got != wantCount {
+			if got := Count(q, g.Snapshot(), Options{Parallelism: w}); got != wantCount {
 				t.Logf("workers=%d: Count = %d, want %d", w, got, wantCount)
 				return false
 			}
-			sub := MatchedGraph(q, g, Options{Parallelism: w})
+			sub := MatchedGraph(q, g.Snapshot(), Options{Parallelism: w})
 			gotTris, wantTris := sub.Triples(), wantSub.Triples()
 			if len(gotTris) != len(wantTris) {
 				return false
@@ -116,7 +116,7 @@ func TestParallelFindBatches(t *testing.T) {
 	q := randomQuery(11, 3)
 	collect := func(opts Options, size int) []Match {
 		var out []Match
-		FindBatches(q, g, opts, size, func(ms []Match) bool {
+		FindBatches(q, g.Snapshot(), opts, size, func(ms []Match) bool {
 			out = append(out, ms...)
 			return true
 		})
@@ -157,7 +157,7 @@ func TestParallelFindBatches(t *testing.T) {
 	// stop the fan-out promptly and deliver no further batches.
 	for _, det := range []bool{false, true} {
 		calls := 0
-		FindBatches(q, g, Options{Parallelism: 4, Deterministic: det}, 16, func(ms []Match) bool {
+		FindBatches(q, g.Snapshot(), Options{Parallelism: 4, Deterministic: det}, 16, func(ms []Match) bool {
 			calls++
 			return false
 		})
@@ -174,8 +174,8 @@ func TestParallelVertexFilter(t *testing.T) {
 	g := randomData(3, 400)
 	q := randomQuery(5, 3)
 	filter := func(qv int, id rdf.ID) bool { return id%2 == 0 }
-	want := Count(q, g, Options{Parallelism: 1, VertexFilter: filter})
-	got := Count(q, g, Options{Parallelism: 4, VertexFilter: filter})
+	want := Count(q, g.Snapshot(), Options{Parallelism: 1, VertexFilter: filter})
+	got := Count(q, g.Snapshot(), Options{Parallelism: 4, VertexFilter: filter})
 	if got != want {
 		t.Errorf("filtered parallel Count = %d, want %d", got, want)
 	}
@@ -187,11 +187,11 @@ func TestParallelVertexFilter(t *testing.T) {
 func TestParallelLimitFallsBackSequential(t *testing.T) {
 	g := randomData(9, 400)
 	q := randomQuery(13, 2)
-	all := Find(q, g, Options{Parallelism: 1})
+	all := Find(q, g.Snapshot(), Options{Parallelism: 1})
 	if len(all) < 4 {
 		t.Skip("not enough matches for a limit test")
 	}
-	limited := Find(q, g, Options{Parallelism: 8, Limit: 3})
+	limited := Find(q, g.Snapshot(), Options{Parallelism: 8, Limit: 3})
 	if len(limited) != 3 {
 		t.Fatalf("limited Find returned %d matches, want 3", len(limited))
 	}
@@ -211,11 +211,11 @@ func TestParallelCountAllocsSteadyState(t *testing.T) {
 	q := sparql.MustParse(g.Dict, `SELECT ?x WHERE { <hub> <p5> ?x . }`)
 	want := 4096 / 8
 	opts := Options{Parallelism: 4}
-	if n := Count(q, g, opts); n != want {
+	if n := Count(q, g.Snapshot(), opts); n != want {
 		t.Fatalf("Count = %d, want %d", n, want)
 	}
 	allocs := testing.AllocsPerRun(20, func() {
-		Count(q, g, opts)
+		Count(q, g.Snapshot(), opts)
 	})
 	// Worker setup is ~10 allocations per worker (searcher, Match
 	// slices, hooks, goroutine); 128 leaves slack for scheduler noise
@@ -231,23 +231,29 @@ func TestParallelCountAllocsSteadyState(t *testing.T) {
 func TestPlanParallelDeclines(t *testing.T) {
 	g := hubGraph(64, 8)
 	g.Freeze()
+	gsn := g.Snapshot()
+	defer gsn.Close()
 	q := sparql.MustParse(g.Dict, `SELECT ?x WHERE { <hub> <p5> ?x . }`)
-	if r := planParallel(q, g, Options{Parallelism: 1}, edgeOrder(q, g)); r != nil {
+	if r := planParallel(q, gsn, Options{Parallelism: 1}, edgeOrder(q, gsn)); r != nil {
 		t.Error("Parallelism 1 should decline the parallel plan")
 	}
-	if r := planParallel(q, g, Options{Parallelism: 4, Limit: 5}, edgeOrder(q, g)); r != nil {
+	if r := planParallel(q, gsn, Options{Parallelism: 4, Limit: 5}, edgeOrder(q, gsn)); r != nil {
 		t.Error("Limit should decline the parallel plan")
 	}
 	small := hubGraph(8, 8)
 	small.Freeze()
+	ssn := small.Snapshot()
+	defer ssn.Close()
 	qs := sparql.MustParse(small.Dict, `SELECT ?x WHERE { <hub> <p5> ?x . }`)
-	if r := planParallel(qs, small, Options{Parallelism: 4}, edgeOrder(qs, small)); r != nil {
+	if r := planParallel(qs, ssn, Options{Parallelism: 4}, edgeOrder(qs, ssn)); r != nil {
 		t.Error("a root run below parallelMinRoot should decline the parallel plan")
 	}
 	big := hubGraph(1024, 8)
 	big.Freeze()
+	bsn := big.Snapshot()
+	defer bsn.Close()
 	qb := sparql.MustParse(big.Dict, `SELECT ?x WHERE { <hub> <p5> ?x . }`)
-	if r := planParallel(qb, big, Options{Parallelism: 4}, edgeOrder(qb, big)); r == nil {
+	if r := planParallel(qb, bsn, Options{Parallelism: 4}, edgeOrder(qb, bsn)); r == nil {
 		t.Error("a large root run with Parallelism 4 should plan a fan-out")
 	}
 }

@@ -38,7 +38,7 @@ func BenchmarkCandidateScan(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if n := Count(q, g, Options{}); n != want {
+		if n := Count(q, g.Snapshot(), Options{}); n != want {
 			b.Fatalf("count = %d, want %d", n, want)
 		}
 	}
@@ -61,7 +61,7 @@ func BenchmarkMatchWatDiv(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		total := 0
 		for _, q := range log {
-			total += Count(q, g, Options{})
+			total += Count(q, g.Snapshot(), Options{})
 		}
 		if total == 0 {
 			b.Fatal("workload matched nothing")
@@ -87,7 +87,7 @@ func BenchmarkMatchWatDivParallel(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				total := 0
 				for _, q := range log {
-					total += Count(q, g, opts)
+					total += Count(q, g.Snapshot(), opts)
 				}
 				if total == 0 {
 					b.Fatal("workload matched nothing")

@@ -41,9 +41,9 @@ func sortedEdges(hs []HalfEdge) []HalfEdge {
 	return out
 }
 
-// TestFreezeEquivalenceProperty: every read accessor answers identically
-// before and after Freeze (up to ordering, which Freeze is allowed to
-// change to sorted).
+// TestFreezeEquivalenceProperty: every snapshot accessor answers
+// identically over a map-mode and a frozen graph holding the same
+// triples (up to ordering, which Freeze is allowed to change to sorted).
 func TestFreezeEquivalenceProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		ts := randomTriples(seed, 60, 8, 4)
@@ -53,41 +53,45 @@ func TestFreezeEquivalenceProperty(t *testing.T) {
 		if !frozen.Frozen() || thawed.Frozen() {
 			return false
 		}
-		if thawed.NumTriples() != frozen.NumTriples() {
+		th := thawed.Snapshot()
+		fz := frozen.Snapshot()
+		defer th.Close()
+		defer fz.Close()
+		if th.NumTriples() != fz.NumTriples() {
 			return false
 		}
-		if !slices.Equal(thawed.Vertices(), frozen.Vertices()) {
+		if !slices.Equal(th.Vertices(), fz.Vertices()) {
 			return false
 		}
-		if !slices.Equal(thawed.Predicates(), frozen.Predicates()) {
+		if !slices.Equal(th.Predicates(), fz.Predicates()) {
 			return false
 		}
-		for _, v := range thawed.Vertices() {
-			if !slices.Equal(sortedEdges(thawed.OutEdges(v)), sortedEdges(frozen.OutEdges(v))) {
+		for _, v := range th.Vertices() {
+			if !slices.Equal(sortedEdges(th.OutEdges(v)), sortedEdges(fz.OutEdges(v))) {
 				return false
 			}
-			if !slices.Equal(sortedEdges(thawed.InEdges(v)), sortedEdges(frozen.InEdges(v))) {
+			if !slices.Equal(sortedEdges(th.InEdges(v)), sortedEdges(fz.InEdges(v))) {
 				return false
 			}
-			if thawed.Degree(v) != frozen.Degree(v) {
+			if th.Degree(v) != fz.Degree(v) {
 				return false
 			}
-			for _, p := range thawed.Predicates() {
-				if thawed.OutDegreeP(v, p) != frozen.OutDegreeP(v, p) {
+			for _, p := range th.Predicates() {
+				if th.OutDegreeP(v, p) != fz.OutDegreeP(v, p) {
 					return false
 				}
-				if thawed.InDegreeP(v, p) != frozen.InDegreeP(v, p) {
+				if th.InDegreeP(v, p) != fz.InDegreeP(v, p) {
 					return false
 				}
 			}
 		}
-		for _, p := range thawed.Predicates() {
-			if thawed.PredicateCount(p) != frozen.PredicateCount(p) {
+		for _, p := range th.Predicates() {
+			if th.PredicateCount(p) != fz.PredicateCount(p) {
 				return false
 			}
 		}
 		for _, tr := range ts {
-			if !frozen.Has(tr) {
+			if !fz.Has(tr) {
 				return false
 			}
 		}
@@ -105,13 +109,15 @@ func TestFrozenRunsSortedAndExact(t *testing.T) {
 	ts := randomTriples(7, 120, 10, 5)
 	g := graphOf(ts)
 	g.Freeze()
-	for _, v := range g.Vertices() {
-		hs := g.OutEdges(v)
+	sn := g.Snapshot()
+	defer sn.Close()
+	for _, v := range sn.Vertices() {
+		hs := sn.OutEdges(v)
 		if !slices.Equal(hs, sortedEdges(hs)) {
 			t.Fatalf("out adjacency of %d not sorted: %v", v, hs)
 		}
-		for _, p := range g.Predicates() {
-			run, exact := g.OutRun(v, p)
+		for _, p := range sn.Predicates() {
+			run, exact := sn.OutRun(v, p)
 			if !exact {
 				t.Fatalf("OutRun on frozen graph not exact")
 			}
@@ -125,29 +131,31 @@ func TestFrozenRunsSortedAndExact(t *testing.T) {
 				t.Fatalf("OutRun(%d,%d) = %v, want %v", v, p, run, want)
 			}
 		}
-		in := g.InEdges(v)
+		in := sn.InEdges(v)
 		if !slices.Equal(in, sortedEdges(in)) {
 			t.Fatalf("in adjacency of %d not sorted: %v", v, in)
 		}
 	}
 	// The per-predicate arena partitions the triple set.
 	total := 0
-	for _, p := range g.Predicates() {
-		total += len(g.ByPredicate(p))
+	for _, p := range sn.Predicates() {
+		total += len(sn.ByPredicate(p))
 	}
-	if total != g.NumTriples() {
-		t.Fatalf("predicate arena covers %d of %d triples", total, g.NumTriples())
+	if total != sn.NumTriples() {
+		t.Fatalf("predicate arena covers %d of %d triples", total, sn.NumTriples())
 	}
 }
 
 // TestDeltaOnAdd: adding to a frozen graph keeps it frozen — the triple
-// lands in the delta overlay, reads see it immediately, and Freeze (or
-// Compact) folds it into the CSR.
+// lands in the delta overlay, snapshots taken afterwards see it
+// immediately, and Freeze (or Compact) folds it into the CSR.
 func TestDeltaOnAdd(t *testing.T) {
 	ts := randomTriples(11, 40, 6, 3)
 	g := graphOf(ts)
 	g.Freeze()
-	nv := g.NumVertices()
+	pre := g.Snapshot()
+	nv := pre.NumVertices()
+	pre.Close()
 	if !g.Frozen() {
 		t.Fatal("not frozen")
 	}
@@ -168,44 +176,50 @@ func TestDeltaOnAdd(t *testing.T) {
 	if g.DeltaLen() != 1 {
 		t.Fatalf("DeltaLen = %d, want 1", g.DeltaLen())
 	}
-	if !g.Has(extra) || g.NumTriples() != len(g.Triples()) {
+	sn := g.Snapshot()
+	if !sn.Has(extra) || sn.NumTriples() != len(sn.Triples()) {
 		t.Fatal("triple lost in the delta")
 	}
-	if g.NumVertices() != nv+2 {
-		t.Fatalf("NumVertices = %d, want %d (vertex cache stale?)", g.NumVertices(), nv+2)
+	if sn.NumVertices() != nv+2 {
+		t.Fatalf("NumVertices = %d, want %d (delta vertices missing?)", sn.NumVertices(), nv+2)
 	}
 	// Overlaid reads serve the delta triple before any compaction.
-	if got := g.OutEdges(100); len(got) != 1 || got[0] != (HalfEdge{P: 101, Other: 102}) {
+	if got := sn.OutEdges(100); len(got) != 1 || got[0] != (HalfEdge{P: 101, Other: 102}) {
 		t.Fatalf("OutEdges(100) = %v with delta", got)
 	}
-	if g.OutDegreeP(100, 101) != 1 || g.InDegreeP(102, 101) != 1 || g.PredicateCount(101) != 1 {
+	if sn.OutDegreeP(100, 101) != 1 || sn.InDegreeP(102, 101) != 1 || sn.PredicateCount(101) != 1 {
 		t.Fatal("degree/count accessors missed the delta triple")
 	}
+	sn.Close()
 	g.Freeze() // on a delta-carrying graph this compacts
 	if g.DeltaLen() != 0 || g.Compactions() == 0 {
 		t.Fatalf("Freeze left delta=%d compactions=%d", g.DeltaLen(), g.Compactions())
 	}
-	if got := g.OutEdges(100); len(got) != 1 || got[0] != (HalfEdge{P: 101, Other: 102}) {
+	post := g.Snapshot()
+	defer post.Close()
+	if got := post.OutEdges(100); len(got) != 1 || got[0] != (HalfEdge{P: 101, Other: 102}) {
 		t.Fatalf("OutEdges(100) = %v after compaction", got)
 	}
 }
 
-// TestFrozenReadZeroAllocs: the hot-path accessors on a frozen graph do
-// not allocate.
+// TestFrozenReadZeroAllocs: the hot-path accessors on a delta-free
+// snapshot do not allocate.
 func TestFrozenReadZeroAllocs(t *testing.T) {
 	ts := randomTriples(13, 200, 12, 6)
 	g := graphOf(ts)
 	g.Freeze()
-	v := g.Vertices()[0]
-	p := g.Predicates()[0]
+	sn := g.Snapshot()
+	defer sn.Close()
+	v := sn.Vertices()[0]
+	p := sn.Predicates()[0]
 	allocs := testing.AllocsPerRun(200, func() {
-		_ = g.OutEdges(v)
-		_ = g.InEdges(v)
-		_, _ = g.OutRun(v, p)
-		_, _ = g.InRun(v, p)
-		_ = g.ByPredicate(p)
-		_ = g.OutDegreeP(v, p)
-		_ = g.Degree(v)
+		_ = sn.OutEdges(v)
+		_ = sn.InEdges(v)
+		_, _ = sn.OutRun(v, p)
+		_, _ = sn.InRun(v, p)
+		_ = sn.ByPredicate(p)
+		_ = sn.OutDegreeP(v, p)
+		_ = sn.Degree(v)
 	})
 	if allocs != 0 {
 		t.Fatalf("frozen accessors allocate %.1f per run, want 0", allocs)
@@ -215,12 +229,14 @@ func TestFrozenReadZeroAllocs(t *testing.T) {
 func TestFreezeEmptyGraph(t *testing.T) {
 	g := NewGraph(nil)
 	g.Freeze()
-	if g.NumVertices() != 0 || g.NumTriples() != 0 {
+	sn := g.Snapshot()
+	if sn.NumVertices() != 0 || sn.NumTriples() != 0 {
 		t.Fatal("empty frozen graph not empty")
 	}
-	if got := g.OutEdges(0); len(got) != 0 {
+	if got := sn.OutEdges(0); len(got) != 0 {
 		t.Fatalf("OutEdges on empty graph = %v", got)
 	}
+	sn.Close()
 	if g.Add(Triple{S: 1, P: 2, O: 3}); g.NumTriples() != 1 {
 		t.Fatal("add after empty freeze lost the triple")
 	}

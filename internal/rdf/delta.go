@@ -1,33 +1,46 @@
 package rdf
 
-import "slices"
+import (
+	"slices"
+	"sync"
+	"sync/atomic"
+)
 
-// deltaIndex is the mutable side-index of a frozen graph: post-freeze
-// Adds accumulate here instead of thawing the CSR, LSM-style. Each
-// per-vertex run is kept sorted by (P, Other) and each per-predicate run
-// by (S, O) — the same orders the CSR arenas use — so read paths can
-// two-way merge a CSR run with its delta run and produce exactly the
-// sequence a freshly rebuilt CSR would serve. Inserts are
-// binary-search-and-shift, O(run) per triple; runs stay small because the
-// graph compacts the delta into the CSR once it crosses the auto-compact
-// threshold (Graph.SetAutoCompact).
-//
-// The index is not safe for mutation concurrent with reads; callers that
-// interleave updates and queries (internal/serve) serialize them with a
-// reader/writer lock.
-type deltaIndex struct {
-	n      int               // triples in the delta
-	out    map[ID][]HalfEdge // subject -> (P,O), sorted by (P, Other)
-	in     map[ID][]HalfEdge // object  -> (P,S), sorted by (P, Other)
-	byPred map[ID][]Triple   // property -> triples, sorted by (S, O)
+// DeltaHalf is one adjacency entry of a generation's delta overlay: the
+// half-edge plus the sequence number of the triple that produced it
+// (its 0-based position in the generation's append order). Snapshots pin
+// a delta length n and treat entries with Seq >= n as invisible, so a
+// writer appending mid-query never changes what a pinned reader sees.
+type DeltaHalf struct {
+	H   HalfEdge
+	Seq uint32
 }
 
-func newDeltaIndex() *deltaIndex {
-	return &deltaIndex{
-		out:    make(map[ID][]HalfEdge),
-		in:     make(map[ID][]HalfEdge),
-		byPred: make(map[ID][]Triple),
-	}
+// DeltaTriple is DeltaHalf for the per-predicate triple runs.
+type DeltaTriple struct {
+	T   Triple
+	Seq uint32
+}
+
+// genDelta is the mutable side of one CSR generation: post-freeze Adds
+// accumulate here instead of thawing the CSR, LSM-style. Each per-vertex
+// run is kept sorted by (P, Other) and each per-predicate run by (S, O) —
+// the same orders the CSR arenas use — so read paths can two-way merge a
+// CSR run with its delta run and produce exactly the sequence a freshly
+// rebuilt CSR would serve.
+//
+// The index is single-writer, many-reader. Runs are immutable once
+// published: the writer inserts copy-on-write (load the run, build a new
+// slice with the entry spliced in, store it back), so a reader holding a
+// run can iterate it while the writer publishes successors. Run stores
+// happen before the length counter's increment, so a reader that loads
+// n is guaranteed to find every entry with Seq < n in the runs it loads
+// afterwards; entries beyond its n it filters by Seq.
+type genDelta struct {
+	n      atomic.Int64 // published delta length (triples fully indexed)
+	out    sync.Map     // ID -> []DeltaHalf, sorted by (P, Other)
+	in     sync.Map     // ID -> []DeltaHalf, sorted by (P, Other)
+	byPred sync.Map     // ID -> []DeltaTriple, sorted by (S, O)
 }
 
 // CompareHalf orders adjacency entries by (P, Other) — the CSR run order.
@@ -38,8 +51,8 @@ func CompareHalf(a, b HalfEdge) int {
 	return int(a.Other) - int(b.Other)
 }
 
-// CompareSO orders same-predicate triples by (S, O) — the predicate arena's
-// within-run order.
+// CompareSO orders same-predicate triples by (S, O) — the predicate
+// arena's within-run order.
 func CompareSO(a, b Triple) int {
 	if a.S != b.S {
 		return int(a.S) - int(b.S)
@@ -47,26 +60,84 @@ func CompareSO(a, b Triple) int {
 	return int(a.O) - int(b.O)
 }
 
-// add inserts one (already deduplicated) triple, keeping every run sorted.
-func (d *deltaIndex) add(t Triple) {
-	d.n++
-	d.out[t.S] = insertHalf(d.out[t.S], HalfEdge{P: t.P, Other: t.O})
-	d.in[t.O] = insertHalf(d.in[t.O], HalfEdge{P: t.P, Other: t.S})
-	run := d.byPred[t.P]
-	i, _ := slices.BinarySearchFunc(run, t, CompareSO)
-	d.byPred[t.P] = slices.Insert(run, i, t)
+// add indexes one (already deduplicated) triple under sequence number
+// seq, keeping every run sorted. Writer-only; the caller publishes the
+// triple to readers afterwards by incrementing n.
+func (d *genDelta) add(t Triple, seq uint32) {
+	d.out.Store(t.S, insertDeltaHalf(loadHalfRun(&d.out, t.S), DeltaHalf{H: HalfEdge{P: t.P, Other: t.O}, Seq: seq}))
+	d.in.Store(t.O, insertDeltaHalf(loadHalfRun(&d.in, t.O), DeltaHalf{H: HalfEdge{P: t.P, Other: t.S}, Seq: seq}))
+	run := loadTripleRun(&d.byPred, t.P)
+	i, _ := slices.BinarySearchFunc(run, t, func(a DeltaTriple, b Triple) int { return CompareSO(a.T, b) })
+	d.byPred.Store(t.P, insertAt(run, i, DeltaTriple{T: t, Seq: seq}))
 }
 
-func insertHalf(run []HalfEdge, h HalfEdge) []HalfEdge {
-	i, _ := slices.BinarySearchFunc(run, h, CompareHalf)
-	return slices.Insert(run, i, h)
+func loadHalfRun(m *sync.Map, k ID) []DeltaHalf {
+	if v, ok := m.Load(k); ok {
+		return v.([]DeltaHalf)
+	}
+	return nil
+}
+
+func loadTripleRun(m *sync.Map, k ID) []DeltaTriple {
+	if v, ok := m.Load(k); ok {
+		return v.([]DeltaTriple)
+	}
+	return nil
+}
+
+func insertDeltaHalf(run []DeltaHalf, dh DeltaHalf) []DeltaHalf {
+	i, _ := slices.BinarySearchFunc(run, dh.H, func(a DeltaHalf, b HalfEdge) int { return CompareHalf(a.H, b) })
+	return insertAt(run, i, dh)
+}
+
+// insertAt splices v into run at i. Readers may hold the old run
+// header, so no element below len(run) is ever moved or overwritten:
+// mid-run inserts copy into a fresh slice (with capacity headroom so
+// future inserts can use the fast path). The one safe in-place case is
+// an end-insert into spare capacity — the write lands one past every
+// published header's length, invisible to readers until the new header
+// is stored — which makes sorted streams of ascending keys (fresh dict
+// IDs are monotone) amortized O(1) instead of a full copy per Add.
+func insertAt[T any](run []T, i int, v T) []T {
+	if i == len(run) && cap(run) > len(run) {
+		return append(run, v)
+	}
+	out := make([]T, 0, 2*(len(run)+1))
+	out = append(out, run[:i]...)
+	out = append(out, v)
+	return append(out, run[i:]...)
+}
+
+// predRangeDeltaHalf narrows a (P, Other)-sorted delta run to the
+// contiguous sub-run labelled p (the DeltaHalf analogue of predRange).
+func predRangeDeltaHalf(hs []DeltaHalf, p ID) []DeltaHalf {
+	lo, hi := 0, len(hs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if hs[mid].H.P < p {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	start := lo
+	hi = len(hs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if hs[mid].H.P <= p {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return hs[start:lo]
 }
 
 // mergeSorted interleaves two sorted runs into one allocated slice,
 // preferring base on ties (ties cannot occur between a CSR run and its
-// delta — a triple lives in exactly one of the two). It backs the legacy
-// single-slice accessors and the vertex/predicate set merges; the hot
-// path merges inline in the match cursor instead.
+// delta — a triple lives in exactly one of the two). It backs the
+// allocating single-slice snapshot accessors and the vertex/predicate
+// set merges; the hot path merges inline in the match cursor instead.
 func mergeSorted[T any](base, delta []T, cmp func(T, T) int) []T {
 	out := make([]T, 0, len(base)+len(delta))
 	i, j := 0, 0
@@ -83,14 +154,60 @@ func mergeSorted[T any](base, delta []T, cmp func(T, T) int) []T {
 	return append(out, delta[j:]...)
 }
 
-// mergeHalf merges a CSR adjacency run and a delta run in (P, Other)
-// order.
+// visibleHalf filters a delta adjacency run down to the entries a
+// snapshot with visibility bound n sees, as bare half-edges. Allocates
+// only when the run carries invisible entries.
+func visibleHalf(run []DeltaHalf, bound uint32) []HalfEdge {
+	hs := make([]HalfEdge, 0, len(run))
+	for _, dh := range run {
+		if dh.Seq < bound {
+			hs = append(hs, dh.H)
+		}
+	}
+	return hs
+}
+
+// visibleTriples is visibleHalf for per-predicate delta runs.
+func visibleTriples(run []DeltaTriple, bound uint32) []Triple {
+	ts := make([]Triple, 0, len(run))
+	for _, dt := range run {
+		if dt.Seq < bound {
+			ts = append(ts, dt.T)
+		}
+	}
+	return ts
+}
+
+// countVisibleHalf counts the entries of a delta run visible at bound.
+func countVisibleHalf(run []DeltaHalf, bound uint32) int {
+	n := 0
+	for _, dh := range run {
+		if dh.Seq < bound {
+			n++
+		}
+	}
+	return n
+}
+
+// countVisibleTriples is countVisibleHalf for per-predicate runs.
+func countVisibleTriples(run []DeltaTriple, bound uint32) int {
+	n := 0
+	for _, dt := range run {
+		if dt.Seq < bound {
+			n++
+		}
+	}
+	return n
+}
+
+// mergeHalf merges a CSR adjacency run and a filtered delta run in
+// (P, Other) order.
 func mergeHalf(base, delta []HalfEdge) []HalfEdge {
 	return mergeSorted(base, delta, CompareHalf)
 }
 
-// mergeTriples merges a predicate arena run and its delta run in (S, O)
-// order.
+// mergeTriples merges a predicate arena run and its filtered delta run
+// in (S, O) order.
 func mergeTriples(base, delta []Triple) []Triple {
 	return mergeSorted(base, delta, CompareSO)
 }

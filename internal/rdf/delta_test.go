@@ -16,33 +16,37 @@ func rebuiltFrozen(ts []Triple) *Graph {
 	return g
 }
 
-// checkEquivalent asserts the full read API agrees across the overlaid
-// graph, the map-mode oracle and a rebuilt-frozen graph: byte-identical
-// runs against the rebuild (both are sorted), set-equal adjacency against
-// the oracle, and exact degrees/counts everywhere.
+// checkEquivalent asserts the full snapshot read API agrees across the
+// overlaid graph, the map-mode oracle and a rebuilt-frozen graph:
+// byte-identical runs against the rebuild (both are sorted), set-equal
+// adjacency against the oracle, and exact degrees/counts everywhere.
 func checkEquivalent(t *testing.T, overlay, oracle *Graph) bool {
 	t.Helper()
-	rebuilt := rebuiltFrozen(overlay.Triples())
-	if overlay.NumTriples() != oracle.NumTriples() || overlay.NumTriples() != rebuilt.NumTriples() {
+	rg := rebuiltFrozen(overlay.Triples())
+	ov, or, rb := overlay.Snapshot(), oracle.Snapshot(), rg.Snapshot()
+	defer ov.Close()
+	defer or.Close()
+	defer rb.Close()
+	if ov.NumTriples() != or.NumTriples() || ov.NumTriples() != rb.NumTriples() {
 		t.Logf("NumTriples: overlay %d oracle %d rebuilt %d",
-			overlay.NumTriples(), oracle.NumTriples(), rebuilt.NumTriples())
+			ov.NumTriples(), or.NumTriples(), rb.NumTriples())
 		return false
 	}
-	if !slices.Equal(overlay.Vertices(), rebuilt.Vertices()) || !slices.Equal(overlay.Vertices(), oracle.Vertices()) {
+	if !slices.Equal(ov.Vertices(), rb.Vertices()) || !slices.Equal(ov.Vertices(), or.Vertices()) {
 		t.Logf("Vertices diverged: overlay %v rebuilt %v oracle %v",
-			overlay.Vertices(), rebuilt.Vertices(), oracle.Vertices())
+			ov.Vertices(), rb.Vertices(), or.Vertices())
 		return false
 	}
-	if !slices.Equal(overlay.Predicates(), rebuilt.Predicates()) || !slices.Equal(overlay.Predicates(), oracle.Predicates()) {
+	if !slices.Equal(ov.Predicates(), rb.Predicates()) || !slices.Equal(ov.Predicates(), or.Predicates()) {
 		t.Logf("Predicates diverged")
 		return false
 	}
-	for _, v := range rebuilt.Vertices() {
+	for _, v := range rb.Vertices() {
 		// Frozen overlays must serve byte-identical merged runs vs the
 		// rebuild; in map mode runs are insertion-ordered, so compare
 		// sorted.
-		outA, outB := overlay.OutEdges(v), rebuilt.OutEdges(v)
-		inA, inB := overlay.InEdges(v), rebuilt.InEdges(v)
+		outA, outB := ov.OutEdges(v), rb.OutEdges(v)
+		inA, inB := ov.InEdges(v), rb.InEdges(v)
 		if !overlay.Frozen() {
 			outA, inA = sortedEdges(outA), sortedEdges(inA)
 		}
@@ -55,22 +59,22 @@ func checkEquivalent(t *testing.T, overlay, oracle *Graph) bool {
 			return false
 		}
 		// Set-equal adjacency vs the map-mode oracle.
-		if !slices.Equal(sortedEdges(overlay.OutEdges(v)), sortedEdges(oracle.OutEdges(v))) {
+		if !slices.Equal(sortedEdges(ov.OutEdges(v)), sortedEdges(or.OutEdges(v))) {
 			t.Logf("OutEdges(%d) vs oracle diverged", v)
 			return false
 		}
-		if overlay.Degree(v) != oracle.Degree(v) || overlay.OutDegree(v) != oracle.OutDegree(v) || overlay.InDegree(v) != oracle.InDegree(v) {
+		if ov.Degree(v) != or.Degree(v) || ov.OutDegree(v) != or.OutDegree(v) || ov.InDegree(v) != or.InDegree(v) {
 			t.Logf("degrees of %d diverged", v)
 			return false
 		}
-		for _, p := range rebuilt.Predicates() {
-			if overlay.OutDegreeP(v, p) != oracle.OutDegreeP(v, p) || overlay.InDegreeP(v, p) != oracle.InDegreeP(v, p) {
+		for _, p := range rb.Predicates() {
+			if ov.OutDegreeP(v, p) != or.OutDegreeP(v, p) || ov.InDegreeP(v, p) != or.InDegreeP(v, p) {
 				t.Logf("OutDegreeP/InDegreeP(%d, %d) diverged", v, p)
 				return false
 			}
 			if overlay.Frozen() { // map mode serves inexact runs by contract
-				run, exact := overlay.OutRun(v, p)
-				wantRun, _ := rebuilt.OutRun(v, p)
+				run, exact := ov.OutRun(v, p)
+				wantRun, _ := rb.OutRun(v, p)
 				if !exact || !slices.Equal(run, wantRun) {
 					t.Logf("OutRun(%d,%d): overlay %v (exact=%v) rebuilt %v", v, p, run, exact, wantRun)
 					return false
@@ -78,18 +82,18 @@ func checkEquivalent(t *testing.T, overlay, oracle *Graph) bool {
 			}
 		}
 	}
-	for _, p := range rebuilt.Predicates() {
-		if overlay.PredicateCount(p) != oracle.PredicateCount(p) {
+	for _, p := range rb.Predicates() {
+		if ov.PredicateCount(p) != or.PredicateCount(p) {
 			t.Logf("PredicateCount(%d) diverged", p)
 			return false
 		}
-		if overlay.Frozen() && !slices.Equal(overlay.ByPredicate(p), rebuilt.ByPredicate(p)) {
-			t.Logf("ByPredicate(%d): overlay %v rebuilt %v", p, overlay.ByPredicate(p), rebuilt.ByPredicate(p))
+		if overlay.Frozen() && !slices.Equal(ov.ByPredicate(p), rb.ByPredicate(p)) {
+			t.Logf("ByPredicate(%d): overlay %v rebuilt %v", p, ov.ByPredicate(p), rb.ByPredicate(p))
 			return false
 		}
 	}
 	for _, tr := range overlay.Triples() {
-		if !overlay.Has(tr) || !oracle.Has(tr) {
+		if !ov.Has(tr) || !or.Has(tr) {
 			t.Logf("Has(%v) lost a triple", tr)
 			return false
 		}
@@ -193,33 +197,43 @@ func TestAutoCompaction(t *testing.T) {
 	}
 }
 
-// TestDeltaVertexCacheInvalidation is the stale-cache regression test:
-// Vertices/NumVertices are cached on frozen graphs, and a delta Add must
-// invalidate the cache even though the graph stays frozen.
-func TestDeltaVertexCacheInvalidation(t *testing.T) {
+// TestDeltaVertexVisibility: a snapshot taken after a delta Add sees the
+// new vertices and predicate immediately, while a snapshot taken before
+// does not — the MVCC replacement of the old stale-cache regression
+// test.
+func TestDeltaVertexVisibility(t *testing.T) {
 	g := graphOf(randomTriples(5, 50, 6, 3))
 	g.Freeze()
-	_ = g.Vertices() // warm the cache
-	nv := g.NumVertices()
+	before := g.Snapshot()
+	defer before.Close()
+	nv := before.NumVertices()
 	g.Add(Triple{S: 500, P: 501, O: 502})
-	if g.NumVertices() != nv+2 {
-		t.Fatalf("NumVertices = %d after delta add, want %d (stale cache)", g.NumVertices(), nv+2)
+	after := g.Snapshot()
+	defer after.Close()
+	if after.NumVertices() != nv+2 {
+		t.Fatalf("NumVertices = %d after delta add, want %d", after.NumVertices(), nv+2)
 	}
-	vs := g.Vertices()
+	if before.NumVertices() != nv {
+		t.Fatalf("pinned snapshot grew: NumVertices = %d, want %d", before.NumVertices(), nv)
+	}
+	vs := after.Vertices()
 	if !slices.Contains(vs, ID(500)) || !slices.Contains(vs, ID(502)) {
 		t.Fatalf("Vertices() = %v missing delta vertices", vs)
 	}
 	if !slices.IsSorted(vs) {
 		t.Fatalf("Vertices() not sorted with delta: %v", vs)
 	}
-	// New predicate must surface too.
-	if !slices.Contains(g.Predicates(), ID(501)) {
-		t.Fatalf("Predicates() = %v missing delta predicate", g.Predicates())
+	// New predicate must surface too — but not in the older snapshot.
+	if !slices.Contains(after.Predicates(), ID(501)) {
+		t.Fatalf("Predicates() = %v missing delta predicate", after.Predicates())
+	}
+	if slices.Contains(before.Predicates(), ID(501)) {
+		t.Fatal("pinned snapshot sees a predicate added after it")
 	}
 }
 
 // TestDeltaReadZeroAllocs: the two-run accessors on a delta-carrying
-// frozen graph stay allocation-free — the matcher's hot path does not
+// snapshot stay allocation-free — the matcher's hot path does not
 // regress when live updates are pending.
 func TestDeltaReadZeroAllocs(t *testing.T) {
 	ts := randomTriples(13, 200, 12, 6)
@@ -232,17 +246,19 @@ func TestDeltaReadZeroAllocs(t *testing.T) {
 	if g.DeltaLen() == 0 {
 		t.Fatal("setup produced no delta")
 	}
-	v := g.Vertices()[0]
-	p := g.Predicates()[0]
+	sn := g.Snapshot()
+	defer sn.Close()
+	v := sn.Vertices()[0]
+	p := sn.Predicates()[0]
 	allocs := testing.AllocsPerRun(200, func() {
-		_, _ = g.OutEdges2(v)
-		_, _ = g.InEdges2(v)
-		_, _, _ = g.OutRun2(v, p)
-		_, _, _ = g.InRun2(v, p)
-		_, _ = g.ByPredicate2(p)
-		_ = g.OutDegreeP(v, p)
-		_ = g.PredicateCount(p)
-		_ = g.Degree(v)
+		_, _ = sn.OutEdges2(v)
+		_, _ = sn.InEdges2(v)
+		_, _, _ = sn.OutRun2(v, p)
+		_, _, _ = sn.InRun2(v, p)
+		_, _ = sn.ByPredicate2(p)
+		_ = sn.OutDegreeP(v, p)
+		_ = sn.PredicateCount(p)
+		_ = sn.Degree(v)
 	})
 	if allocs != 0 {
 		t.Fatalf("two-run accessors allocate %.1f per run with a delta, want 0", allocs)

@@ -2,8 +2,8 @@ package rdf
 
 import (
 	"fmt"
-	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Triple is a dictionary-encoded RDF triple 〈subject, property, object〉.
@@ -40,8 +40,8 @@ const DefaultCompactFraction = 0.25
 const minCompactDelta = 64
 
 // maxCompactDelta caps the auto-compact threshold in absolute terms.
-// Delta inserts are binary-search-and-shift, O(run length) each, so on a
-// huge graph a fraction-of-|E| threshold alone would let a skewed update
+// Delta inserts are copy-on-write, O(run length) each, so on a huge
+// graph a fraction-of-|E| threshold alone would let a skewed update
 // stream (every triple sharing one predicate) grow a single sorted run
 // to millions of entries and turn the stream quadratic. The cap bounds
 // any run — and the per-read merge work — regardless of graph size.
@@ -53,50 +53,52 @@ const maxCompactDelta = 1 << 16
 // The graph has two storage modes. While loading it keeps map-of-slices
 // indexes (adjacency and per-property), cheap to append to. Freeze
 // compiles those into an immutable CSR index — flat adjacency arenas with
-// per-vertex offset tables, runs sorted by (P, Other) — which the matcher
-// iterates without allocating; the maps are released.
+// per-vertex offset tables, runs sorted by (P, Other) — and from then on
+// the graph is MVCC: each CSR build is a generation, Add appends to the
+// current generation's delta overlay (LSM-style), and Compact builds the
+// next generation off to the side and swaps it in atomically.
 //
-// Add on a frozen graph does NOT thaw: the triple lands in a small sorted
-// delta side-index (LSM-style) and reads merge the CSR run with the delta
-// run, preserving the CSR order. Compact folds the delta back into the
-// CSR in one rebuild; it runs automatically once the delta crosses the
-// auto-compact threshold, so the delta's per-read merge cost stays
-// bounded.
-//
-// Graph is not safe for concurrent mutation, nor for mutation concurrent
-// with reads; concurrent reads are fine between mutations. Layers that
-// interleave live updates with queries (internal/serve) serialize the two
-// with a reader/writer lock.
+// All reads go through Snapshot, an immutable view pinning a
+// (generation, delta length) pair: a frozen graph supports one writer
+// concurrent with any number of snapshot readers, with no lock on the
+// read path. Writer-side methods (Add, Freeze, Compact, Merge, Triples)
+// are single-writer: they must not be called concurrently with each
+// other, but they never invalidate a live Snapshot. Map-mode graphs keep
+// the old contract — no mutation concurrent with reads.
 type Graph struct {
 	Dict *Dict
 
 	triples map[Triple]struct{}
-	order   []Triple // insertion order, for deterministic iteration
+	order   []Triple // insertion order, for deterministic iteration (writer-owned)
+
+	// ord republishes the order slice header after every frozen-mode
+	// Add, so snapshot readers can slice a consistent prefix without
+	// racing the writer's append.
+	ord atomic.Pointer[[]Triple]
 
 	// Map-mode indexes; nil while frozen.
 	out    map[ID][]HalfEdge // subject -> (P,O)
 	in     map[ID][]HalfEdge // object  -> (P,S)
 	byPred map[ID][]Triple   // property -> triples
 
-	// frozen is the CSR index; non-nil once Freeze has run. delta holds
-	// post-freeze Adds until Compact folds them into a rebuilt CSR.
-	frozen *csrIndex
-	delta  *deltaIndex
+	// gen is the current CSR generation; nil in map mode. Swapped
+	// atomically by Freeze/Compact; snapshot readers load it lock-free.
+	gen atomic.Pointer[generation]
+
+	// genMu guards the retired-generation registry and generation
+	// installation; snapshot reads never take it.
+	genMu     sync.Mutex
+	retired   []*generation // superseded generations still pinned by snapshots
+	nextGenID uint64
 
 	// autoCompact is the delta/CSR size ratio that triggers Compact from
 	// Add; 0 means DefaultCompactFraction, negative disables.
 	autoCompact float64
-	compactions uint64
+	compactions atomic.Uint64
 
 	// epoch increments on every successful Add. Derived caches (Stats)
 	// compare epochs to decide whether they are stale.
-	epoch uint64
-
-	// vertCache memoizes the sorted vertex set; Add invalidates it.
-	// Guarded by vertMu so lazy computation is safe under the concurrent
-	// readers the matcher runs.
-	vertMu    sync.Mutex
-	vertCache []ID
+	epoch atomic.Uint64
 }
 
 // NewGraph returns an empty graph sharing the given dictionary. A nil dict
@@ -115,22 +117,28 @@ func NewGraph(d *Dict) *Graph {
 }
 
 // Add inserts a triple; duplicates are ignored. It reports whether the
-// triple was new. On a frozen graph the triple goes to the delta overlay
-// (possibly triggering an auto-compaction) and the graph stays frozen.
+// triple was new. On a frozen graph the triple goes to the current
+// generation's delta overlay (possibly triggering an auto-compaction)
+// and becomes visible to snapshots taken after Add returns; snapshots
+// already pinned never see it.
 func (g *Graph) Add(t Triple) bool {
 	if _, ok := g.triples[t]; ok {
 		return false
 	}
 	g.triples[t] = struct{}{}
 	g.order = append(g.order, t)
-	g.epoch++
-	if g.frozen != nil {
-		if g.delta == nil {
-			g.delta = newDeltaIndex()
-		}
-		g.delta.add(t)
-		g.invalidateVertCache()
-		if g.shouldCompact() {
+	if gen := g.gen.Load(); gen != nil {
+		// Publish order: order header first, then the delta runs, then
+		// the delta length (the readers' acquire point). A snapshot that
+		// observes delta length n is guaranteed to find all n triples in
+		// the order prefix and the runs.
+		ord := g.order
+		g.ord.Store(&ord)
+		seq := uint32(gen.delta.n.Load())
+		gen.delta.add(t, seq)
+		gen.delta.n.Add(1)
+		g.epoch.Add(1)
+		if g.shouldCompact(gen) {
 			g.Compact()
 		}
 		return true
@@ -138,7 +146,7 @@ func (g *Graph) Add(t Triple) bool {
 	g.out[t.S] = append(g.out[t.S], HalfEdge{P: t.P, Other: t.O})
 	g.in[t.O] = append(g.in[t.O], HalfEdge{P: t.P, Other: t.S})
 	g.byPred[t.P] = append(g.byPred[t.P], t)
-	g.invalidateVertCache()
+	g.epoch.Add(1)
 	return true
 }
 
@@ -149,386 +157,185 @@ func (g *Graph) AddTerms(s, p, o Term) Triple {
 	return t
 }
 
-// Freeze compiles the graph into its immutable CSR form and releases the
-// map indexes. Idempotent; call after bulk loading and before issuing
-// queries. On an already-frozen graph carrying a delta it compacts, so
-// Freeze always leaves a pure CSR behind.
+// Freeze compiles the graph into its immutable CSR form (the first
+// generation) and releases the map indexes. Idempotent; call after bulk
+// loading and before issuing queries. On an already-frozen graph
+// carrying a delta it compacts, so Freeze always leaves a pure CSR
+// behind.
 func (g *Graph) Freeze() {
-	if g.frozen != nil {
+	if g.gen.Load() != nil {
 		g.Compact()
 		return
 	}
-	g.frozen = buildCSR(g.order)
+	g.installGeneration(buildCSR(g.order))
 	g.out, g.in, g.byPred = nil, nil, nil
-	g.vertMu.Lock()
-	g.vertCache = g.frozen.verts
-	g.vertMu.Unlock()
+}
+
+// installGeneration publishes a freshly built CSR as the new current
+// generation, retiring the previous one into the registry until its
+// pinned snapshots drain.
+func (g *Graph) installGeneration(csr *csrIndex) {
+	g.genMu.Lock()
+	defer g.genMu.Unlock()
+	g.nextGenID++
+	gen := &generation{id: g.nextGenID, csr: csr, base: len(g.order), delta: &genDelta{}}
+	ord := g.order
+	g.ord.Store(&ord)
+	if old := g.gen.Load(); old != nil {
+		g.retired = append(g.retired, old)
+	}
+	g.gen.Store(gen)
+	g.pruneLocked()
+}
+
+// pruneRetired forgets retired generations whose last pinned snapshot
+// has drained. Memory reclamation itself is the garbage collector's job
+// (arenas die with their last snapshot); the registry exists so the
+// LiveGenerations/PinnedSnapshots gauges reflect reality.
+func (g *Graph) pruneRetired() {
+	g.genMu.Lock()
+	g.pruneLocked()
+	g.genMu.Unlock()
+}
+
+func (g *Graph) pruneLocked() {
+	kept := g.retired[:0]
+	for _, gen := range g.retired {
+		if gen.pins.Load() > 0 {
+			kept = append(kept, gen)
+		}
+	}
+	for i := len(kept); i < len(g.retired); i++ {
+		g.retired[i] = nil
+	}
+	g.retired = kept
+}
+
+// LiveGenerations reports how many CSR generations are currently alive:
+// the serving generation plus retired ones still pinned by snapshots.
+// Zero in map mode.
+func (g *Graph) LiveGenerations() int {
+	if g.gen.Load() == nil {
+		return 0
+	}
+	g.genMu.Lock()
+	defer g.genMu.Unlock()
+	g.pruneLocked()
+	return 1 + len(g.retired)
+}
+
+// PinnedSnapshots reports how many pinned (unclosed) snapshots exist
+// across all generations of this graph.
+func (g *Graph) PinnedSnapshots() int {
+	n := int64(0)
+	if gen := g.gen.Load(); gen != nil {
+		n += gen.pins.Load()
+	}
+	g.genMu.Lock()
+	for _, gen := range g.retired {
+		n += gen.pins.Load()
+	}
+	g.genMu.Unlock()
+	return int(n)
 }
 
 // Frozen reports whether the graph is in CSR mode (possibly carrying a
 // delta overlay; see DeltaLen).
-func (g *Graph) Frozen() bool { return g.frozen != nil }
+func (g *Graph) Frozen() bool { return g.gen.Load() != nil }
 
-// DeltaLen returns the number of post-freeze triples waiting in the delta
-// overlay (0 in map mode or right after a compaction).
+// DeltaLen returns the number of post-freeze triples waiting in the
+// current generation's delta overlay (0 in map mode or right after a
+// compaction).
 func (g *Graph) DeltaLen() int {
-	if g.delta == nil {
+	gen := g.gen.Load()
+	if gen == nil {
 		return 0
 	}
-	return g.delta.n
+	return int(gen.delta.n.Load())
 }
 
-// Compactions returns how many times the delta has been folded into the
-// CSR, by Compact directly or by the auto-compaction threshold.
-func (g *Graph) Compactions() uint64 { return g.compactions }
+// Compactions returns how many times the delta has been folded into a
+// new CSR generation, by Compact directly or by the auto-compaction
+// threshold.
+func (g *Graph) Compactions() uint64 { return g.compactions.Load() }
 
 // Epoch returns the graph's mutation counter: it increments on every
-// successful Add. Derived caches (Stats) use it to detect staleness.
-func (g *Graph) Epoch() uint64 { return g.epoch }
+// successful Add. Derived caches use it to detect staleness.
+func (g *Graph) Epoch() uint64 { return g.epoch.Load() }
+
+// visibleLen is the number of triples a snapshot taken right now would
+// see. Safe to call concurrently with the writer on a frozen graph.
+func (g *Graph) visibleLen() int {
+	gen := g.gen.Load()
+	if gen == nil {
+		return len(g.order)
+	}
+	return gen.base + int(gen.delta.n.Load())
+}
+
+// orderPrefix returns the first n triples in insertion order, reading
+// the published header so it is safe concurrent with the writer on a
+// frozen graph.
+func (g *Graph) orderPrefix(n int) []Triple {
+	if ord := g.ord.Load(); ord != nil {
+		return (*ord)[:n]
+	}
+	return g.order[:n]
+}
 
 // SetAutoCompact sets the delta/CSR ratio beyond which Add compacts
 // automatically. 0 restores DefaultCompactFraction; a negative fraction
 // disables auto-compaction (Compact/Freeze still work explicitly).
 func (g *Graph) SetAutoCompact(fraction float64) { g.autoCompact = fraction }
 
-func (g *Graph) shouldCompact() bool {
-	if g.autoCompact < 0 || g.delta == nil {
+func (g *Graph) shouldCompact(gen *generation) bool {
+	if g.autoCompact < 0 {
 		return false
 	}
 	frac := g.autoCompact
 	if frac == 0 {
 		frac = DefaultCompactFraction
 	}
-	base := len(g.order) - g.delta.n
-	threshold := int(frac * float64(base))
+	threshold := int(frac * float64(gen.base))
 	if threshold < minCompactDelta {
 		threshold = minCompactDelta
 	}
 	if threshold > maxCompactDelta {
 		threshold = maxCompactDelta
 	}
-	return g.delta.n >= threshold
+	return int(gen.delta.n.Load()) >= threshold
 }
 
-// Compact folds the delta overlay into a freshly rebuilt CSR (one pass
-// over the triple list) and drops the delta. No-op in map mode or when
-// the delta is empty.
+// Compact folds the current generation's delta into a freshly rebuilt
+// CSR (one pass over the triple list) and swaps the new generation in
+// atomically. In-flight snapshots keep reading the generation they
+// pinned; the old generation is retired and forgotten once its last
+// snapshot drains. No-op in map mode or when the delta is empty.
 func (g *Graph) Compact() {
-	if g.frozen == nil || g.delta == nil {
+	gen := g.gen.Load()
+	if gen == nil || gen.delta.n.Load() == 0 {
 		return
 	}
-	g.frozen = buildCSR(g.order)
-	g.delta = nil
-	g.compactions++
-	g.vertMu.Lock()
-	g.vertCache = g.frozen.verts
-	g.vertMu.Unlock()
+	g.installGeneration(buildCSR(g.order))
+	g.compactions.Add(1)
 }
 
-func (g *Graph) invalidateVertCache() {
-	g.vertMu.Lock()
-	g.vertCache = nil
-	g.vertMu.Unlock()
-}
-
-// Has reports whether the triple is present.
+// Has reports whether the triple is present. Writer-side: it reads the
+// live triple set, so it must not race Add; concurrent readers use
+// Snapshot.Has.
 func (g *Graph) Has(t Triple) bool {
 	_, ok := g.triples[t]
 	return ok
 }
 
-// NumTriples returns |E(G)|.
+// NumTriples returns |E(G)| as the writer sees it (all adds included).
 func (g *Graph) NumTriples() int { return len(g.order) }
 
-// NumVertices returns |V(G)| (distinct subjects and objects).
-func (g *Graph) NumVertices() int { return len(g.Vertices()) }
-
 // Triples returns the triples in insertion order (delta triples included —
-// they are the newest suffix). The returned slice is owned by the graph
-// and must not be mutated.
+// they are the newest suffix). Writer-side; the returned slice is owned
+// by the graph and must not be mutated. Concurrent readers use
+// Snapshot.Triples.
 func (g *Graph) Triples() []Triple { return g.order }
-
-// OutEdges returns the outgoing (P, Other) adjacency of vertex s. With no
-// delta the slice is owned by the graph: zero-copy, do not mutate. When
-// the graph is frozen the run is sorted by (P, Other); in map mode it is
-// in insertion order. A frozen graph with delta edges at s returns a
-// freshly merged (allocated) slice in the same sorted order; the matcher
-// avoids that allocation via OutEdges2.
-func (g *Graph) OutEdges(s ID) []HalfEdge {
-	base, delta := g.OutEdges2(s)
-	if len(delta) == 0 {
-		return base
-	}
-	return mergeHalf(base, delta)
-}
-
-// InEdges returns the incoming (P, S) adjacency of vertex o, with the
-// same ownership and ordering contract as OutEdges.
-func (g *Graph) InEdges(o ID) []HalfEdge {
-	base, delta := g.InEdges2(o)
-	if len(delta) == 0 {
-		return base
-	}
-	return mergeHalf(base, delta)
-}
-
-// OutEdges2 is the two-run overlay variant of OutEdges: the base run
-// (CSR or map mode) and the delta run, both zero-copy. The delta run is
-// nil unless the graph is frozen and carries post-freeze edges at s; both
-// runs are then sorted by (P, Other), so a two-way merge reproduces
-// exactly the adjacency a rebuilt CSR would serve.
-func (g *Graph) OutEdges2(s ID) (base, delta []HalfEdge) {
-	if c := g.frozen; c != nil {
-		if g.delta != nil {
-			delta = g.delta.out[s]
-		}
-		return c.out(s), delta
-	}
-	return g.out[s], nil
-}
-
-// InEdges2 is OutEdges2 for incoming edges of o.
-func (g *Graph) InEdges2(o ID) (base, delta []HalfEdge) {
-	if c := g.frozen; c != nil {
-		if g.delta != nil {
-			delta = g.delta.in[o]
-		}
-		return c.in(o), delta
-	}
-	return g.in[o], nil
-}
-
-// OutRun returns s's outgoing edges labelled p. On a frozen graph this is
-// the contiguous (binary-searched) sub-run and exact is true; in map mode
-// it returns the full adjacency with exact false and the caller must
-// filter by P. Zero-copy unless a delta run exists for (s, p), in which
-// case the result is a freshly merged slice (see OutRun2 for the
-// allocation-free form).
-func (g *Graph) OutRun(s, p ID) (run []HalfEdge, exact bool) {
-	base, delta, exact := g.OutRun2(s, p)
-	if len(delta) == 0 {
-		return base, exact
-	}
-	return mergeHalf(base, delta), exact
-}
-
-// InRun is OutRun for incoming edges of o.
-func (g *Graph) InRun(o, p ID) (run []HalfEdge, exact bool) {
-	base, delta, exact := g.InRun2(o, p)
-	if len(delta) == 0 {
-		return base, exact
-	}
-	return mergeHalf(base, delta), exact
-}
-
-// OutRun2 is the two-run overlay variant of OutRun: the CSR sub-run and
-// the delta sub-run for (s, p), both zero-copy and sorted by (P, Other).
-// In map mode it returns the full adjacency with exact false (delta nil).
-func (g *Graph) OutRun2(s, p ID) (base, delta []HalfEdge, exact bool) {
-	if c := g.frozen; c != nil {
-		if g.delta != nil {
-			delta = predRange(g.delta.out[s], p)
-		}
-		return predRange(c.out(s), p), delta, true
-	}
-	return g.out[s], nil, false
-}
-
-// InRun2 is OutRun2 for incoming edges of o.
-func (g *Graph) InRun2(o, p ID) (base, delta []HalfEdge, exact bool) {
-	if c := g.frozen; c != nil {
-		if g.delta != nil {
-			delta = predRange(g.delta.in[o], p)
-		}
-		return predRange(c.in(o), p), delta, true
-	}
-	return g.in[o], nil, false
-}
-
-// Out returns the outgoing (P, O) pairs of vertex s as Edge values. It
-// allocates; the matcher uses OutEdges2/OutRun2 instead.
-func (g *Graph) Out(s ID) []Edge {
-	hs := g.OutEdges(s)
-	es := make([]Edge, len(hs))
-	for i, h := range hs {
-		es[i] = Edge{P: h.P, Other: h.Other, Out: true}
-	}
-	return es
-}
-
-// In returns the incoming (P, S) pairs of vertex o as Edge values. It
-// allocates; the matcher uses InEdges2/InRun2 instead.
-func (g *Graph) In(o ID) []Edge {
-	hs := g.InEdges(o)
-	es := make([]Edge, len(hs))
-	for i, h := range hs {
-		es[i] = Edge{P: h.P, Other: h.Other, Out: false}
-	}
-	return es
-}
-
-// OutDegree returns the number of outgoing edges of v, merging CSR and
-// delta without materializing either.
-func (g *Graph) OutDegree(v ID) int {
-	base, delta := g.OutEdges2(v)
-	return len(base) + len(delta)
-}
-
-// InDegree is OutDegree for incoming edges.
-func (g *Graph) InDegree(v ID) int {
-	base, delta := g.InEdges2(v)
-	return len(base) + len(delta)
-}
-
-// Degree returns the total degree (in+out) of v.
-func (g *Graph) Degree(v ID) int {
-	return g.OutDegree(v) + g.InDegree(v)
-}
-
-// OutDegreeP returns the number of outgoing edges of v labelled p: an
-// exact (vertex, predicate) selectivity. O(log deg) frozen, O(deg) in map
-// mode.
-func (g *Graph) OutDegreeP(v, p ID) int {
-	base, delta, exact := g.OutRun2(v, p)
-	if exact {
-		return len(base) + len(delta)
-	}
-	n := 0
-	for _, h := range base {
-		if h.P == p {
-			n++
-		}
-	}
-	return n
-}
-
-// InDegreeP is OutDegreeP for incoming edges.
-func (g *Graph) InDegreeP(v, p ID) int {
-	base, delta, exact := g.InRun2(v, p)
-	if exact {
-		return len(base) + len(delta)
-	}
-	n := 0
-	for _, h := range base {
-		if h.P == p {
-			n++
-		}
-	}
-	return n
-}
-
-// ByPredicate returns all triples whose property is p. On a frozen graph
-// the run comes from the sorted triple arena (ordered by S then O); in
-// map mode it is in insertion order. Zero-copy unless a delta run exists
-// for p, in which case the result is a freshly merged slice (see
-// ByPredicate2).
-func (g *Graph) ByPredicate(p ID) []Triple {
-	base, delta := g.ByPredicate2(p)
-	if len(delta) == 0 {
-		return base
-	}
-	return mergeTriples(base, delta)
-}
-
-// ByPredicate2 is the two-run overlay variant of ByPredicate: the CSR
-// arena run and the delta run for p, both zero-copy and sorted by (S, O)
-// when frozen. In map mode the delta run is nil and the base run is in
-// insertion order.
-func (g *Graph) ByPredicate2(p ID) (base, delta []Triple) {
-	if c := g.frozen; c != nil {
-		if g.delta != nil {
-			delta = g.delta.byPred[p]
-		}
-		return c.pred(p), delta
-	}
-	return g.byPred[p], nil
-}
-
-// PredicateCount returns the number of triples labelled p.
-func (g *Graph) PredicateCount(p ID) int {
-	base, delta := g.ByPredicate2(p)
-	return len(base) + len(delta)
-}
-
-// Predicates returns the distinct properties in ascending ID order.
-func (g *Graph) Predicates() []ID {
-	if c := g.frozen; c != nil {
-		if g.delta == nil {
-			return c.preds
-		}
-		return mergeIDs(c.preds, sortedKeysNotIn(g.delta.byPred, func(p ID) bool {
-			return len(c.pred(p)) > 0
-		}))
-	}
-	ps := make([]ID, 0, len(g.byPred))
-	for p := range g.byPred {
-		ps = append(ps, p)
-	}
-	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
-	return ps
-}
-
-// Vertices returns the distinct vertices in ascending ID order. The slice
-// is cached (Add invalidates it) and owned by the graph; do not mutate.
-func (g *Graph) Vertices() []ID {
-	g.vertMu.Lock()
-	defer g.vertMu.Unlock()
-	if g.vertCache != nil {
-		return g.vertCache
-	}
-	if c := g.frozen; c != nil {
-		if g.delta == nil {
-			g.vertCache = c.verts
-			return g.vertCache
-		}
-		seen := make(map[ID]struct{}, 2*g.delta.n)
-		for v := range g.delta.out {
-			seen[v] = struct{}{}
-		}
-		for v := range g.delta.in {
-			seen[v] = struct{}{}
-		}
-		extra := make([]ID, 0, len(seen))
-		for v := range seen {
-			if len(c.out(v)) == 0 && len(c.in(v)) == 0 {
-				extra = append(extra, v)
-			}
-		}
-		sort.Slice(extra, func(i, j int) bool { return extra[i] < extra[j] })
-		g.vertCache = mergeIDs(c.verts, extra)
-		return g.vertCache
-	}
-	seen := make(map[ID]struct{}, len(g.out)+len(g.in))
-	for v := range g.out {
-		seen[v] = struct{}{}
-	}
-	for v := range g.in {
-		seen[v] = struct{}{}
-	}
-	vs := make([]ID, 0, len(seen))
-	for v := range seen {
-		vs = append(vs, v)
-	}
-	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
-	if vs == nil {
-		vs = []ID{} // cache the empty result too
-	}
-	g.vertCache = vs
-	return g.vertCache
-}
-
-// sortedKeysNotIn collects the map's keys that fail the exclusion test,
-// sorted ascending.
-func sortedKeysNotIn[V any](m map[ID]V, inBase func(ID) bool) []ID {
-	out := make([]ID, 0, len(m))
-	for k := range m {
-		if !inBase(k) {
-			out = append(out, k)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
 
 // mergeIDs merges two sorted, disjoint ID slices. With an empty extra it
 // returns base unchanged (zero-copy).

@@ -83,28 +83,30 @@ func TestGraphAddAndIndexes(t *testing.T) {
 	if g.NumTriples() != 3 {
 		t.Errorf("NumTriples = %d, want 3", g.NumTriples())
 	}
-	if g.NumVertices() != 3 {
-		t.Errorf("NumVertices = %d, want 3", g.NumVertices())
+	sn := g.Snapshot()
+	defer sn.Close()
+	if sn.NumVertices() != 3 {
+		t.Errorf("NumVertices = %d, want 3", sn.NumVertices())
 	}
-	if got := len(g.Out(a)); got != 2 {
-		t.Errorf("Out(a) = %d edges, want 2", got)
+	if got := len(sn.OutEdges(a)); got != 2 {
+		t.Errorf("OutEdges(a) = %d edges, want 2", got)
 	}
-	if got := len(g.In(c)); got != 2 {
-		t.Errorf("In(c) = %d edges, want 2", got)
+	if got := len(sn.InEdges(c)); got != 2 {
+		t.Errorf("InEdges(c) = %d edges, want 2", got)
 	}
-	if got := g.PredicateCount(p); got != 1 {
+	if got := sn.PredicateCount(p); got != 1 {
 		t.Errorf("PredicateCount(p) = %d, want 1", got)
 	}
-	if got := g.PredicateCount(q); got != 2 {
+	if got := sn.PredicateCount(q); got != 2 {
 		t.Errorf("PredicateCount(q) = %d, want 2", got)
 	}
-	if got := g.Degree(a); got != 2 {
+	if got := sn.Degree(a); got != 2 {
 		t.Errorf("Degree(a) = %d, want 2", got)
 	}
 	if !g.Has(Triple{a, p, b}) || g.Has(Triple{c, p, b}) {
 		t.Error("Has gave wrong answers")
 	}
-	preds := g.Predicates()
+	preds := sn.Predicates()
 	if len(preds) != 2 {
 		t.Errorf("Predicates = %v, want 2 entries", preds)
 	}

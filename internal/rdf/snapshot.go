@@ -1,0 +1,389 @@
+package rdf
+
+import (
+	"slices"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// generation is one immutable CSR build plus the mutable delta overlay
+// that accumulates on top of it. Compact builds the next generation off
+// to the side and swaps the graph's generation pointer atomically;
+// snapshots pinned to the old generation keep reading it untouched until
+// they drain (Go's GC reclaims the arenas once the last reference
+// drops; the pin count is the observability hook that tells the graph
+// when to forget a retired generation).
+type generation struct {
+	id    uint64
+	csr   *csrIndex
+	base  int // triples compiled into csr (the order-prefix length)
+	delta *genDelta
+	pins  atomic.Int64 // snapshots currently pinning this generation
+}
+
+// Snapshot is an immutable, lock-free read view of a graph: it pins a
+// (CSR generation, delta length) pair at acquisition, so concurrent
+// writer appends and even compactions are invisible to it. It is the
+// only type the read path (match, exec, cluster, serve) consumes; all
+// two-run accessors live here. A Snapshot is safe for concurrent use by
+// many goroutines and stays valid indefinitely; Close releases its pin
+// on the generation (needed only for the generation-lifecycle gauges —
+// an unclosed snapshot leaks a gauge increment, not memory).
+//
+// Snapshots of a map-mode (never frozen) graph are a compatibility
+// fallback: they read the live map indexes and are only consistent while
+// no writer runs, exactly the old Graph read contract. Frozen-graph
+// snapshots are the real MVCC path.
+type Snapshot struct {
+	g      *Graph
+	gen    *generation // nil = map-mode fallback
+	n      uint32      // delta visibility bound: entries with Seq < n are visible
+	order  []Triple    // pinned insertion-order prefix (frozen mode)
+	pinned bool
+	closed atomic.Bool
+}
+
+// Snapshot pins the graph's current read view. The returned snapshot is
+// lock-free and immune to concurrent Add/Compact; Close it when done so
+// the generation gauges drain. Snapshots taken from a ViewSource view
+// are shared and must not be Closed individually (the view handle owns
+// the pins).
+func (g *Graph) Snapshot() *Snapshot {
+	s := g.snapshotAt()
+	if s.gen != nil {
+		s.pinned = true
+		s.gen.pins.Add(1)
+	}
+	return s
+}
+
+// snapshotAt captures the current (generation, delta length) cut without
+// pinning — the building block for Snapshot and for ViewSource views,
+// which do their own pin accounting per acquired handle.
+func (g *Graph) snapshotAt() *Snapshot {
+	gen := g.gen.Load()
+	if gen == nil {
+		return &Snapshot{g: g}
+	}
+	// Load n before the order header: the writer publishes the order
+	// first and increments n last, so the header seen here covers at
+	// least base+n triples.
+	n := uint32(gen.delta.n.Load())
+	ord := *g.ord.Load()
+	return &Snapshot{g: g, gen: gen, n: n, order: ord[:gen.base+int(n)]}
+}
+
+// Close releases the snapshot's generation pin. Idempotent; a nil or
+// unpinned (view-owned or map-mode) snapshot is a no-op.
+func (s *Snapshot) Close() {
+	if s == nil || !s.pinned || s.gen == nil || s.closed.Swap(true) {
+		return
+	}
+	s.gen.pins.Add(-1)
+	s.g.pruneRetired()
+}
+
+// Dict returns the shared dictionary of the underlying graph.
+func (s *Snapshot) Dict() *Dict { return s.g.Dict }
+
+// Graph returns the graph this snapshot was taken from. The graph's
+// writer-side API (Add, Compact) is NOT safe to call from readers; this
+// exists for identity checks and dictionary access.
+func (s *Snapshot) Graph() *Graph { return s.g }
+
+// Bound returns the delta visibility bound: delta entries with
+// Seq < Bound belong to this snapshot. The match cursor uses it to
+// filter raw delta runs during its inline merges.
+func (s *Snapshot) Bound() uint32 { return s.n }
+
+// Generation returns the pinned CSR generation's id (0 in map mode).
+func (s *Snapshot) Generation() uint64 {
+	if s.gen == nil {
+		return 0
+	}
+	return s.gen.id
+}
+
+// NumTriples returns the number of triples visible in this snapshot.
+func (s *Snapshot) NumTriples() int {
+	if s.gen == nil {
+		return len(s.g.order)
+	}
+	return len(s.order)
+}
+
+// Triples returns the visible triples in insertion order. The slice is
+// owned by the store and must not be mutated.
+func (s *Snapshot) Triples() []Triple {
+	if s.gen == nil {
+		return s.g.order
+	}
+	return s.order
+}
+
+// Has reports whether the triple is visible in this snapshot.
+func (s *Snapshot) Has(t Triple) bool {
+	if s.gen == nil {
+		_, ok := s.g.triples[t]
+		return ok
+	}
+	base := predRange(s.gen.csr.out(t.S), t.P)
+	if _, ok := slices.BinarySearchFunc(base, HalfEdge{P: t.P, Other: t.O}, CompareHalf); ok {
+		return true
+	}
+	if s.n == 0 {
+		return false
+	}
+	for _, dh := range predRangeDeltaHalf(loadHalfRun(&s.gen.delta.out, t.S), t.P) {
+		if dh.H.Other == t.O && dh.Seq < s.n {
+			return true
+		}
+	}
+	return false
+}
+
+// OutEdges2 returns the outgoing (P, Other) adjacency of vertex v as two
+// zero-copy runs: the immutable CSR run and the raw delta run, both
+// sorted by (P, Other). Delta entries with Seq >= Bound() belong to
+// writes after this snapshot and must be skipped by the caller (the
+// match cursor does this inline; the allocating OutEdges pre-filters).
+// In map mode the delta run is nil and the base run is in insertion
+// order.
+func (s *Snapshot) OutEdges2(v ID) (base []HalfEdge, delta []DeltaHalf) {
+	if s.gen == nil {
+		return s.g.out[v], nil
+	}
+	if s.n == 0 { // empty visible delta: skip the side-index lookup
+		return s.gen.csr.out(v), nil
+	}
+	return s.gen.csr.out(v), loadHalfRun(&s.gen.delta.out, v)
+}
+
+// InEdges2 is OutEdges2 for incoming edges of v.
+func (s *Snapshot) InEdges2(v ID) (base []HalfEdge, delta []DeltaHalf) {
+	if s.gen == nil {
+		return s.g.in[v], nil
+	}
+	if s.n == 0 {
+		return s.gen.csr.in(v), nil
+	}
+	return s.gen.csr.in(v), loadHalfRun(&s.gen.delta.in, v)
+}
+
+// OutRun2 narrows OutEdges2 to the sub-runs labelled p. On a frozen
+// graph both runs are binary-searched and exact is true; in map mode it
+// returns the full adjacency with exact false and the caller filters by
+// P. The delta run is raw: filter by Seq < Bound().
+func (s *Snapshot) OutRun2(v, p ID) (base []HalfEdge, delta []DeltaHalf, exact bool) {
+	if s.gen == nil {
+		return s.g.out[v], nil, false
+	}
+	if s.n == 0 {
+		return predRange(s.gen.csr.out(v), p), nil, true
+	}
+	return predRange(s.gen.csr.out(v), p), predRangeDeltaHalf(loadHalfRun(&s.gen.delta.out, v), p), true
+}
+
+// InRun2 is OutRun2 for incoming edges of v.
+func (s *Snapshot) InRun2(v, p ID) (base []HalfEdge, delta []DeltaHalf, exact bool) {
+	if s.gen == nil {
+		return s.g.in[v], nil, false
+	}
+	if s.n == 0 {
+		return predRange(s.gen.csr.in(v), p), nil, true
+	}
+	return predRange(s.gen.csr.in(v), p), predRangeDeltaHalf(loadHalfRun(&s.gen.delta.in, v), p), true
+}
+
+// ByPredicate2 returns the triples labelled p as two zero-copy runs:
+// the CSR arena run and the raw delta run, both sorted by (S, O) when
+// frozen. The delta run is raw: filter by Seq < Bound(). In map mode the
+// delta run is nil and the base run is in insertion order.
+func (s *Snapshot) ByPredicate2(p ID) (base []Triple, delta []DeltaTriple) {
+	if s.gen == nil {
+		return s.g.byPred[p], nil
+	}
+	if s.n == 0 {
+		return s.gen.csr.pred(p), nil
+	}
+	return s.gen.csr.pred(p), loadTripleRun(&s.gen.delta.byPred, p)
+}
+
+// OutEdges returns the outgoing adjacency of v merged into one run
+// sorted by (P, Other). It allocates when v has visible delta edges;
+// the matcher uses OutEdges2 instead.
+func (s *Snapshot) OutEdges(v ID) []HalfEdge {
+	base, delta := s.OutEdges2(v)
+	if len(delta) == 0 {
+		return base
+	}
+	return mergeHalf(base, visibleHalf(delta, s.n))
+}
+
+// InEdges is OutEdges for incoming edges of v.
+func (s *Snapshot) InEdges(v ID) []HalfEdge {
+	base, delta := s.InEdges2(v)
+	if len(delta) == 0 {
+		return base
+	}
+	return mergeHalf(base, visibleHalf(delta, s.n))
+}
+
+// OutRun returns v's outgoing edges labelled p, merged. exact is false
+// in map mode, where the caller must filter by P.
+func (s *Snapshot) OutRun(v, p ID) (run []HalfEdge, exact bool) {
+	base, delta, exact := s.OutRun2(v, p)
+	if len(delta) == 0 {
+		return base, exact
+	}
+	return mergeHalf(base, visibleHalf(delta, s.n)), exact
+}
+
+// InRun is OutRun for incoming edges of v.
+func (s *Snapshot) InRun(v, p ID) (run []HalfEdge, exact bool) {
+	base, delta, exact := s.InRun2(v, p)
+	if len(delta) == 0 {
+		return base, exact
+	}
+	return mergeHalf(base, visibleHalf(delta, s.n)), exact
+}
+
+// ByPredicate returns all visible triples labelled p, merged into one
+// (S, O)-sorted run when frozen.
+func (s *Snapshot) ByPredicate(p ID) []Triple {
+	base, delta := s.ByPredicate2(p)
+	if len(delta) == 0 {
+		return base
+	}
+	return mergeTriples(base, visibleTriples(delta, s.n))
+}
+
+// OutDegree returns the number of visible outgoing edges of v.
+func (s *Snapshot) OutDegree(v ID) int {
+	base, delta := s.OutEdges2(v)
+	return len(base) + countVisibleHalf(delta, s.n)
+}
+
+// InDegree is OutDegree for incoming edges.
+func (s *Snapshot) InDegree(v ID) int {
+	base, delta := s.InEdges2(v)
+	return len(base) + countVisibleHalf(delta, s.n)
+}
+
+// Degree returns the total (out + in) degree of v.
+func (s *Snapshot) Degree(v ID) int { return s.OutDegree(v) + s.InDegree(v) }
+
+// OutDegreeP returns the number of visible outgoing edges of v labelled
+// p: an exact (vertex, predicate) selectivity. O(log deg + delta) when
+// frozen, O(deg) in map mode.
+func (s *Snapshot) OutDegreeP(v, p ID) int {
+	base, delta, exact := s.OutRun2(v, p)
+	if exact {
+		return len(base) + countVisibleHalf(delta, s.n)
+	}
+	n := 0
+	for _, h := range base {
+		if h.P == p {
+			n++
+		}
+	}
+	return n
+}
+
+// InDegreeP is OutDegreeP for incoming edges.
+func (s *Snapshot) InDegreeP(v, p ID) int {
+	base, delta, exact := s.InRun2(v, p)
+	if exact {
+		return len(base) + countVisibleHalf(delta, s.n)
+	}
+	n := 0
+	for _, h := range base {
+		if h.P == p {
+			n++
+		}
+	}
+	return n
+}
+
+// PredicateCount returns the number of visible triples labelled p.
+func (s *Snapshot) PredicateCount(p ID) int {
+	base, delta := s.ByPredicate2(p)
+	return len(base) + countVisibleTriples(delta, s.n)
+}
+
+// Predicates returns the distinct visible properties in ascending ID
+// order.
+func (s *Snapshot) Predicates() []ID {
+	if s.gen == nil {
+		ps := make([]ID, 0, len(s.g.byPred))
+		for p := range s.g.byPred {
+			ps = append(ps, p)
+		}
+		sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+		return ps
+	}
+	c := s.gen.csr
+	if s.n == 0 {
+		return c.preds
+	}
+	var extra []ID
+	s.gen.delta.byPred.Range(func(k, v any) bool {
+		p := k.(ID)
+		if len(c.pred(p)) == 0 && countVisibleTriples(v.([]DeltaTriple), s.n) > 0 {
+			extra = append(extra, p)
+		}
+		return true
+	})
+	sort.Slice(extra, func(i, j int) bool { return extra[i] < extra[j] })
+	return mergeIDs(c.preds, extra)
+}
+
+// Vertices returns the distinct visible vertices (subjects ∪ objects) in
+// ascending ID order.
+func (s *Snapshot) Vertices() []ID {
+	if s.gen == nil {
+		seen := make(map[ID]struct{}, len(s.g.out)+len(s.g.in))
+		for v := range s.g.out {
+			seen[v] = struct{}{}
+		}
+		for v := range s.g.in {
+			seen[v] = struct{}{}
+		}
+		vs := make([]ID, 0, len(seen))
+		for v := range seen {
+			vs = append(vs, v)
+		}
+		sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+		return vs
+	}
+	c := s.gen.csr
+	if s.n == 0 {
+		return c.verts
+	}
+	seen := make(map[ID]struct{})
+	for _, side := range []*sync.Map{&s.gen.delta.out, &s.gen.delta.in} {
+		side.Range(func(k, v any) bool {
+			id := k.(ID)
+			if _, dup := seen[id]; dup {
+				return true
+			}
+			if len(c.out(id)) > 0 || len(c.in(id)) > 0 {
+				return true // already in the CSR vertex set
+			}
+			if countVisibleHalf(v.([]DeltaHalf), s.n) > 0 {
+				seen[id] = struct{}{}
+			}
+			return true
+		})
+	}
+	extra := make([]ID, 0, len(seen))
+	for v := range seen {
+		extra = append(extra, v)
+	}
+	sort.Slice(extra, func(i, j int) bool { return extra[i] < extra[j] })
+	return mergeIDs(c.verts, extra)
+}
+
+// NumVertices returns the number of distinct visible vertices.
+func (s *Snapshot) NumVertices() int { return len(s.Vertices()) }

@@ -1,28 +1,38 @@
 package rdf
 
-import (
-	"sync"
-	"sync/atomic"
-)
+import "sync"
 
 // Stats caches per-predicate statistics of a graph: triple counts and
 // distinct subject/object counts. The cost models use these to estimate
 // constant selectivities (a triple pattern with a bound object matches
-// count/distinctObjects triples on average). Computation is lazy and
-// epoch-aware: the cache rebuilds on first use after any mutation
-// (Graph.Epoch), so live updates through the delta overlay cannot leave
-// stale cardinalities behind.
+// count/distinctObjects triples on average).
+//
+// Refresh is incremental: the cache keeps persistent per-predicate
+// aggregates (count plus distinct-subject/object sets) and a high-water
+// mark of how many insertion-order triples have been folded in. A
+// lookup that finds new triples folds only that suffix — O(new), not
+// O(|E|) — which is what makes planning affordable under a live update
+// stream. Because the graph is append-only and a compaction changes
+// representation but not content, the insertion-order prefix length IS
+// the cache key: a (generation, delta length) snapshot cut corresponds
+// to exactly one prefix length, so folded-to-length stats are
+// snapshot-consistent for every view at that cut. Safe for concurrent
+// readers racing the single writer on a frozen graph: the visible
+// length and order prefix are read through the graph's published
+// atomics.
 type Stats struct {
 	g *Graph
 
-	// built is 1 + the graph epoch the cache was computed at (0 = never):
-	// concurrent planners take only the read path while it matches the
-	// graph's current epoch. Mutations are externally serialized against
-	// reads (the graph's concurrency contract), so the epoch cannot move
-	// during a read window.
-	built   atomic.Uint64
 	mu      sync.RWMutex
-	perPred map[ID]PredStats
+	folded  int // order-prefix triples folded into the aggregates
+	perPred map[ID]*predAgg
+}
+
+// predAgg is the persistent aggregate for one predicate.
+type predAgg struct {
+	count int
+	subs  map[ID]struct{}
+	objs  map[ID]struct{}
 }
 
 // PredStats summarizes one property.
@@ -33,47 +43,53 @@ type PredStats struct {
 }
 
 // NewStats wraps a graph; computation happens lazily on first use.
-func NewStats(g *Graph) *Stats { return &Stats{g: g} }
-
-func (s *Stats) compute() {
-	s.perPred = make(map[ID]PredStats)
-	for _, p := range s.g.Predicates() {
-		subs := make(map[ID]struct{})
-		objs := make(map[ID]struct{})
-		count := 0
-		base, delta := s.g.ByPredicate2(p)
-		for _, run := range [][]Triple{base, delta} {
-			for _, t := range run {
-				subs[t.S] = struct{}{}
-				objs[t.O] = struct{}{}
-			}
-			count += len(run)
-		}
-		s.perPred[p] = PredStats{
-			Count:            count,
-			DistinctSubjects: len(subs),
-			DistinctObjects:  len(objs),
-		}
-	}
+func NewStats(g *Graph) *Stats {
+	return &Stats{g: g, perPred: make(map[ID]*predAgg)}
 }
 
 // Predicate returns the statistics for property p (zero value if absent).
-// The cache recomputes when the graph has mutated since the last call;
+// New triples since the last call are folded in incrementally;
 // fresh-cache lookups contend only on a read lock.
 func (s *Stats) Predicate(p ID) PredStats {
-	want := s.g.Epoch() + 1
-	if s.built.Load() == want {
-		s.mu.RLock()
-		defer s.mu.RUnlock()
-		return s.perPred[p]
+	target := s.g.visibleLen()
+	s.mu.RLock()
+	if s.folded >= target {
+		ps := s.read(p)
+		s.mu.RUnlock()
+		return ps
 	}
+	s.mu.RUnlock()
+
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.built.Load() != want { // lost the recompute race: already fresh
-		s.compute()
-		s.built.Store(want)
+	if s.folded < target { // lost the fold race: already fresh
+		for _, t := range s.g.orderPrefix(target)[s.folded:] {
+			agg := s.perPred[t.P]
+			if agg == nil {
+				agg = &predAgg{subs: make(map[ID]struct{}), objs: make(map[ID]struct{})}
+				s.perPred[t.P] = agg
+			}
+			agg.count++
+			agg.subs[t.S] = struct{}{}
+			agg.objs[t.O] = struct{}{}
+		}
+		s.folded = target
 	}
-	return s.perPred[p]
+	ps := s.read(p)
+	s.mu.Unlock()
+	return ps
+}
+
+// read assembles the exported numbers for p; caller holds a lock.
+func (s *Stats) read(p ID) PredStats {
+	agg := s.perPred[p]
+	if agg == nil {
+		return PredStats{}
+	}
+	return PredStats{
+		Count:            agg.count,
+		DistinctSubjects: len(agg.subs),
+		DistinctObjects:  len(agg.objs),
+	}
 }
 
 // EstimateTriplePattern estimates the matches of a single triple pattern

@@ -28,12 +28,14 @@ ex:Aristotle a ex:Philosopher ;
 	if !ok {
 		t.Fatal("prefixed subject not expanded")
 	}
-	if len(g.Out(arist)) != 5 {
-		t.Errorf("Aristotle out-degree = %d, want 5", len(g.Out(arist)))
+	sn := g.Snapshot()
+	defer sn.Close()
+	if len(sn.OutEdges(arist)) != 5 {
+		t.Errorf("Aristotle out-degree = %d, want 5", len(sn.OutEdges(arist)))
 	}
 	// 'a' expands to rdf:type.
 	typeID, ok := g.Dict.Lookup(NewIRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type"))
-	if !ok || g.PredicateCount(typeID) != 1 {
+	if !ok || sn.PredicateCount(typeID) != 1 {
 		t.Error("'a' keyword not handled")
 	}
 	// Default prefix ':'.

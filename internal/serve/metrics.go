@@ -57,6 +57,14 @@ type Metrics struct {
 	// update.
 	DeltaTriples int
 	Compactions  uint64
+	// Generations counts CSR generations still alive across the
+	// deployment's graphs (current plus retired-but-pinned);
+	// PinnedSnapshots counts snapshot pins currently held by in-flight
+	// queries. Together they are the MVCC health gauges: Generations
+	// settling back to the graph count after updates shows old
+	// generations being reclaimed once their last reader drains.
+	Generations     int
+	PinnedSnapshots int
 }
 
 // collector accumulates metrics from concurrent workers.

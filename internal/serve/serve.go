@@ -6,6 +6,14 @@
 // paper's FAP mining — hot query shapes skip Algorithms 3 and 4
 // entirely), and server-side metrics (QPS, latency percentiles, queue
 // depth, cache hit rate).
+//
+// Reads and writes never block each other: each query pins an immutable
+// MVCC read view (rdf.ViewSource) at admission and executes lock-free
+// against it, while Update appends to delta overlays and compacts under
+// a writer-only mutex, publishing a new view per batch. The old
+// design's RWMutex — where one long query stalled every update and a
+// burst of updates starved queries — is gone from the query path
+// entirely.
 package serve
 
 import (
@@ -59,10 +67,11 @@ type Config struct {
 	// symmetric join).
 	JoinPartitions int
 	// Apply, when non-nil, is the live-update sink: Update routes triple
-	// batches through it while holding the server's data write lock, so
-	// the deployment's delta overlays mutate with no query in flight
-	// (each query holds the read lock for its whole execution and sees a
-	// consistent snapshot). The callback reports what the batch did.
+	// batches through it under the server's writer mutex (updates are
+	// serialized with each other, never with queries) and publishes a new
+	// MVCC read view when the batch lands. In-flight queries keep reading
+	// the view they pinned at admission; queries admitted afterwards see
+	// the whole batch. The callback reports what the batch did.
 	Apply func(ts []rdf.Triple) UpdateStats
 }
 
@@ -133,12 +142,13 @@ type Server struct {
 	closed bool
 	wg     sync.WaitGroup
 
-	// dataMu serializes live updates against query executions: queries
-	// run under the read lock (concurrently with each other), Update
-	// applies its batch under the write lock. Graph delta overlays are
-	// mutable-but-not-concurrent structures; this lock is what makes the
-	// read-mostly-plus-updates workload safe.
-	dataMu sync.RWMutex
+	// dataMu is the writer-side mutex: it serializes Update batches,
+	// Exclusive maintenance and the Close barrier with each other.
+	// Queries never touch it — they pin an immutable MVCC read view at
+	// admission (engine.Views().Acquire) and execute lock-free against
+	// it, so a long-running query neither blocks nor is blocked by
+	// updates.
+	dataMu sync.Mutex
 }
 
 // New starts a server over a deployed engine: cfg.Workers goroutines
@@ -234,11 +244,14 @@ func (s *Server) execute(req *request) outcome {
 		defer cancel()
 	}
 
-	// The data read lock covers planning and execution: the graphs this
-	// query reads (including their delta overlays) cannot mutate under
-	// it, so the whole execution sees one consistent snapshot.
-	s.dataMu.RLock()
-	defer s.dataMu.RUnlock()
+	// Pin the latest published read view for the whole execution: every
+	// site evaluation of this query reads the same immutable
+	// (generation, delta length) cut of every graph, so the query sees a
+	// consistent snapshot without taking any lock — concurrent updates
+	// append and compact freely and become visible to queries admitted
+	// after their Publish.
+	view := s.engine.Views().Acquire()
+	defer view.Close()
 
 	prep, hit, err := s.plan(req.q)
 	if err != nil {
@@ -252,6 +265,7 @@ func (s *Server) execute(req *request) outcome {
 	run := *prep
 	run.Parallelism = s.effectiveParallelism()
 	run.JoinPartitions = s.cfg.JoinPartitions
+	run.View = view
 	s.met.parallelism(run.Parallelism)
 	b, stats, err := s.engine.QueryPrepared(ctx, req.q, &run)
 	lat := time.Since(req.enqueued)
@@ -268,13 +282,14 @@ func (s *Server) execute(req *request) outcome {
 }
 
 // Update applies a batch of triples to the deployment through the
-// configured Apply sink. It takes the data write lock, so it waits for
-// in-flight queries to finish and blocks new ones while the graphs'
-// delta overlays mutate — updates are cheap (delta appends, amortized
-// compactions), so the write section is short. Returns ErrNoUpdater when
-// the server has no sink and ErrClosed after Close. A cancelled ctx is
-// honoured before the lock is taken; once applying, the batch always
-// completes (partial updates would be torn).
+// configured Apply sink. It takes the writer mutex — updates serialize
+// with each other and with Exclusive, but never wait for queries: the
+// graphs' delta appends and compactions are MVCC-safe against readers
+// pinned to older views, and a new view is published once the batch has
+// fully landed, so no query ever observes a torn batch. Returns
+// ErrNoUpdater when the server has no sink and ErrClosed after Close. A
+// cancelled ctx is honoured before the mutex is taken; once applying,
+// the batch always completes (partial updates would be torn).
 func (s *Server) Update(ctx context.Context, ts []rdf.Triple) (UpdateStats, error) {
 	s.mu.RLock()
 	closed := s.closed
@@ -299,29 +314,36 @@ func (s *Server) Update(ctx context.Context, ts []rdf.Triple) (UpdateStats, erro
 	if closed {
 		return UpdateStats{}, ErrClosed
 	}
-	// The lock wait can be long (queries hold the read side for their
-	// whole execution); nothing has been applied yet, so a caller that
-	// gave up while we waited still backs out cleanly.
+	// The mutex wait is short (only other updates hold it — queries
+	// never do); nothing has been applied yet, so a caller that gave up
+	// while we waited still backs out cleanly.
 	if err := ctx.Err(); err != nil {
 		return UpdateStats{}, err
 	}
 	st := s.cfg.Apply(ts)
-	// Publish the gauges before releasing the lock so concurrent updates
+	// Make the batch visible: capture a consistent cut of every graph as
+	// the new read view. Queries admitted from here on see the whole
+	// batch; queries already running keep their pinned older view.
+	s.engine.Views().Publish()
+	// Publish the gauges before releasing the mutex so concurrent updates
 	// cannot interleave apply order and publish order (the gauge must
 	// reflect the last-applied batch).
 	s.met.update(st)
 	return st, nil
 }
 
-// Exclusive runs fn while holding the data write lock: no query executes
-// and no update applies until fn returns. Maintenance that mutates the
-// deployment's graphs outside the Apply sink (snapshotting with
-// compact-on-save, manual compaction) must run through it to preserve
-// the queries-see-consistent-snapshots guarantee.
+// Exclusive runs fn while holding the writer mutex: no update applies
+// until fn returns, and a fresh read view is published afterwards.
+// Maintenance that mutates the deployment's graphs outside the Apply
+// sink (snapshotting with compact-on-save, manual compaction) must run
+// through it so its mutations serialize with updates and become visible
+// to queries as one atomic cut. Queries keep running throughout — graph
+// mutations are MVCC-safe against pinned readers.
 func (s *Server) Exclusive(fn func()) {
 	s.dataMu.Lock()
 	defer s.dataMu.Unlock()
 	fn()
+	s.engine.Views().Publish()
 }
 
 // effectiveParallelism divides the machine-wide intra-query budget by
@@ -361,10 +383,14 @@ func (s *Server) plan(q *sparql.Graph) (*exec.Prepared, bool, error) {
 }
 
 // Metrics returns a snapshot of the server's counters and latency
-// percentiles.
+// percentiles, including the MVCC generation and pinned-snapshot
+// gauges.
 func (s *Server) Metrics() Metrics {
 	m := s.met.snapshot()
 	m.ParallelismBudget = s.cfg.Parallelism
 	m.JoinPartitionsCap = s.cfg.JoinPartitions
+	views := s.engine.Views()
+	m.Generations = views.Generations()
+	m.PinnedSnapshots = views.PinnedSnapshots()
 	return m
 }

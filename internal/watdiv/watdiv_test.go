@@ -44,8 +44,10 @@ func TestAttributeDiversity(t *testing.T) {
 		t.Fatal("no descriptions generated")
 	}
 	caption, _ := g.Dict.Lookup(rdfIRI(PropCaption))
+	gsn := g.Snapshot()
+	defer gsn.Close()
 	// Every product has a caption but only ~40% have descriptions.
-	nc, nd := g.PredicateCount(caption), g.PredicateCount(descr)
+	nc, nd := gsn.PredicateCount(caption), gsn.PredicateCount(descr)
 	if nd >= nc {
 		t.Errorf("descriptions (%d) not sparser than captions (%d)", nd, nc)
 	}

@@ -49,9 +49,15 @@ type Server struct {
 
 // StartServer starts a concurrent query server over the deployment.
 // Close it when done. The server accepts live updates (Update) alongside
-// queries: update batches apply under a write lock while queries share a
-// read lock, so every query sees a consistent snapshot.
+// queries without either blocking the other: each query pins an
+// immutable MVCC read view at admission, and each update batch appends
+// to the graphs' delta overlays and publishes a fresh view when it
+// lands, so every query sees a consistent batch-atomic snapshot.
 func (dep *Deployment) StartServer(cfg ServerConfig) *Server {
+	// Materialize and place the cold fragment up front: the query router
+	// reads fragmentation/allocation metadata lock-free while serving, so
+	// it must be static from here on (updates only append triples).
+	dep.ensureColdFragment()
 	return &Server{
 		dep: dep,
 		inner: serve.New(dep.engine, serve.Config{
@@ -88,10 +94,11 @@ func (s *Server) QueryParsed(ctx context.Context, q *sparql.Graph) (*Result, err
 // Close stops accepting queries and waits for in-flight work to finish.
 func (s *Server) Close() { s.inner.Close() }
 
-// Save snapshots the deployment under the server's exclusive data lock:
-// no query or update runs while the snapshot's compact-on-save mutates
-// the graphs. Use this instead of Deployment.Save while the server is
-// live.
+// Save snapshots the deployment under the server's writer mutex: no
+// update applies while the snapshot's compact-on-save mutates the
+// graphs, and a fresh read view is published afterwards (in-flight
+// queries keep their pinned views). Use this instead of Deployment.Save
+// while the server is live.
 func (s *Server) Save(w io.Writer) error {
 	var err error
 	s.inner.Exclusive(func() { err = s.dep.Save(w) })

@@ -24,9 +24,9 @@ var ErrNoUpdater = serve.ErrNoUpdater
 // Update parses an N-Triples document and applies its triples to the live
 // deployment through the server's update path: triples land in the delta
 // overlays of the global graph, the hot/cold split, and the relevant
-// fragment graphs — no thaw, no re-fragmentation — while the server's
-// data lock keeps in-flight queries on a consistent snapshot. Queries
-// admitted after Update returns see the new triples.
+// fragment graphs — no thaw, no re-fragmentation — without blocking
+// in-flight queries, which keep reading the MVCC view they pinned at
+// admission. Queries admitted after Update returns see the new triples.
 func (s *Server) Update(ctx context.Context, ntriples string) (*UpdateResult, error) {
 	// Parse into a scratch graph with a private dictionary first: a batch
 	// rejected for syntax (or an already-dead ctx) leaves nothing behind,
@@ -63,7 +63,8 @@ func (s *Server) Update(ctx context.Context, ntriples string) (*UpdateResult, er
 
 // applyUpdate is the serve layer's Apply sink: it routes each new triple
 // into every graph the query path might read it from. The caller
-// (serve.Server.Update) holds the data write lock.
+// (serve.Server.Update) holds the writer mutex, so there is exactly one
+// mutator; concurrent queries read pinned MVCC views throughout.
 func (dep *Deployment) applyUpdate(ts []rdf.Triple) serve.UpdateStats {
 	added := 0
 	for _, t := range ts {
@@ -91,12 +92,16 @@ func (dep *Deployment) applyUpdate(ts []rdf.Triple) serve.UpdateStats {
 func (dep *Deployment) routeTriple(t rdf.Triple) {
 	if dep.hc.FreqProps[t.P] {
 		dep.hc.Hot.Add(t)
+		// The writer matches against its own current state — a snapshot
+		// taken right after the Add, so the anchored pattern search sees t.
+		gsn := dep.db.graph.Snapshot()
 		placed := false
 		for _, f := range dep.frag.Fragments {
-			if dep.maintainFragment(f, t) {
+			if dep.maintainFragment(f, t, gsn) {
 				placed = true
 			}
 		}
+		gsn.Close()
 		if placed {
 			return
 		}
@@ -122,7 +127,7 @@ func (dep *Deployment) routeTriple(t rdf.Triple) {
 // subject only now gained the pattern's other property). It reports
 // whether t completed at least one match (every anchored match contains
 // t itself).
-func (dep *Deployment) maintainFragment(f *fragment.Fragment, t rdf.Triple) bool {
+func (dep *Deployment) maintainFragment(f *fragment.Fragment, t rdf.Triple, gsn *rdf.Snapshot) bool {
 	if f.Pattern == nil {
 		return false
 	}
@@ -141,7 +146,7 @@ func (dep *Deployment) maintainFragment(f *fragment.Fragment, t rdf.Triple) bool
 		if e.From == e.To && t.S != t.O {
 			continue // a self-loop edge cannot bind a non-loop triple
 		}
-		match.ForEach(anchorPattern(p, ei, t), dep.db.graph, match.Options{}, func(m *match.Match) bool {
+		match.ForEach(anchorPattern(p, ei, t), gsn, match.Options{}, func(m *match.Match) bool {
 			found = true
 			for _, tr := range m.Triples {
 				f.Graph.Add(tr)
@@ -181,10 +186,22 @@ func anchorPattern(p *sparql.Graph, ei int, t rdf.Triple) *sparql.Graph {
 	return g
 }
 
-// coldFragmentAdd appends to the cold fragment, materializing and placing
-// it on demand: deployments whose cold graph was empty at fragmentation
-// time have no cold site until the first cold-bound update arrives.
+// coldFragmentAdd appends to the cold fragment. StartServer materializes
+// and places the fragment before serving begins (ensureColdFragment), so
+// on the live path this is a pure delta append into an already-placed
+// frozen graph — no fragmentation or allocation metadata mutates while
+// lock-free queries read it.
 func (dep *Deployment) coldFragmentAdd(t rdf.Triple) {
+	dep.ensureColdFragment()
+	dep.frag.Cold.Graph.Add(t)
+}
+
+// ensureColdFragment materializes, freezes and places the cold fragment
+// if the deployment doesn't have one yet (the cold graph was empty at
+// fragmentation time, so no cold site was allocated). It must run before
+// queries execute concurrently: it mutates the fragmentation and
+// allocation metadata the query router reads without a lock. Idempotent.
+func (dep *Deployment) ensureColdFragment() {
 	fr := dep.frag
 	if fr.Cold == nil {
 		maxID := 0
@@ -193,13 +210,16 @@ func (dep *Deployment) coldFragmentAdd(t rdf.Triple) {
 				maxID = f.ID + 1
 			}
 		}
+		g := rdf.NewGraph(dep.db.graph.Dict)
+		// Freeze the empty graph so live updates land in its MVCC delta
+		// overlay instead of mutating map-mode indexes under readers.
+		g.Freeze()
 		fr.Cold = &fragment.Fragment{
 			ID:    maxID,
 			Kind:  fragment.ColdKind,
-			Graph: rdf.NewGraph(dep.db.graph.Dict),
+			Graph: g,
 		}
 	}
-	fr.Cold.Graph.Add(t)
 	if dep.alloc.ColdSite < 0 {
 		site := 0
 		if err := dep.cluster.Place(site, fr.Cold.ID, fr.Cold.Graph); err != nil {
