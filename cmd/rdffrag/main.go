@@ -9,6 +9,9 @@
 //	        [-sites 4] [-minsup 0.01] [-query 'SELECT ...']
 //	rdffrag serve -data graph.nt -workload workload.rq [-addr :8090]
 //	        [-workers 8] [-queue 128] [-timeout 30s] [-cache 256]
+//	        [-site 2=http://host:7402] [-partial-results] [-hedge-after 50ms]
+//	rdffrag site -data graph.nt -workload workload.rq [-addr :7400]
+//	        [-serve-sites 2,3] [-chaos-drop 0.05]
 //
 // The workload file contains one SPARQL query per block, separated by
 // lines holding only "---". Without -query, queries are read from stdin
@@ -17,8 +20,15 @@
 // The serve subcommand starts a concurrent HTTP query server over the
 // deployment: POST /query (or GET /query?q=...) answers SPARQL in the
 // W3C JSON/CSV/TSV result formats, GET /metrics reports QPS, latency
-// percentiles, queue depth and plan-cache hit rate, GET /healthz is a
-// liveness probe.
+// percentiles, queue depth, plan-cache hit rate and per-remote-site
+// robustness counters, GET /healthz is a liveness probe. Sites mapped
+// with -site ID=URL evaluate in separate `rdffrag site` processes over
+// HTTP, behind retries, optional hedging and circuit breakers; the rest
+// evaluate in-process.
+//
+// The site subcommand hosts a deployment's fragments for a remote
+// control site: it rebuilds the same deployment from the same files and
+// streams subquery results over POST /eval.
 package main
 
 import (
@@ -32,9 +42,15 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "serve" {
-		serveMain(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "serve":
+			serveMain(os.Args[2:])
+			return
+		case "site":
+			siteMain(os.Args[2:])
+			return
+		}
 	}
 	var (
 		dataPath = flag.String("data", "", "N-Triples data file (required)")

@@ -1,15 +1,12 @@
 package main
 
 import (
-	"context"
-	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -17,14 +14,17 @@ import (
 )
 
 // serveMain runs the `rdffrag serve` subcommand: deploy, then answer
-// SPARQL over HTTP through the concurrent query server.
+// SPARQL over HTTP through the concurrent query server. With -site
+// mappings, the listed sites are reached over the network through
+// robust clients (retries, hedging, circuit breakers) instead of
+// evaluating in-process.
 func serveMain(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	var (
 		dataPath = fs.String("data", "", "N-Triples data file (required)")
 		wlPath   = fs.String("workload", "", "workload file: queries separated by '---' lines (required)")
 		strategy = fs.String("strategy", "vertical", "fragmentation strategy: vertical or horizontal")
-		sites    = fs.Int("sites", 4, "number of simulated sites")
+		sites    = fs.Int("sites", 4, "number of sites")
 		minsup   = fs.Float64("minsup", 0.01, "pattern mining support threshold (fraction of workload)")
 		addr     = fs.String("addr", ":8090", "HTTP listen address")
 		workers  = fs.Int("workers", 8, "concurrent query executions")
@@ -34,7 +34,28 @@ func serveMain(args []string) {
 		parallel = fs.Int("parallel", 0, "intra-query worker budget, divided among in-flight queries (0 = GOMAXPROCS, negative = sequential matching)")
 		joinPart = fs.Int("join-partitions", 0, "control-site join partitions per stage (0 = derived from each query's parallelism grant, negative = sequential join)")
 		profile  = fs.Bool("pprof", false, "expose net/http/pprof handlers under /debug/pprof/")
+
+		retries   = fs.Int("site-retries", 3, "retries per remote site call after the first attempt")
+		backoff   = fs.Duration("site-backoff", 50*time.Millisecond, "base exponential backoff between remote retries (jittered)")
+		frameTO   = fs.Duration("site-frame-timeout", 10*time.Second, "cut a remote stream producing no frame for this long")
+		hedge     = fs.Duration("hedge-after", 0, "race a second remote request after this long without a result frame (0 disables)")
+		brkThresh = fs.Int("breaker-threshold", 5, "consecutive remote failures that open a site's circuit breaker")
+		brkCool   = fs.Duration("breaker-cooldown", time.Second, "how long an open breaker waits before a half-open probe")
+		partial   = fs.Bool("partial-results", false, "skip unavailable remote sites and flag results partial instead of failing queries")
 	)
+	remoteSites := map[int]string{}
+	fs.Func("site", "remote site mapping ID=URL, e.g. -site 2=http://10.0.0.7:7402 (repeatable; unmapped sites run in-process)", func(v string) error {
+		id, url, ok := strings.Cut(v, "=")
+		if !ok {
+			return fmt.Errorf("want ID=URL, got %q", v)
+		}
+		n, err := strconv.Atoi(id)
+		if err != nil {
+			return fmt.Errorf("bad site ID %q: %v", id, err)
+		}
+		remoteSites[n] = strings.TrimRight(url, "/")
+		return nil
+	})
 	fs.Parse(args)
 	if *dataPath == "" || *wlPath == "" {
 		fs.Usage()
@@ -49,111 +70,21 @@ func serveMain(args []string) {
 		PlanCacheSize:  *cache,
 		Parallelism:    *parallel,
 		JoinPartitions: *joinPart,
+		Remote: rdffrag.RemoteConfig{
+			Sites:            remoteSites,
+			Retries:          *retries,
+			Backoff:          *backoff,
+			FrameTimeout:     *frameTO,
+			HedgeAfter:       *hedge,
+			BreakerThreshold: *brkThresh,
+			BreakerCooldown:  *brkCool,
+			PartialResults:   *partial,
+		},
 	})
 	defer srv.Close()
 
 	mux := http.NewServeMux()
-	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
-		query, err := readQuery(r)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		res, err := srv.Query(r.Context(), query)
-		switch {
-		case errors.Is(err, rdffrag.ErrOverloaded):
-			http.Error(w, "server overloaded, retry later", http.StatusServiceUnavailable)
-			return
-		case errors.Is(err, context.DeadlineExceeded):
-			http.Error(w, err.Error(), http.StatusGatewayTimeout)
-			return
-		case errors.Is(err, context.Canceled):
-			// The client went away; the status is never seen.
-			http.Error(w, err.Error(), http.StatusRequestTimeout)
-			return
-		case err != nil && strings.HasPrefix(err.Error(), "sparql:"):
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		case err != nil:
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		writeResult(w, r, res)
-	})
-	mux.HandleFunc("/update", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "POST an N-Triples document", http.StatusMethodNotAllowed)
-			return
-		}
-		// MaxBytesReader (not LimitReader) so an oversized batch errors
-		// out whole instead of silently applying a truncated prefix.
-		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
-		if err != nil {
-			var tooBig *http.MaxBytesError
-			if errors.As(err, &tooBig) {
-				http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
-			} else {
-				http.Error(w, err.Error(), http.StatusBadRequest)
-			}
-			return
-		}
-		res, err := srv.Update(r.Context(), string(body))
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(map[string]any{
-			"added":         res.Added,
-			"delta_triples": res.DeltaTriples,
-			"compactions":   res.Compactions,
-		})
-	})
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		m := srv.Metrics()
-		json.NewEncoder(w).Encode(map[string]any{
-			"uptime_seconds": m.Uptime.Seconds(),
-			"completed":      m.Completed,
-			"failed":         m.Failed,
-			"rejected":       m.Rejected,
-			"timed_out":      m.TimedOut,
-			"queue_depth":    m.QueueDepth,
-			"in_flight":      m.InFlight,
-			"qps":            m.QPS,
-			"p50_ms":         float64(m.P50) / float64(time.Millisecond),
-			"p95_ms":         float64(m.P95) / float64(time.Millisecond),
-			"p99_ms":         float64(m.P99) / float64(time.Millisecond),
-			"cache_hits":     m.CacheHits,
-			"cache_misses":   m.CacheMisses,
-			"cache_hit_rate": m.CacheHitRate,
-			// Intra-query parallelism: the configured machine-wide
-			// budget and the average share queries actually ran with.
-			"parallelism_budget":    m.ParallelismBudget,
-			"effective_parallelism": m.EffectiveParallelism,
-			// Control-site join fan-out: the configured per-stage
-			// partition override (0 = derived per query) and the average
-			// partition count join-bearing queries ran with.
-			"join_partitions_cap":       m.JoinPartitionsCap,
-			"effective_join_partitions": m.EffectiveJoinPartitions,
-			// Live updates: applied batches, the new triples they
-			// contributed, the global graph's current delta overlay size,
-			// and how many times the delta compacted into the CSR.
-			"updates":       m.Updates,
-			"triples_added": m.TriplesAdded,
-			"delta_triples": m.DeltaTriples,
-			"compactions":   m.Compactions,
-			// MVCC health: CSR generations still alive (current +
-			// retired-but-pinned) and snapshot pins held by in-flight
-			// queries; generations settling back to one per graph when
-			// idle means retired generations are being reclaimed.
-			"generations":      m.Generations,
-			"pinned_snapshots": m.PinnedSnapshots,
-		})
-	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
+	mux.Handle("/", srv.Handler())
 	if *profile {
 		// Hot-path regressions (e.g. the matcher re-growing allocations)
 		// are diagnosable in production: profile a live server with
@@ -165,52 +96,9 @@ func serveMain(args []string) {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 
-	fmt.Printf("serving on %s (workers=%d queue=%d timeout=%s cache=%d parallel=%d join-partitions=%d pprof=%v)\n",
-		*addr, *workers, *queue, *timeout, *cache, *parallel, *joinPart, *profile)
+	fmt.Printf("serving on %s (workers=%d queue=%d timeout=%s cache=%d parallel=%d join-partitions=%d remote-sites=%d partial=%v pprof=%v)\n",
+		*addr, *workers, *queue, *timeout, *cache, *parallel, *joinPart, len(remoteSites), *partial, *profile)
 	if err := http.ListenAndServe(*addr, mux); err != nil {
 		fatal(err)
-	}
-}
-
-// readQuery pulls the SPARQL text from ?q= or the request body.
-func readQuery(r *http.Request) (string, error) {
-	if q := r.URL.Query().Get("q"); q != "" {
-		return q, nil
-	}
-	if r.Body == nil {
-		return "", fmt.Errorf("missing query: pass ?q= or a request body")
-	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
-	if err != nil {
-		return "", err
-	}
-	if len(body) == 0 {
-		return "", fmt.Errorf("missing query: pass ?q= or a request body")
-	}
-	return string(body), nil
-}
-
-// writeResult renders the result in the format chosen by ?format= or the
-// Accept header: json (default), csv or tsv.
-func writeResult(w http.ResponseWriter, r *http.Request, res *rdffrag.Result) {
-	format := r.URL.Query().Get("format")
-	if format == "" {
-		switch r.Header.Get("Accept") {
-		case "text/csv":
-			format = "csv"
-		case "text/tab-separated-values":
-			format = "tsv"
-		}
-	}
-	switch format {
-	case "csv":
-		w.Header().Set("Content-Type", "text/csv")
-		res.WriteCSV(w)
-	case "tsv":
-		w.Header().Set("Content-Type", "text/tab-separated-values")
-		res.WriteTSV(w)
-	default:
-		w.Header().Set("Content-Type", "application/sparql-results+json")
-		res.WriteJSON(w)
 	}
 }

@@ -45,6 +45,11 @@ type QueryStats struct {
 	Subqueries       int
 	SitesTouched     int
 	IntermediateRows int
+	// Partial is true when the server ran in degraded mode and skipped
+	// unreachable remote sites: the rows are correct but possibly
+	// incomplete. UnreachableSites lists the skipped sites, ascending.
+	Partial          bool
+	UnreachableSites []int
 }
 
 // Query parses, decomposes, optimizes and executes a SPARQL query.
@@ -75,6 +80,8 @@ func (dep *Deployment) decodeResult(q *sparql.Graph, b *match.Bindings, stats *e
 			Subqueries:       stats.Subqueries,
 			SitesTouched:     stats.SitesTouched,
 			IntermediateRows: stats.IntermediateRows,
+			Partial:          stats.Partial,
+			UnreachableSites: append([]int(nil), stats.UnreachableSites...),
 		},
 	}
 	d := dep.db.graph.Dict

@@ -1,0 +1,203 @@
+package rdffrag
+
+// The server's HTTP API, exposed as an http.Handler so the `rdffrag
+// serve` subcommand, embedding applications and tests all mount the
+// same surface: /query (SPARQL in, SPARQL-results out), /update
+// (N-Triples batches), /metrics and /healthz.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Handler returns the server's HTTP API. The handler is valid until the
+// server is closed.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/update", s.handleUpdate)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	query, err := readQuery(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// r.Context() is cancelled the moment the client disconnects; it
+	// flows through admission, the join pipeline and every (local or
+	// remote) site evaluation, so an abandoned query stops consuming
+	// cluster resources end to end.
+	res, err := s.Query(r.Context(), query)
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		http.Error(w, "server overloaded, retry later", http.StatusServiceUnavailable)
+		return
+	case errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, err.Error(), http.StatusGatewayTimeout)
+		return
+	case errors.Is(err, context.Canceled):
+		// The client went away; the status is never seen.
+		http.Error(w, err.Error(), http.StatusRequestTimeout)
+		return
+	case err != nil && strings.HasPrefix(err.Error(), "sparql:"):
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeResult(w, r, res)
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST an N-Triples document", http.StatusMethodNotAllowed)
+		return
+	}
+	// MaxBytesReader (not LimitReader) so an oversized batch errors
+	// out whole instead of silently applying a truncated prefix.
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+		} else {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		}
+		return
+	}
+	res, err := s.Update(r.Context(), string(body))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"added":         res.Added,
+		"delta_triples": res.DeltaTriples,
+		"compactions":   res.Compactions,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	m := s.Metrics()
+	sites := make([]map[string]any, 0, len(m.Sites))
+	for _, sm := range m.Sites {
+		sites = append(sites, map[string]any{
+			"site":          sm.Site,
+			"calls":         sm.Calls,
+			"attempts":      sm.Attempts,
+			"retries":       sm.Retries,
+			"hedges":        sm.Hedges,
+			"hedge_wins":    sm.HedgeWins,
+			"failures":      sm.Failures,
+			"fast_fails":    sm.FastFails,
+			"breaker_state": sm.BreakerState,
+			"breaker_opens": sm.BreakerOpens,
+			"site_p99_ms":   float64(sm.P99) / float64(time.Millisecond),
+		})
+	}
+	json.NewEncoder(w).Encode(map[string]any{
+		"uptime_seconds": m.Uptime.Seconds(),
+		"completed":      m.Completed,
+		"failed":         m.Failed,
+		"rejected":       m.Rejected,
+		"timed_out":      m.TimedOut,
+		"queue_depth":    m.QueueDepth,
+		"in_flight":      m.InFlight,
+		"qps":            m.QPS,
+		"p50_ms":         float64(m.P50) / float64(time.Millisecond),
+		"p95_ms":         float64(m.P95) / float64(time.Millisecond),
+		"p99_ms":         float64(m.P99) / float64(time.Millisecond),
+		"cache_hits":     m.CacheHits,
+		"cache_misses":   m.CacheMisses,
+		"cache_hit_rate": m.CacheHitRate,
+		// Intra-query parallelism: the configured machine-wide
+		// budget and the average share queries actually ran with.
+		"parallelism_budget":    m.ParallelismBudget,
+		"effective_parallelism": m.EffectiveParallelism,
+		// Control-site join fan-out: the configured per-stage
+		// partition override (0 = derived per query) and the average
+		// partition count join-bearing queries ran with.
+		"join_partitions_cap":       m.JoinPartitionsCap,
+		"effective_join_partitions": m.EffectiveJoinPartitions,
+		// Live updates: applied batches, the new triples they
+		// contributed, the global graph's current delta overlay size,
+		// and how many times the delta compacted into the CSR.
+		"updates":       m.Updates,
+		"triples_added": m.TriplesAdded,
+		"delta_triples": m.DeltaTriples,
+		"compactions":   m.Compactions,
+		// MVCC health: CSR generations still alive (current +
+		// retired-but-pinned) and snapshot pins held by in-flight
+		// queries; generations settling back to one per graph when
+		// idle means retired generations are being reclaimed.
+		"generations":      m.Generations,
+		"pinned_snapshots": m.PinnedSnapshots,
+		// Degraded-mode completions and per-remote-site robustness
+		// counters (retries, hedges, breaker state, p99 per site).
+		"partial_results": m.PartialResults,
+		"sites":           sites,
+	})
+}
+
+// readQuery pulls the SPARQL text from ?q= or the request body.
+func readQuery(r *http.Request) (string, error) {
+	if q := r.URL.Query().Get("q"); q != "" {
+		return q, nil
+	}
+	if r.Body == nil {
+		return "", fmt.Errorf("missing query: pass ?q= or a request body")
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		return "", err
+	}
+	if len(body) == 0 {
+		return "", fmt.Errorf("missing query: pass ?q= or a request body")
+	}
+	return string(body), nil
+}
+
+// writeResult renders the result in the format chosen by ?format= or the
+// Accept header: json (default), csv or tsv. Degraded-mode results are
+// flagged in a header too, so the non-JSON formats can signal
+// incompleteness.
+func writeResult(w http.ResponseWriter, r *http.Request, res *Result) {
+	if res.Stats.Partial {
+		w.Header().Set("X-Partial-Results", "true")
+	}
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		switch r.Header.Get("Accept") {
+		case "text/csv":
+			format = "csv"
+		case "text/tab-separated-values":
+			format = "tsv"
+		}
+	}
+	switch format {
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv")
+		res.WriteCSV(w)
+	case "tsv":
+		w.Header().Set("Content-Type", "text/tab-separated-values")
+		res.WriteTSV(w)
+	default:
+		w.Header().Set("Content-Type", "application/sparql-results+json")
+		res.WriteJSON(w)
+	}
+}

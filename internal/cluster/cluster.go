@@ -1,14 +1,18 @@
-// Package cluster simulates the distributed substrate of the paper's
+// Package cluster models the distributed substrate of the paper's
 // evaluation (Section 8.1: a 10-machine cluster running gStore per site
 // with MPI joins). Sites are worker-pool goroutines holding fragment
-// graphs; the network layer is channel-based RPC with byte and message
+// graphs; the in-process RPC path is channel-based with byte and message
 // accounting, so experiments can compare the communication behaviour of
-// fragmentation strategies without real sockets. See DESIGN.md §3 for the
-// substitution rationale.
+// fragmentation strategies on one machine. The same site RPC surface
+// (EvalRequest/EvalStream, abstracted by SiteEval) is also served over
+// real sockets by internal/transport, which lets the control site mix
+// in-process sites with remote fragment-host processes; the Chaos seam
+// (chaos.go) injects deterministic delay and failure on both paths.
 package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -19,6 +23,63 @@ import (
 	"rdffrag/internal/rdf"
 	"rdffrag/internal/sparql"
 )
+
+// ErrSiteUnavailable marks a site evaluation that failed for
+// availability reasons — retries exhausted, circuit breaker open,
+// process down — rather than a bad request. The engine's
+// partial-results mode (exec.Engine.PartialResults) degrades gracefully
+// on exactly this class of error: the unreachable site's contribution
+// is skipped and the result is flagged partial instead of failing the
+// whole query.
+var ErrSiteUnavailable = errors.New("cluster: site unavailable")
+
+// SiteEval is the site RPC surface: evaluate a subquery at one site and
+// stream binding batches back. It is implemented by the in-process
+// *Cluster (channel RPC) and by transport.SiteClient (HTTP with
+// retry/hedging and a circuit breaker), so the engine is
+// transport-agnostic and a deployment can mix local and remote sites.
+type SiteEval interface {
+	EvalStream(ctx context.Context, req EvalRequest, batchSize int, sink BatchSink) error
+}
+
+// SiteMetrics is one remote site client's robustness counters, reported
+// under /metrics tagged by site ID. The in-process channel path has no
+// client wrapper and reports none.
+type SiteMetrics struct {
+	// Site is the site ID the client talks to.
+	Site int
+	// Calls counts EvalStream invocations; Attempts counts HTTP
+	// attempts made for them (initial tries + Retries + Hedges; calls
+	// rejected by an open breaker make no attempt, so
+	// Attempts + FastFails == Calls + Retries + Hedges reconciles).
+	Calls    uint64
+	Attempts uint64
+	// Retries counts re-attempts after a retryable failure; Hedges
+	// counts speculative second requests launched for stragglers, and
+	// HedgeWins how many of those beat the primary.
+	Retries   uint64
+	Hedges    uint64
+	HedgeWins uint64
+	// Failures counts failed attempts (transport errors, injected
+	// faults, torn streams, per-frame timeouts).
+	Failures uint64
+	// FastFails counts calls rejected immediately by an open breaker
+	// (no attempt was made).
+	FastFails uint64
+	// BreakerState is "closed", "open" or "half-open"; BreakerOpens
+	// counts closed/half-open → open transitions.
+	BreakerState string
+	BreakerOpens uint64
+	// P99 is the 99th-percentile latency of successful eval calls over
+	// a recent window (0 until the first success).
+	P99 time.Duration
+}
+
+// SiteMetricsReporter is implemented by site evaluators that track
+// per-site robustness counters (transport.SiteClient).
+type SiteMetricsReporter interface {
+	SiteMetrics() SiteMetrics
+}
 
 // Delay models network cost: every message pays PerMessage, plus PerKB
 // per kilobyte shipped. Zero values mean an idealized free network (the
@@ -76,6 +137,12 @@ type Cluster struct {
 	outLink sync.Mutex // control site's send link
 	inLink  sync.Mutex // control site's receive link
 
+	// Faults, when non-nil, injects deterministic seeded faults on the
+	// channel-RPC path: requests can be dropped or errored and response
+	// streams cut or stalled, through the same seam the HTTP transport
+	// uses. Set it before issuing queries (like Latency).
+	Faults *Chaos
+
 	// views publishes batch-atomic MVCC read views over every placed
 	// fragment graph: the serving layer republishes after each update
 	// batch, and queries pin the latest view instead of locking the data.
@@ -88,21 +155,45 @@ type Cluster struct {
 func (c *Cluster) Views() *rdf.ViewSource { return c.views }
 
 func (c *Cluster) sendRequest(ctx context.Context, bytes int) error {
-	if c.Latency.PerMessage == 0 && c.Latency.PerKB == 0 {
-		return ctx.Err()
+	if c.Latency.PerMessage != 0 || c.Latency.PerKB != 0 {
+		c.outLink.Lock()
+		err := c.Latency.wait(ctx, bytes)
+		c.outLink.Unlock()
+		if err != nil {
+			return err
+		}
 	}
-	c.outLink.Lock()
-	defer c.outLink.Unlock()
-	return c.Latency.wait(ctx, bytes)
+	switch c.Faults.OnRequest() {
+	case FaultDrop:
+		return fmt.Errorf("%w: request dropped", ErrInjected)
+	case FaultError:
+		return fmt.Errorf("%w: request errored", ErrInjected)
+	case FaultDelay:
+		if err := c.Faults.StragglerWait(ctx, bytes); err != nil {
+			return err
+		}
+	}
+	return ctx.Err()
 }
 
 func (c *Cluster) receiveResponse(ctx context.Context, bytes int) error {
-	if c.Latency.PerMessage == 0 && c.Latency.PerKB == 0 {
-		return ctx.Err()
+	if c.Latency.PerMessage != 0 || c.Latency.PerKB != 0 {
+		c.inLink.Lock()
+		err := c.Latency.wait(ctx, bytes)
+		c.inLink.Unlock()
+		if err != nil {
+			return err
+		}
 	}
-	c.inLink.Lock()
-	defer c.inLink.Unlock()
-	return c.Latency.wait(ctx, bytes)
+	switch c.Faults.OnBatch() {
+	case FaultCut:
+		return fmt.Errorf("%w: response stream cut", ErrInjected)
+	case FaultDelay:
+		if err := c.Faults.StragglerWait(ctx, bytes); err != nil {
+			return err
+		}
+	}
+	return ctx.Err()
 }
 
 // Site is one computing node: a set of fragment graphs and a bounded
@@ -179,8 +270,15 @@ type EvalRequest struct {
 	// View is the query's pinned MVCC read view; fragments are read
 	// through it so one query sees a single batch-atomic cut across every
 	// site. A nil View reads each fragment's current state instead (a
-	// per-graph-consistent fallback used by offline callers).
+	// per-graph-consistent fallback used by offline callers and by the
+	// network transport, which cannot ship a view handle across
+	// processes).
 	View *rdf.ViewHandle
+	// Deterministic makes streamed batches arrive in the sequential
+	// enumeration order (match.Options.Deterministic). The HTTP site
+	// server relies on it: a deterministic batch sequence is what makes
+	// a torn stream resumable from the last acknowledged batch.
+	Deterministic bool
 }
 
 // split divides the request's parallelism budget over the site's
@@ -275,6 +373,26 @@ func (c *Cluster) Eval(ctx context.Context, req EvalRequest) (*match.Bindings, e
 		return nil, err
 	}
 	return b, nil
+}
+
+// FragEpoch fingerprints the current state of the given fragments at a
+// site: the sum of their graphs' mutation epochs. The HTTP site server
+// stamps it on each eval stream so a resuming client can detect that
+// the data moved between attempts (the deterministic batch prefix is
+// then no longer comparable) and restart from scratch instead.
+func (c *Cluster) FragEpoch(siteID int, fragIDs []int) (uint64, error) {
+	if siteID < 0 || siteID >= len(c.Sites) {
+		return 0, fmt.Errorf("cluster: site %d out of range", siteID)
+	}
+	graphs, err := c.Sites[siteID].resolve(EvalRequest{SiteID: siteID, FragIDs: fragIDs})
+	if err != nil {
+		return 0, err
+	}
+	var e uint64
+	for _, g := range graphs {
+		e += g.Epoch()
+	}
+	return e, nil
 }
 
 // resolve looks up the requested fragment graphs at the site.

@@ -91,7 +91,7 @@ func (c *Cluster) EvalStream(ctx context.Context, req EvalRequest, batchSize int
 				return
 			}
 			defer func() { <-s.sem }()
-			match.FindBatches(req.Query, req.View.Snap(g), match.Options{VertexFilter: req.Filter, Parallelism: perFragment}, batchSize, func(ms []match.Match) bool {
+			match.FindBatches(req.Query, req.View.Snap(g), match.Options{VertexFilter: req.Filter, Parallelism: perFragment, Deterministic: req.Deterministic}, batchSize, func(ms []match.Match) bool {
 				if err := ctx.Err(); err != nil {
 					fail(err)
 					return false

@@ -1,13 +1,15 @@
 // Package exec is the distributed SPARQL engine of Section 7: it deploys
-// a fragmentation + allocation onto a simulated cluster, decomposes each
-// incoming query (Algorithm 3), optimizes the join order (Algorithm 4),
-// evaluates subqueries on the relevant sites in parallel, and joins the
-// shipped bindings at the control site.
+// a fragmentation + allocation onto a cluster (in-process sites, remote
+// site processes, or a mix — the transports share one SiteEval surface),
+// decomposes each incoming query (Algorithm 3), optimizes the join order
+// (Algorithm 4), evaluates subqueries on the relevant sites in parallel,
+// and joins the shipped bindings at the control site.
 package exec
 
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"rdffrag/internal/allocation"
 	"rdffrag/internal/cluster"
@@ -47,7 +49,44 @@ type Engine struct {
 	// its own JoinPartitions overrides this per execution.
 	JoinPartitions int
 
+	// Remotes maps site IDs to remote evaluators (transport site
+	// clients). Subqueries routed to a mapped site go over the network;
+	// unmapped sites evaluate in-process over the cluster's channel
+	// RPC. The engine is transport-agnostic: both satisfy
+	// cluster.SiteEval.
+	Remotes map[int]cluster.SiteEval
+
+	// PartialResults selects the degradation mode when a site stays
+	// unavailable after its client's retry budget and circuit breaker
+	// have spoken (cluster.ErrSiteUnavailable): true skips the site and
+	// flags the result partial (listing the unreachable sites in
+	// QueryStats); false fails the query with the site's error.
+	PartialResults bool
+
 	dec *decompose.Decomposer
+}
+
+// evaluatorFor resolves the evaluator serving a site: its remote
+// client when one is configured, the in-process cluster otherwise.
+func (e *Engine) evaluatorFor(site int) cluster.SiteEval {
+	if ev, ok := e.Remotes[site]; ok {
+		return ev
+	}
+	return e.Cluster
+}
+
+// SiteMetrics reports the robustness counters of every remote site
+// client that exposes them, ordered by site ID. In-process sites have
+// no retry/breaker machinery and are absent.
+func (e *Engine) SiteMetrics() []cluster.SiteMetrics {
+	out := make([]cluster.SiteMetrics, 0, len(e.Remotes))
+	for _, ev := range e.Remotes {
+		if r, ok := ev.(cluster.SiteMetricsReporter); ok {
+			out = append(out, r.SiteMetrics())
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })
+	return out
 }
 
 // QueryStats reports per-query execution metrics.
@@ -67,6 +106,11 @@ type QueryStats struct {
 	// JoinPartitions is the per-stage partition count the control-site
 	// join pipeline ran with (0 when the plan had no join stages).
 	JoinPartitions int
+	// Partial is true when PartialResults mode skipped unreachable
+	// sites: the rows returned are correct but possibly incomplete.
+	// UnreachableSites lists the skipped sites, ascending.
+	Partial          bool
+	UnreachableSites []int
 }
 
 // New wires an engine and deploys every fragment to its allocated site.

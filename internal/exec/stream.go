@@ -35,6 +35,9 @@ type runStats struct {
 	rows  atomic.Int64
 	mu    sync.Mutex
 	sites map[int]bool
+	// unreachable collects sites skipped in PartialResults mode; any
+	// entry flags the whole result partial.
+	unreachable map[int]bool
 }
 
 func (st *runStats) touch(sites []int) {
@@ -43,6 +46,24 @@ func (st *runStats) touch(sites []int) {
 		st.sites[s] = true
 	}
 	st.mu.Unlock()
+}
+
+func (st *runStats) skip(site int) {
+	st.mu.Lock()
+	st.unreachable[site] = true
+	st.mu.Unlock()
+}
+
+// unreachableSites returns the skipped sites in ascending order.
+func (st *runStats) unreachableSites() []int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]int, 0, len(st.unreachable))
+	for s := range st.unreachable {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // siteCount reads the touched-site tally; producers may still be running
@@ -121,7 +142,7 @@ func (e *Engine) QueryPrepared(ctx context.Context, q *sparql.Graph, prep *Prepa
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	st := &runStats{sites: make(map[int]bool)}
+	st := &runStats{sites: make(map[int]bool), unreachable: make(map[int]bool)}
 	errCh := make(chan error, len(dcp.Subqueries))
 
 	// One producer per subquery, streaming batches from its sites. The
@@ -161,6 +182,8 @@ func (e *Engine) QueryPrepared(ctx context.Context, q *sparql.Graph, prep *Prepa
 	out := e.consume(ctx, cancel, q, cur, curVars)
 	stats.SitesTouched = st.siteCount()
 	stats.IntermediateRows = int(st.rows.Load())
+	stats.UnreachableSites = st.unreachableSites()
+	stats.Partial = len(stats.UnreachableSites) > 0
 
 	if err := parent.Err(); err != nil {
 		return nil, nil, err
@@ -343,7 +366,10 @@ func (e *Engine) evalSubqueryStream(ctx context.Context, sq *decompose.Subquery,
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			err := e.Cluster.EvalStream(ctx, cluster.EvalRequest{
+			// Remote sites get their own evaluator (retries, breaker);
+			// they read current fragment state rather than the pinned
+			// view — a view handle cannot travel across processes.
+			err := e.evaluatorFor(s).EvalStream(ctx, cluster.EvalRequest{
 				SiteID:      s,
 				FragIDs:     bySite[s],
 				Query:       sq.Graph,
@@ -359,6 +385,13 @@ func (e *Engine) evalSubqueryStream(ctx context.Context, sq *decompose.Subquery,
 				}
 			})
 			if err != nil {
+				// Degrade gracefully if configured: an unavailable site
+				// (retries exhausted or breaker open) is skipped and the
+				// result flagged partial instead of failing the query.
+				if e.PartialResults && errors.Is(err, cluster.ErrSiteUnavailable) && ctx.Err() == nil {
+					st.skip(s)
+					return
+				}
 				mu.Lock()
 				if firstErr == nil {
 					firstErr = err

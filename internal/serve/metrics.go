@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"rdffrag/internal/cluster"
 )
 
 // latencyWindow is how many recent per-query latencies the percentile
@@ -57,6 +59,15 @@ type Metrics struct {
 	// update.
 	DeltaTriples int
 	Compactions  uint64
+	// PartialResults counts completed queries that returned flagged
+	// partial results because one or more remote sites stayed
+	// unavailable through their retry budget (degraded mode only;
+	// strict mode fails such queries instead).
+	PartialResults uint64
+	// Sites reports per-remote-site robustness counters (calls,
+	// retries, hedges, breaker state, p99), ordered by site ID; empty
+	// when every site is in-process.
+	Sites []cluster.SiteMetrics
 	// Generations counts CSR generations still alive across the
 	// deployment's graphs (current plus retired-but-pinned);
 	// PinnedSnapshots counts snapshot pins currently held by in-flight
@@ -82,6 +93,7 @@ type collector struct {
 	parCount    atomic.Int64  // executions the sum covers
 	joinSum     atomic.Int64  // sum of per-stage join partitions ran with
 	joinCount   atomic.Int64  // join-bearing completions the sum covers
+	partials    atomic.Uint64 // completions flagged partial (sites skipped)
 	updates     atomic.Uint64 // applied live-update batches
 	triplesAdd  atomic.Uint64 // new triples those batches contributed
 	deltaGauge  atomic.Int64  // global delta size after the last update
@@ -136,19 +148,20 @@ func (m *collector) complete(lat time.Duration) {
 
 func (m *collector) snapshot() Metrics {
 	s := Metrics{
-		Uptime:       time.Since(m.start),
-		Completed:    m.completed.Load(),
-		Failed:       m.failed.Load(),
-		Rejected:     m.rejected.Load(),
-		TimedOut:     m.timedOut.Load(),
-		QueueDepth:   int(m.queued.Load()),
-		InFlight:     int(m.inflight.Load()),
-		CacheHits:    m.cacheHits.Load(),
-		CacheMisses:  m.cacheMisses.Load(),
-		Updates:      m.updates.Load(),
-		TriplesAdded: m.triplesAdd.Load(),
-		DeltaTriples: int(m.deltaGauge.Load()),
-		Compactions:  m.compactions.Load(),
+		Uptime:         time.Since(m.start),
+		Completed:      m.completed.Load(),
+		Failed:         m.failed.Load(),
+		Rejected:       m.rejected.Load(),
+		TimedOut:       m.timedOut.Load(),
+		QueueDepth:     int(m.queued.Load()),
+		InFlight:       int(m.inflight.Load()),
+		CacheHits:      m.cacheHits.Load(),
+		CacheMisses:    m.cacheMisses.Load(),
+		PartialResults: m.partials.Load(),
+		Updates:        m.updates.Load(),
+		TriplesAdded:   m.triplesAdd.Load(),
+		DeltaTriples:   int(m.deltaGauge.Load()),
+		Compactions:    m.compactions.Load(),
 	}
 	if sec := s.Uptime.Seconds(); sec > 0 {
 		s.QPS = float64(s.Completed) / sec

@@ -277,6 +277,9 @@ func (s *Server) execute(req *request) outcome {
 		return outcome{err: err}
 	}
 	s.met.joinPartitions(stats.JoinPartitions)
+	if stats.Partial {
+		s.met.partials.Add(1)
+	}
 	s.met.complete(lat)
 	return outcome{resp: &Response{Bindings: b, Stats: stats, CacheHit: hit, Latency: lat}}
 }
@@ -389,6 +392,7 @@ func (s *Server) Metrics() Metrics {
 	m := s.met.snapshot()
 	m.ParallelismBudget = s.cfg.Parallelism
 	m.JoinPartitionsCap = s.cfg.JoinPartitions
+	m.Sites = s.engine.SiteMetrics()
 	views := s.engine.Views()
 	m.Generations = views.Generations()
 	m.PinnedSnapshots = views.PinnedSnapshots()

@@ -1,0 +1,216 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock drives a Breaker's injectable clock deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestBreaker(cfg BreakerConfig) (*Breaker, *fakeClock) {
+	b := NewBreaker(cfg)
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b.now = clk.now
+	return b, clk
+}
+
+func wantState(t *testing.T, b *Breaker, want string) {
+	t.Helper()
+	if got, _ := b.State(); got != want {
+		t.Fatalf("breaker state = %q, want %q", got, want)
+	}
+}
+
+// The full closed → open → half-open → closed cycle, plus the re-open
+// branch when the half-open probe fails.
+func TestBreakerLifecycle(t *testing.T) {
+	b, clk := newTestBreaker(BreakerConfig{Threshold: 3, Cooldown: time.Second})
+
+	// Closed: failures below the threshold keep admitting calls.
+	for i := 0; i < 2; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("closed Allow #%d: %v", i, err)
+		}
+		b.Failure()
+	}
+	wantState(t, b, "closed")
+
+	// Third consecutive failure trips the circuit.
+	if err := b.Allow(); err != nil {
+		t.Fatalf("closed Allow #3: %v", err)
+	}
+	b.Failure()
+	wantState(t, b, "open")
+	if _, opens := b.State(); opens != 1 {
+		t.Fatalf("opens = %d, want 1", opens)
+	}
+
+	// Open: fail fast until the cooldown elapses.
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open Allow = %v, want ErrBreakerOpen", err)
+	}
+	clk.advance(999 * time.Millisecond)
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("Allow just before cooldown = %v, want ErrBreakerOpen", err)
+	}
+
+	// Cooldown elapsed: exactly one half-open probe gets through.
+	clk.advance(time.Millisecond)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("half-open probe Allow: %v", err)
+	}
+	wantState(t, b, "half-open")
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("second concurrent probe = %v, want ErrBreakerOpen", err)
+	}
+
+	// Probe fails → re-open, and the cooldown restarts from now.
+	b.Failure()
+	wantState(t, b, "open")
+	if _, opens := b.State(); opens != 2 {
+		t.Fatalf("opens = %d, want 2", opens)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("Allow right after re-open = %v, want ErrBreakerOpen", err)
+	}
+
+	// Next probe succeeds → closed, streak reset.
+	clk.advance(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("second probe Allow: %v", err)
+	}
+	b.Success()
+	wantState(t, b, "closed")
+
+	// The reset streak needs a full threshold of new failures to trip.
+	for i := 0; i < 2; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("post-close Allow #%d: %v", i, err)
+		}
+		b.Failure()
+	}
+	wantState(t, b, "closed")
+}
+
+// A success while closed resets the consecutive-failure streak: faults
+// must be consecutive to open the circuit.
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b, _ := newTestBreaker(BreakerConfig{Threshold: 2, Cooldown: time.Second})
+	b.Allow()
+	b.Failure()
+	b.Allow()
+	b.Success()
+	b.Allow()
+	b.Failure()
+	wantState(t, b, "closed")
+	b.Allow()
+	b.Failure()
+	wantState(t, b, "open")
+}
+
+// Cancel releases the half-open probe slot without a health verdict:
+// the circuit stays half-open and the next call may probe again.
+func TestBreakerCancelReleasesProbe(t *testing.T) {
+	b, clk := newTestBreaker(BreakerConfig{Threshold: 1, Cooldown: time.Second})
+	b.Allow()
+	b.Failure()
+	wantState(t, b, "open")
+
+	clk.advance(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe Allow: %v", err)
+	}
+	// The probing call was cancelled by its caller — no verdict.
+	b.Cancel()
+	wantState(t, b, "half-open")
+	if err := b.Allow(); err != nil {
+		t.Fatalf("Allow after Cancel should admit a new probe: %v", err)
+	}
+	b.Success()
+	wantState(t, b, "closed")
+}
+
+// Under concurrent load, an open breaker past its cooldown admits
+// exactly one probe; everyone else fails fast. Run with -race.
+func TestBreakerConcurrentProbes(t *testing.T) {
+	b, clk := newTestBreaker(BreakerConfig{Threshold: 1, Cooldown: time.Millisecond})
+	b.Allow()
+	b.Failure()
+	wantState(t, b, "open")
+	clk.advance(2 * time.Millisecond)
+
+	const callers = 64
+	var wg sync.WaitGroup
+	admitted := make(chan struct{}, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if b.Allow() == nil {
+				admitted <- struct{}{}
+			}
+		}()
+	}
+	wg.Wait()
+	close(admitted)
+	n := 0
+	for range admitted {
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("admitted %d concurrent probes, want exactly 1", n)
+	}
+	b.Success()
+	wantState(t, b, "closed")
+}
+
+// Hammer the breaker from many goroutines with mixed verdicts; the test
+// is that -race stays quiet and the state stays one of the three names.
+func TestBreakerConcurrentHammer(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 3, Cooldown: time.Microsecond})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				if err := b.Allow(); err != nil {
+					continue
+				}
+				switch (i + j) % 3 {
+				case 0:
+					b.Success()
+				case 1:
+					b.Failure()
+				default:
+					b.Cancel()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	switch got, _ := b.State(); got {
+	case "closed", "open", "half-open":
+	default:
+		t.Fatalf("breaker in unknown state %q", got)
+	}
+}

@@ -1,0 +1,497 @@
+package transport
+
+// Client/server tests over real sockets (httptest): fault-free
+// equivalence with the in-process channel path, retry/resume under
+// seeded chaos with exact metrics reconciliation, the frame-progress
+// watchdog, hedged requests, cancellation draining the server, and the
+// breaker failing fast against a dead site then recovering.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rdffrag/internal/cluster"
+	"rdffrag/internal/match"
+	"rdffrag/internal/rdf"
+	"rdffrag/internal/sparql"
+)
+
+// newTestCluster builds one site holding two fragments of a simple
+// <a_i> <p> <b_i> graph, split so multi-fragment streams have a
+// deterministic cross-fragment batch sequence to resume into.
+func newTestCluster(t *testing.T, triples int) (*cluster.Cluster, *rdf.Dict, *sparql.Graph) {
+	t.Helper()
+	d := rdf.NewDict()
+	c := cluster.New(1, 2)
+	g1, g2 := rdf.NewGraph(d), rdf.NewGraph(d)
+	for i := 0; i < triples; i++ {
+		g := g1
+		if i%2 == 1 {
+			g = g2
+		}
+		g.AddTerms(rdf.NewIRI(fmt.Sprintf("a%d", i)), rdf.NewIRI("p"), rdf.NewIRI(fmt.Sprintf("b%d", i)))
+	}
+	if err := c.Place(0, 1, g1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Place(0, 2, g2); err != nil {
+		t.Fatal(err)
+	}
+	q := sparql.MustParse(d, `SELECT ?x ?y WHERE { ?x <p> ?y . }`)
+	return c, d, q
+}
+
+func testRequest(q *sparql.Graph) cluster.EvalRequest {
+	return cluster.EvalRequest{SiteID: 0, FragIDs: []int{1, 2}, Query: q}
+}
+
+// collector is a concurrency-safe sink accumulating a row multiset.
+type collector struct {
+	mu   sync.Mutex
+	rows map[string]int
+	n    int
+}
+
+func newCollector() *collector { return &collector{rows: map[string]int{}} }
+
+func (rc *collector) sink(b *match.Bindings) error {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	for _, r := range b.Rows {
+		rc.rows[fmt.Sprint(r)]++
+		rc.n++
+	}
+	return nil
+}
+
+func (rc *collector) multiset() map[string]int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	out := make(map[string]int, len(rc.rows))
+	for k, v := range rc.rows {
+		out[k] = v
+	}
+	return out
+}
+
+// oracle evaluates the request in-process (deterministic order, like
+// the server does) and returns the expected row multiset.
+func oracle(t *testing.T, c *cluster.Cluster, req cluster.EvalRequest, batch int) map[string]int {
+	t.Helper()
+	want := newCollector()
+	for _, fid := range req.FragIDs {
+		r := req
+		r.FragIDs = []int{fid}
+		r.Deterministic = true
+		if err := c.EvalStream(context.Background(), r, batch, want.sink); err != nil {
+			t.Fatalf("oracle EvalStream: %v", err)
+		}
+	}
+	return want.multiset()
+}
+
+func equalMultisets(a, b map[string]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// checkInvariant asserts the metrics reconciliation documented on
+// SiteMetrics: Attempts + FastFails == Calls + Retries + Hedges.
+func checkInvariant(t *testing.T, m cluster.SiteMetrics) {
+	t.Helper()
+	if m.Attempts+m.FastFails != m.Calls+m.Retries+m.Hedges {
+		t.Errorf("metrics do not reconcile: attempts %d + fastFails %d != calls %d + retries %d + hedges %d",
+			m.Attempts, m.FastFails, m.Calls, m.Retries, m.Hedges)
+	}
+}
+
+func newSite(t *testing.T, c *cluster.Cluster, d *rdf.Dict, chaos *cluster.Chaos) (*SiteServer, *httptest.Server) {
+	t.Helper()
+	ss := NewSiteServer(ServerConfig{Cluster: c, Dict: d, Chaos: chaos})
+	hs := httptest.NewServer(ss)
+	t.Cleanup(hs.Close)
+	return ss, hs
+}
+
+func TestEvalOverHTTPMatchesDirect(t *testing.T) {
+	c, d, q := newTestCluster(t, 40)
+	req := testRequest(q)
+	want := oracle(t, c, req, 8)
+
+	ss, hs := newSite(t, c, d, nil)
+	cl := NewSiteClient(ClientConfig{BaseURL: hs.URL, Site: 0, Dict: d})
+	got := newCollector()
+	if err := cl.EvalStream(context.Background(), req, 8, got.sink); err != nil {
+		t.Fatalf("EvalStream over HTTP: %v", err)
+	}
+	if !equalMultisets(got.multiset(), want) {
+		t.Errorf("HTTP rows %v != direct rows %v", got.multiset(), want)
+	}
+
+	sm := ss.Metrics()
+	if sm.Evals != 1 || sm.Batches == 0 || sm.Rows != 40 {
+		t.Errorf("server metrics = %+v, want 1 eval, >0 batches, 40 rows", sm)
+	}
+	cm := cl.SiteMetrics()
+	if cm.Calls != 1 || cm.Attempts != 1 || cm.Retries != 0 || cm.Failures != 0 {
+		t.Errorf("client metrics = %+v, want one clean call", cm)
+	}
+	checkInvariant(t, cm)
+}
+
+// Constants survive the structural wire encoding: the term keys
+// round-trip through the server's dictionary.
+func TestQueryConstantRoundTrip(t *testing.T) {
+	c, d, _ := newTestCluster(t, 10)
+	q := sparql.MustParse(d, `SELECT ?x WHERE { ?x <p> <b3> . }`)
+	req := testRequest(q)
+	want := oracle(t, c, req, 4)
+
+	_, hs := newSite(t, c, d, nil)
+	cl := NewSiteClient(ClientConfig{BaseURL: hs.URL, Site: 0, Dict: d})
+	got := newCollector()
+	if err := cl.EvalStream(context.Background(), req, 4, got.sink); err != nil {
+		t.Fatalf("EvalStream: %v", err)
+	}
+	if got.n != 1 || !equalMultisets(got.multiset(), want) {
+		t.Errorf("rows = %v, want exactly %v", got.multiset(), want)
+	}
+}
+
+func TestEncodeRequestRejectsFilter(t *testing.T) {
+	_, d, q := newTestCluster(t, 2)
+	req := testRequest(q)
+	req.Filter = func(int, rdf.ID) bool { return true }
+	if _, err := encodeRequest(req, d, 4); err == nil {
+		t.Fatal("encodeRequest accepted a vertex filter")
+	}
+}
+
+// Dropped and errored requests are retried until the call succeeds, and
+// the client's retry counter reconciles exactly with the number of
+// faults the server injected.
+func TestRetriesUnderChaos(t *testing.T) {
+	c, d, q := newTestCluster(t, 40)
+	req := testRequest(q)
+	want := oracle(t, c, req, 8)
+
+	chaos := cluster.NewChaos(cluster.ChaosConfig{Seed: 42, Drop: 0.25, Error: 0.15})
+	_, hs := newSite(t, c, d, chaos)
+	cl := NewSiteClient(ClientConfig{
+		BaseURL: hs.URL, Site: 0, Dict: d,
+		Retries: 16, Backoff: time.Millisecond,
+		Breaker: BreakerConfig{Threshold: 1 << 20},
+	})
+
+	const calls = 15
+	for i := 0; i < calls; i++ {
+		got := newCollector()
+		if err := cl.EvalStream(context.Background(), req, 8, got.sink); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if !equalMultisets(got.multiset(), want) {
+			t.Fatalf("call %d delivered %v, want %v", i, got.multiset(), want)
+		}
+	}
+
+	cm := cl.SiteMetrics()
+	checkInvariant(t, cm)
+	counts := chaos.Counts()
+	if cm.Retries != counts.Drops+counts.Errors {
+		t.Errorf("client retries %d != injected drops %d + errors %d", cm.Retries, counts.Drops, counts.Errors)
+	}
+	if counts.Drops+counts.Errors == 0 {
+		t.Error("chaos injected nothing; the test exercised no retries")
+	}
+	if cm.Failures != 0 || cm.FastFails != 0 {
+		t.Errorf("failures %d fastFails %d, want 0/0 (retries should mask every fault)", cm.Failures, cm.FastFails)
+	}
+}
+
+// Mid-stream cuts tear the connection without a terminal frame; the
+// retry resumes from the last acknowledged batch and the sink sees the
+// exact fault-free multiset — no lost rows, no duplicates.
+func TestResumeAfterCutExactDelivery(t *testing.T) {
+	c, d, q := newTestCluster(t, 48)
+	req := testRequest(q)
+	want := oracle(t, c, req, 4)
+
+	chaos := cluster.NewChaos(cluster.ChaosConfig{Seed: 7, Cut: 0.15})
+	ss, hs := newSite(t, c, d, chaos)
+	cl := NewSiteClient(ClientConfig{
+		BaseURL: hs.URL, Site: 0, Dict: d,
+		Retries: 50, Backoff: 500 * time.Microsecond,
+		Breaker: BreakerConfig{Threshold: 1 << 20},
+	})
+
+	for i := 0; i < 8; i++ {
+		got := newCollector()
+		if err := cl.EvalStream(context.Background(), req, 4, got.sink); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if !equalMultisets(got.multiset(), want) {
+			t.Fatalf("call %d delivered %d rows %v, want %v (torn-stream resume must not lose or duplicate)",
+				i, got.n, got.multiset(), want)
+		}
+	}
+
+	cm := cl.SiteMetrics()
+	checkInvariant(t, cm)
+	counts := chaos.Counts()
+	if counts.Cuts == 0 {
+		t.Fatal("chaos cut nothing; resume was not exercised")
+	}
+	if cm.Retries != counts.Cuts {
+		t.Errorf("client retries %d != injected cuts %d", cm.Retries, counts.Cuts)
+	}
+	if ss.Metrics().Resumes == 0 {
+		t.Error("server accepted no resumes; every retry restarted from scratch")
+	}
+}
+
+// A stream that stops producing frames is cut by the client-side
+// progress watchdog and retried, well before any connection-level
+// timeout.
+func TestFrameTimeoutWatchdog(t *testing.T) {
+	c, d, q := newTestCluster(t, 20)
+	req := testRequest(q)
+	want := oracle(t, c, req, 8)
+
+	ss := NewSiteServer(ServerConfig{Cluster: c, Dict: d})
+	var evals atomic.Int32
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/eval") && evals.Add(1) == 1 {
+			// First attempt: open the stream, then produce nothing.
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+			w.(http.Flusher).Flush()
+			<-r.Context().Done()
+			return
+		}
+		ss.ServeHTTP(w, r)
+	}))
+	defer hs.Close()
+
+	cl := NewSiteClient(ClientConfig{
+		BaseURL: hs.URL, Site: 0, Dict: d,
+		Retries: 2, Backoff: time.Millisecond, FrameTimeout: 100 * time.Millisecond,
+	})
+	got := newCollector()
+	start := time.Now()
+	if err := cl.EvalStream(context.Background(), req, 8, got.sink); err != nil {
+		t.Fatalf("EvalStream: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Errorf("call took %v; the watchdog should have cut the stalled stream at ~100ms", elapsed)
+	}
+	if !equalMultisets(got.multiset(), want) {
+		t.Errorf("rows %v != %v", got.multiset(), want)
+	}
+	cm := cl.SiteMetrics()
+	if cm.Retries == 0 {
+		t.Error("no retry recorded; the stalled first attempt was not cut")
+	}
+	checkInvariant(t, cm)
+}
+
+// With hedging on, a straggling first request is raced by a second one
+// and the hedge wins without waiting out the straggler.
+func TestHedgeWinsOnStraggler(t *testing.T) {
+	c, d, q := newTestCluster(t, 20)
+	req := testRequest(q)
+	want := oracle(t, c, req, 8)
+
+	ss := NewSiteServer(ServerConfig{Cluster: c, Dict: d})
+	var evals atomic.Int32
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/eval") && evals.Add(1) == 1 {
+			// Straggler: hold the first request until it is abandoned
+			// (or a generous deadline, so the test can't hang). The body
+			// must be drained first or the server never notices the
+			// abandonment (net/http only watches the connection once the
+			// request body has been consumed).
+			io.Copy(io.Discard, r.Body)
+			select {
+			case <-r.Context().Done():
+			case <-time.After(10 * time.Second):
+			}
+			return
+		}
+		ss.ServeHTTP(w, r)
+	}))
+	defer hs.Close()
+
+	cl := NewSiteClient(ClientConfig{
+		BaseURL: hs.URL, Site: 0, Dict: d,
+		Retries: 1, Backoff: time.Millisecond, HedgeAfter: 50 * time.Millisecond,
+	})
+	got := newCollector()
+	start := time.Now()
+	if err := cl.EvalStream(context.Background(), req, 8, got.sink); err != nil {
+		t.Fatalf("EvalStream: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("hedged call took %v; the hedge should have finished long before the straggler", elapsed)
+	}
+	if !equalMultisets(got.multiset(), want) {
+		t.Errorf("rows %v != %v", got.multiset(), want)
+	}
+	cm := cl.SiteMetrics()
+	if cm.Hedges != 1 || cm.HedgeWins != 1 {
+		t.Errorf("hedges %d hedgeWins %d, want 1/1", cm.Hedges, cm.HedgeWins)
+	}
+	if cm.Failures != 0 || cm.Retries != 0 {
+		t.Errorf("failures %d retries %d, want 0/0 (the hedge, not a retry, should have won)", cm.Failures, cm.Retries)
+	}
+	checkInvariant(t, cm)
+}
+
+// Cancelling the caller's context mid-stream aborts the HTTP request,
+// and the server's in-flight gauge drains: cancellation propagates end
+// to end instead of leaking an abandoned evaluation.
+func TestCancelMidStreamDrainsServer(t *testing.T) {
+	c, d, q := newTestCluster(t, 48)
+	req := testRequest(q)
+
+	// Every batch stalls, so the stream is reliably in flight when the
+	// caller gives up.
+	chaos := cluster.NewChaos(cluster.ChaosConfig{
+		Seed: 3, DelayProb: 1,
+		StragglerDelay: cluster.Delay{PerMessage: 30 * time.Millisecond},
+	})
+	ss, hs := newSite(t, c, d, chaos)
+	cl := NewSiteClient(ClientConfig{BaseURL: hs.URL, Site: 0, Dict: d, Retries: 1})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	firstBatch := make(chan struct{})
+	var once sync.Once
+	done := make(chan error, 1)
+	go func() {
+		done <- cl.EvalStream(ctx, req, 2, func(b *match.Bindings) error {
+			once.Do(func() { close(firstBatch) })
+			return nil
+		})
+	}()
+
+	select {
+	case <-firstBatch:
+	case <-time.After(10 * time.Second):
+		t.Fatal("no batch arrived before the cancel")
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("EvalStream after cancel = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("EvalStream did not return after cancel")
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for ss.Metrics().ActiveEvals != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("server still has %d active evals after client cancel", ss.Metrics().ActiveEvals)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	checkInvariant(t, cl.SiteMetrics())
+}
+
+// A dead site exhausts the retry budget once, then the breaker opens
+// and subsequent calls fail fast without touching the network; after
+// the site recovers and the cooldown passes, a half-open probe closes
+// the circuit again.
+func TestBreakerFailFastAndRecovery(t *testing.T) {
+	c, d, q := newTestCluster(t, 20)
+	req := testRequest(q)
+	want := oracle(t, c, req, 8)
+
+	ss := NewSiteServer(ServerConfig{Cluster: c, Dict: d})
+	var healthy atomic.Bool
+	var hits atomic.Int32
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		if !healthy.Load() {
+			http.Error(w, "site down", http.StatusServiceUnavailable)
+			return
+		}
+		ss.ServeHTTP(w, r)
+	}))
+	defer hs.Close()
+
+	cl := NewSiteClient(ClientConfig{
+		BaseURL: hs.URL, Site: 0, Dict: d,
+		Retries: 3, Backoff: time.Millisecond,
+		Breaker: BreakerConfig{Threshold: 4, Cooldown: 50 * time.Millisecond},
+	})
+
+	// Call 1: four failed attempts burn the breaker threshold.
+	err := cl.EvalStream(context.Background(), req, 8, newCollector().sink)
+	if !errors.Is(err, cluster.ErrSiteUnavailable) {
+		t.Fatalf("call against dead site = %v, want ErrSiteUnavailable", err)
+	}
+	if state, _ := cl.breaker.State(); state != "open" {
+		t.Fatalf("breaker = %q after exhausted retries, want open", state)
+	}
+
+	// Call 2: fail fast — no HTTP traffic.
+	before := hits.Load()
+	err = cl.EvalStream(context.Background(), req, 8, newCollector().sink)
+	if !errors.Is(err, cluster.ErrSiteUnavailable) {
+		t.Fatalf("fast-fail call = %v, want ErrSiteUnavailable", err)
+	}
+	if hits.Load() != before {
+		t.Errorf("open breaker still sent %d requests", hits.Load()-before)
+	}
+	cm := cl.SiteMetrics()
+	if cm.FastFails != 1 {
+		t.Errorf("fastFails = %d, want 1", cm.FastFails)
+	}
+	checkInvariant(t, cm)
+
+	// Recovery: site back up, cooldown over, the probe closes the circuit.
+	healthy.Store(true)
+	time.Sleep(80 * time.Millisecond)
+	got := newCollector()
+	if err := cl.EvalStream(context.Background(), req, 8, got.sink); err != nil {
+		t.Fatalf("post-recovery call: %v", err)
+	}
+	if !equalMultisets(got.multiset(), want) {
+		t.Errorf("post-recovery rows %v != %v", got.multiset(), want)
+	}
+	cm = cl.SiteMetrics()
+	if cm.BreakerState != "closed" || cm.BreakerOpens != 1 {
+		t.Errorf("breaker %q opens %d, want closed/1", cm.BreakerState, cm.BreakerOpens)
+	}
+	checkInvariant(t, cm)
+}
+
+// A site that never listens is unavailable: the error carries the
+// sentinel the engine's partial-results mode keys on.
+func TestUnreachableSiteSentinel(t *testing.T) {
+	_, d, q := newTestCluster(t, 4)
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	cl := NewSiteClient(ClientConfig{BaseURL: dead.URL, Site: 0, Dict: d, Retries: 1, Backoff: time.Millisecond})
+	err := cl.EvalStream(context.Background(), testRequest(q), 8, newCollector().sink)
+	if !errors.Is(err, cluster.ErrSiteUnavailable) {
+		t.Fatalf("err = %v, want cluster.ErrSiteUnavailable", err)
+	}
+}

@@ -1,0 +1,175 @@
+package rdffrag
+
+// Multi-process deployment test: fragment hosts run as real `rdffrag
+// site` OS processes built from the actual binary, the control site
+// reaches them over TCP, and a SIGKILL mid-run degrades queries to
+// flagged partial results until the site process is restarted on the
+// same port. This is the closest harness to production: separate
+// dictionaries rebuilt from the same files, real sockets, real process
+// death.
+
+import (
+	"bufio"
+	"context"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startSiteProc spawns `rdffrag site` on addr and waits for its
+// machine-readable listen line, returning the resolved host:port.
+func startSiteProc(t *testing.T, bin, data, wl, addr string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(bin, "site",
+		"-data", data, "-workload", wl,
+		"-strategy", "vertical", "-sites", "2", "-minsup", "0.2",
+		"-addr", addr)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start site process: %v", err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+
+	got := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.HasPrefix(line, "site listening on ") {
+				got <- strings.Fields(line)[3]
+				break
+			}
+		}
+		io.Copy(io.Discard, stdout) // keep draining so the child never blocks
+	}()
+	select {
+	case resolved := <-got:
+		return cmd, resolved
+	case <-time.After(60 * time.Second):
+		t.Fatal("site process did not report a listen address in time")
+		return nil, ""
+	}
+}
+
+func TestMultiProcessSites(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes; skipped in -short mode")
+	}
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "rdffrag")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/rdffrag").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	// The fragment host rebuilds its deployment from the same files as
+	// the control site; the deterministic pipeline makes the
+	// dictionaries agree, which the row results below prove end to end.
+	data := soakNT(40, 0)
+	wl := strings.Join(soakWorkload, "\n---\n")
+	dataPath := filepath.Join(tmp, "data.nt")
+	wlPath := filepath.Join(tmp, "workload.rq")
+	if err := os.WriteFile(dataPath, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(wlPath, []byte(wl), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db := Open(Config{Sites: 2, MinSupport: 0.2})
+	if _, err := db.LoadNTriples(strings.NewReader(data)); err != nil {
+		t.Fatal(err)
+	}
+	dep, err := db.Deploy(soakWorkload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := soakWorkload[0]
+	oracle, err := dep.Query(q)
+	if err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
+
+	proc, addr := startSiteProc(t, bin, dataPath, wlPath, "127.0.0.1:0")
+	srv := dep.StartServer(ServerConfig{
+		Remote: RemoteConfig{
+			Sites: allRemote(dep, "http://"+addr), Retries: 2, Backoff: 5 * time.Millisecond,
+			FrameTimeout: 10 * time.Second, BreakerThreshold: 2, BreakerCooldown: 200 * time.Millisecond,
+			PartialResults: true,
+		},
+	})
+	defer srv.Close()
+
+	// Healthy: answers over the wire match the in-process oracle — the
+	// two processes' dictionaries agree.
+	res, err := srv.Query(context.Background(), q)
+	if err != nil {
+		t.Fatalf("query via site process: %v", err)
+	}
+	if res.Stats.Partial {
+		t.Fatal("query flagged partial with the site process healthy")
+	}
+	if !sameRows(res.Rows, oracle.Rows) {
+		t.Fatalf("cross-process rows %v != oracle %v", res.Rows, oracle.Rows)
+	}
+
+	// SIGKILL the site process: degraded, flagged partial.
+	if err := proc.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	proc.Wait()
+	sawPartial := false
+	for i := 0; i < 3; i++ {
+		res, err = srv.Query(context.Background(), q)
+		if err != nil {
+			t.Fatalf("degraded query %d: %v", i, err)
+		}
+		sawPartial = sawPartial || res.Stats.Partial
+	}
+	if !sawPartial {
+		t.Fatal("no query flagged partial after the site process was killed")
+	}
+
+	// Restart on the same port: the breaker probes, closes, and answers
+	// come back complete.
+	if _, addr2 := startSiteProc(t, bin, dataPath, wlPath, addr); addr2 != addr {
+		t.Fatalf("restarted site on %s, want %s", addr2, addr)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		res, err = srv.Query(context.Background(), q)
+		if err != nil {
+			t.Fatalf("recovery query: %v", err)
+		}
+		if !res.Stats.Partial {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("queries still partial after site process restart")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if !sameRows(res.Rows, oracle.Rows) {
+		t.Errorf("post-restart rows %v != oracle %v", res.Rows, oracle.Rows)
+	}
+	var opens uint64
+	for _, sm := range srv.Metrics().Sites {
+		opens += sm.BreakerOpens
+		if sm.BreakerState == "open" {
+			t.Errorf("site %d breaker still open after recovery", sm.Site)
+		}
+	}
+	if opens == 0 {
+		t.Error("no breaker opened across the kill/restart cycle")
+	}
+}

@@ -135,7 +135,9 @@ func (db *DB) NumTriples() int { return db.graph.NumTriples() }
 func (db *DB) Graph() *rdf.Graph { return db.graph }
 
 // Deploy runs the offline pipeline of Sections 3–6 over the given SPARQL
-// workload and starts the simulated cluster.
+// workload and starts the cluster (in-process sites by default; any
+// subset can be re-homed to remote fragment-host processes via
+// ServerConfig.Remote / SiteHandler).
 func (db *DB) Deploy(workloadQueries []string) (*Deployment, error) {
 	parser := sparql.NewParser(db.graph.Dict)
 	workload := make([]*sparql.Graph, 0, len(workloadQueries))

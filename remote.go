@@ -1,0 +1,132 @@
+package rdffrag
+
+// Distributed deployment over real sockets. A deployment's sites can be
+// hosted by separate processes (`rdffrag site`) and fronted here by
+// robust HTTP clients, or kept in-process over the simulated channel
+// RPC — the executor cannot tell the difference. Fault injection
+// (Chaos) drives both paths through one seam for deterministic
+// robustness testing.
+
+import (
+	"net/http"
+	"time"
+
+	"rdffrag/internal/cluster"
+	"rdffrag/internal/transport"
+)
+
+// ChaosConfig configures the deterministic seeded fault injector shared
+// by the channel-RPC and HTTP transports.
+type ChaosConfig = cluster.ChaosConfig
+
+// ChaosCounts reports how many faults an injector has fired.
+type ChaosCounts = cluster.ChaosCounts
+
+// SiteMetrics is one remote site client's robustness counters.
+type SiteMetrics = cluster.SiteMetrics
+
+// InjectFaults installs a fault injector on the deployment's in-process
+// channel-RPC path: site evaluations randomly (but reproducibly, per
+// cfg.Seed) drop, fail, stall or cut mid-stream. The in-process path
+// has no retry layer, so injected faults surface as query errors — the
+// point is proving they surface cleanly (no hangs, no leaks, no torn
+// state), not that they are masked. Pass a zero ChaosConfig's
+// probabilities to effectively disable it.
+func (dep *Deployment) InjectFaults(cfg ChaosConfig) {
+	dep.cluster.Faults = cluster.NewChaos(cfg)
+}
+
+// FaultCounts reports the faults the injector installed by InjectFaults
+// has fired so far (zero value when none was installed).
+func (dep *Deployment) FaultCounts() ChaosCounts {
+	return dep.cluster.Faults.Counts()
+}
+
+// SiteConfig configures a fragment-host HTTP handler (see SiteHandler).
+type SiteConfig struct {
+	// Sites restricts which site IDs the handler answers for; nil
+	// serves all of them.
+	Sites []int
+	// Chaos, when non-nil, injects deterministic faults into this
+	// handler's request and stream handling.
+	Chaos *ChaosConfig
+}
+
+// SiteHandler exposes this deployment's fragments over HTTP: POST /eval
+// streams binding batches, GET /healthz and GET /metrics serve probes
+// and counters. It is what `rdffrag site` mounts; tests mount it on
+// httptest servers. The process must have built its deployment from the
+// same data and workload files as the control site (the deterministic
+// pipeline makes the dictionaries agree).
+func (dep *Deployment) SiteHandler(cfg SiteConfig) http.Handler {
+	dep.ensureColdFragment()
+	var chaos *cluster.Chaos
+	if cfg.Chaos != nil {
+		chaos = cluster.NewChaos(*cfg.Chaos)
+	}
+	return transport.NewSiteServer(transport.ServerConfig{
+		Cluster: dep.cluster,
+		Dict:    dep.db.graph.Dict,
+		Sites:   cfg.Sites,
+		Chaos:   chaos,
+	})
+}
+
+// RemoteConfig tunes the robust site clients a server uses to reach
+// remote sites (ServerConfig.Remote).
+type RemoteConfig struct {
+	// Sites maps site IDs to the base URLs of their `rdffrag site`
+	// servers, e.g. {2: "http://10.0.0.7:7402"}. Unmapped sites
+	// evaluate in-process.
+	Sites map[int]string
+	// Retries bounds retry attempts per site call after the first
+	// (default 3); Backoff is the base exponential backoff delay with
+	// jitter (default 50ms).
+	Retries int
+	Backoff time.Duration
+	// FrameTimeout is the per-frame progress deadline: a site stream
+	// producing no frame for this long is cut and retried (default 10s).
+	FrameTimeout time.Duration
+	// HedgeAfter, when positive, races a second request against any
+	// site call with no result frame after this long (off by default).
+	HedgeAfter time.Duration
+	// BreakerThreshold consecutive failed attempts open a site's
+	// circuit breaker for BreakerCooldown before a half-open probe
+	// (defaults 5 and 1s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// PartialResults selects graceful degradation: queries touching a
+	// site that stays unavailable return flagged partial results
+	// instead of failing (default: fail the query).
+	PartialResults bool
+	// HTTP overrides the HTTP client shared by the site clients.
+	HTTP *http.Client
+}
+
+// wireRemotes installs robust site clients on the deployment's engine
+// per cfg; called by StartServer before serving begins.
+func (dep *Deployment) wireRemotes(cfg RemoteConfig) {
+	if len(cfg.Sites) == 0 {
+		dep.engine.PartialResults = cfg.PartialResults
+		return
+	}
+	remotes := make(map[int]cluster.SiteEval, len(cfg.Sites))
+	for site, baseURL := range cfg.Sites {
+		remotes[site] = transport.NewSiteClient(transport.ClientConfig{
+			BaseURL:      baseURL,
+			Site:         site,
+			Dict:         dep.db.graph.Dict,
+			HTTP:         cfg.HTTP,
+			Retries:      cfg.Retries,
+			Backoff:      cfg.Backoff,
+			FrameTimeout: cfg.FrameTimeout,
+			HedgeAfter:   cfg.HedgeAfter,
+			Breaker: transport.BreakerConfig{
+				Threshold: cfg.BreakerThreshold,
+				Cooldown:  cfg.BreakerCooldown,
+			},
+		})
+	}
+	dep.engine.Remotes = remotes
+	dep.engine.PartialResults = cfg.PartialResults
+}

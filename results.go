@@ -16,6 +16,10 @@ import (
 type jsonResults struct {
 	Head    jsonHead   `json:"head"`
 	Results jsonResSet `json:"results"`
+	// Partial flags a degraded-mode answer computed without the listed
+	// unreachable sites (an extension field; absent on complete results).
+	Partial          bool  `json:"partial,omitempty"`
+	UnreachableSites []int `json:"unreachableSites,omitempty"`
 }
 
 type jsonHead struct {
@@ -56,7 +60,11 @@ func unquoteResult(s string) string {
 
 // WriteJSON emits the result in the SPARQL 1.1 Query Results JSON format.
 func (r *Result) WriteJSON(w io.Writer) error {
-	out := jsonResults{Head: jsonHead{Vars: r.Vars}}
+	out := jsonResults{
+		Head:             jsonHead{Vars: r.Vars},
+		Partial:          r.Stats.Partial,
+		UnreachableSites: r.Stats.UnreachableSites,
+	}
 	out.Results.Bindings = make([]map[string]jsonTerm, 0, len(r.Rows))
 	for _, row := range r.Rows {
 		b := make(map[string]jsonTerm, len(r.Vars))

@@ -30,6 +30,11 @@ type ServerConfig struct {
 	// query's control-site join pipeline (0 = derived per query from its
 	// parallelism grant, negative forces the sequential join).
 	JoinPartitions int
+	// Remote configures networked sites: which site IDs are served by
+	// external `rdffrag site` processes, and the retry / hedging /
+	// circuit-breaker / degradation policy used to reach them. The zero
+	// value keeps every site in-process.
+	Remote RemoteConfig
 }
 
 // ErrOverloaded is returned by Server.Query when the admission queue is
@@ -58,6 +63,7 @@ func (dep *Deployment) StartServer(cfg ServerConfig) *Server {
 	// reads fragmentation/allocation metadata lock-free while serving, so
 	// it must be static from here on (updates only append triples).
 	dep.ensureColdFragment()
+	dep.wireRemotes(cfg.Remote)
 	return &Server{
 		dep: dep,
 		inner: serve.New(dep.engine, serve.Config{
