@@ -1,12 +1,12 @@
 # Local dev targets mirroring .github/workflows/ci.yml: `make ci`
 # reproduces the gate's checks; CI additionally runs `make bench-baseline`
-# (kept out of `ci` because it rewrites BENCH_6.json's current section).
+# (kept out of `ci` because it rewrites BENCH_7.json's current section).
 
 GO ?= go
 # bench-baseline needs pipefail so a panicking benchmark fails the target.
 SHELL := /bin/bash
 
-.PHONY: build test race cover cover-gate chaos-soak bench bench-baseline fmt fmt-check vet ci
+.PHONY: build test race cover cover-gate chaos-soak crash-soak bench bench-baseline fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -30,16 +30,19 @@ cover:
 # baseline measured when snapshot reads landed, and internal/transport
 # (the networked site RPC with retry/hedging/breaker) at its PR-7
 # landing coverage, minus a small slack for scheduler-dependent
-# hedge-race branches (measured 82.7%).
+# hedge-race branches (measured 82.7%), and internal/wal (the
+# write-ahead log the durability guarantee hangs on) at the floor the
+# durability PR committed to (landed at ~93%).
 COVER_FLOOR_CLUSTER ?= 81.9
 COVER_FLOOR_RDF ?= 89.8
 COVER_FLOOR_MATCH ?= 88.3
 COVER_FLOOR_SERVE ?= 88.0
 COVER_FLOOR_TRANSPORT ?= 82.0
+COVER_FLOOR_WAL ?= 85.0
 cover-gate:
 	@test -f coverage.out || { echo "coverage.out missing; run 'make cover' first" >&2; exit 1; }
 	@status=0; \
-	for spec in "cluster=$(COVER_FLOOR_CLUSTER)" "rdf=$(COVER_FLOOR_RDF)" "match=$(COVER_FLOOR_MATCH)" "serve=$(COVER_FLOOR_SERVE)" "transport=$(COVER_FLOOR_TRANSPORT)"; do \
+	for spec in "cluster=$(COVER_FLOOR_CLUSTER)" "rdf=$(COVER_FLOOR_RDF)" "match=$(COVER_FLOOR_MATCH)" "serve=$(COVER_FLOOR_SERVE)" "transport=$(COVER_FLOOR_TRANSPORT)" "wal=$(COVER_FLOOR_WAL)"; do \
 		pkg=$${spec%%=*}; floor=$${spec##*=}; \
 		{ head -1 coverage.out; grep "rdffrag/internal/$$pkg/" coverage.out; } > .cover_gate.out; \
 		pct=$$($(GO) tool cover -func=.cover_gate.out | awk '/^total:/ { sub("%","",$$3); print $$3 }'); \
@@ -59,12 +62,23 @@ chaos-soak:
 	$(GO) test -race -count=1 -run \
 		'TestChaosSoakRemoteSites|TestSiteKillRestartRecovery|TestQueryDisconnectCancelsRemoteEvals|TestMultiProcessSites' .
 
+# The durability gate: a real `rdffrag serve` process is SIGKILLed at
+# 20+ seeded points mid-update-stream — externally, and internally via
+# the WAL's fault-injecting filesystem tearing the log tail mid-fsync —
+# then restarted; recovered state must contain every acknowledged update
+# (no lost acks, no torn batches, no duplicate applies) and reconcile
+# with the replay metrics. The SIGTERM tests prove graceful shutdown
+# loses nothing even under the lossy-window "interval" sync policy.
+crash-soak:
+	$(GO) test -race -count=1 -run \
+		'TestCrashRecoverySoak|TestGracefulShutdownSIGTERM|TestSiteGracefulShutdownSIGTERM' .
+
 # One iteration per benchmark: a compile-and-run smoke, not a measurement.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # Hot-path benchmarks, recorded as a point of the perf trajectory in
-# BENCH_6.json. The current section includes the partitioned-join
+# BENCH_7.json. The current section includes the partitioned-join
 # per-partition-count sweep (BenchmarkJoinStreamPartitioned/P*), the
 # live-update mixed add+query pair (BenchmarkLiveMixedAddQuery/overlay
 # vs /refreeze) and the MVCC writer-latency pair
@@ -75,10 +89,14 @@ bench:
 # re-measures BenchmarkMatchWatDiv and the join sweep under GOMAXPROCS=1
 # and the host's full core count, and the regression gate fails the
 # target when any benchmark runs >20% slower than the previous committed
-# trajectory file (BENCH_5.json).
+# trajectory file (BENCH_6.json). The WAL section measures the durable
+# append under each sync policy (BenchmarkWALAppend/always-interval-none)
+# and the group-commit ack latency (BenchmarkWALGroupCommitLatency) —
+# the write-side cost every durable update now pays.
 BENCH_HOT := BenchmarkCandidateScan$$|BenchmarkMatchWatDiv$$|BenchmarkHashJoin$$|BenchmarkJoinStreamPartitioned$$|BenchmarkLiveMixedAddQuery$$
 BENCH_PAR := BenchmarkMatchWatDiv$$|BenchmarkJoinStreamPartitioned$$
 BENCH_SERVE := BenchmarkUpdateLatencyUnderLoad$$
+BENCH_WAL := BenchmarkWALAppend$$|BenchmarkWALGroupCommitLatency$$
 # Tolerated ns/op regression vs the previous trajectory file. Wall-clock
 # comparisons across hosts drift; override (e.g. BENCH_MAX_REGRESS=0.5)
 # when the measurement machine differs from the one that recorded the
@@ -98,12 +116,14 @@ bench-baseline:
 	fi; \
 	$(GO) test -run '^$$' -bench '$(BENCH_SERVE)' -benchmem -benchtime 200x \
 		./internal/serve > .bench_serve.txt; \
+	$(GO) test -run '^$$' -bench '$(BENCH_WAL)' -benchmem -benchtime 300x \
+		./internal/wal > .bench_wal.txt; \
 	{ $(GO) test -run '^$$' -bench '$(BENCH_HOT)' -benchmem -benchtime 1s \
-		./internal/match ./internal/cluster; cat .bench_serve.txt; } | \
-		$(GO) run ./cmd/benchjson -pr 6 -out BENCH_6.json \
-		-require 'BenchmarkCandidateScan,BenchmarkMatchWatDiv,BenchmarkHashJoin,BenchmarkJoinStreamPartitioned/P2,BenchmarkLiveMixedAddQuery/overlay,BenchmarkLiveMixedAddQuery/refreeze,BenchmarkUpdateLatencyUnderLoad/mvcc,BenchmarkUpdateLatencyUnderLoad/rwlock' \
-		-parallel "$$par" -prev BENCH_5.json -max-regress $(BENCH_MAX_REGRESS); \
-	status=$$?; rm -f .bench_gomaxprocs_1.txt .bench_gomaxprocs_np.txt .bench_serve.txt; exit $$status
+		./internal/match ./internal/cluster; cat .bench_serve.txt; cat .bench_wal.txt; } | \
+		$(GO) run ./cmd/benchjson -pr 7 -out BENCH_7.json \
+		-require 'BenchmarkCandidateScan,BenchmarkMatchWatDiv,BenchmarkHashJoin,BenchmarkJoinStreamPartitioned/P2,BenchmarkLiveMixedAddQuery/overlay,BenchmarkLiveMixedAddQuery/refreeze,BenchmarkUpdateLatencyUnderLoad/mvcc,BenchmarkUpdateLatencyUnderLoad/rwlock,BenchmarkWALAppend/always,BenchmarkWALAppend/interval,BenchmarkWALAppend/none,BenchmarkWALGroupCommitLatency' \
+		-parallel "$$par" -prev BENCH_6.json -max-regress $(BENCH_MAX_REGRESS); \
+	status=$$?; rm -f .bench_gomaxprocs_1.txt .bench_gomaxprocs_np.txt .bench_serve.txt .bench_wal.txt; exit $$status
 
 fmt:
 	gofmt -w .
@@ -115,4 +135,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check vet build cover cover-gate chaos-soak bench
+ci: fmt-check vet build cover cover-gate chaos-soak crash-soak bench

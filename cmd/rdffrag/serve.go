@@ -1,28 +1,35 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"rdffrag"
+	"rdffrag/internal/wal"
 )
 
-// serveMain runs the `rdffrag serve` subcommand: deploy, then answer
-// SPARQL over HTTP through the concurrent query server. With -site
-// mappings, the listed sites are reached over the network through
-// robust clients (retries, hedging, circuit breakers) instead of
-// evaluating in-process.
+// serveMain runs the `rdffrag serve` subcommand: deploy (or recover from
+// a durable data directory), then answer SPARQL over HTTP through the
+// concurrent query server. With -site mappings, the listed sites are
+// reached over the network through robust clients (retries, hedging,
+// circuit breakers) instead of evaluating in-process. With -data-dir,
+// every update batch is written ahead to a log before it is
+// acknowledged, and restart recovers checkpoint + WAL tail.
 func serveMain(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	var (
-		dataPath = fs.String("data", "", "N-Triples data file (required)")
-		wlPath   = fs.String("workload", "", "workload file: queries separated by '---' lines (required)")
+		dataPath = fs.String("data", "", "N-Triples data file (required unless recovering from -data-dir)")
+		wlPath   = fs.String("workload", "", "workload file: queries separated by '---' lines (required unless recovering from -data-dir)")
 		strategy = fs.String("strategy", "vertical", "fragmentation strategy: vertical or horizontal")
 		sites    = fs.Int("sites", 4, "number of sites")
 		minsup   = fs.Float64("minsup", 0.01, "pattern mining support threshold (fraction of workload)")
@@ -34,6 +41,15 @@ func serveMain(args []string) {
 		parallel = fs.Int("parallel", 0, "intra-query worker budget, divided among in-flight queries (0 = GOMAXPROCS, negative = sequential matching)")
 		joinPart = fs.Int("join-partitions", 0, "control-site join partitions per stage (0 = derived from each query's parallelism grant, negative = sequential join)")
 		profile  = fs.Bool("pprof", false, "expose net/http/pprof handlers under /debug/pprof/")
+
+		dataDir   = fs.String("data-dir", "", "durable data directory: WAL + checkpoints; recovers from it when it holds a checkpoint (off by default)")
+		walSync   = fs.String("wal-sync", "interval", "WAL fsync policy: always (fsync per batch before the ack), interval (group commit), none")
+		walFlush  = fs.Duration("wal-flush-interval", 2*time.Millisecond, "group-commit flush period for -wal-sync interval")
+		walSeg    = fs.Int64("wal-segment-bytes", 64<<20, "rotate WAL segments past this size")
+		ckptBytes = fs.Int64("checkpoint-bytes", 8<<20, "checkpoint once the live WAL grows past this size")
+		crashProb = fs.Float64("wal-crash-prob", 0, "fault injection: probability a WAL fsync simulates a machine crash (torn tail + SIGKILL); testing only")
+		crashSeed = fs.Int64("wal-crash-seed", 1, "seed for the WAL crash injector")
+		drainTO   = fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown bound: how long SIGTERM waits for in-flight queries to drain")
 
 		retries   = fs.Int("site-retries", 3, "retries per remote site call after the first attempt")
 		backoff   = fs.Duration("site-backoff", 50*time.Millisecond, "base exponential backoff between remote retries (jittered)")
@@ -57,12 +73,54 @@ func serveMain(args []string) {
 		return nil
 	})
 	fs.Parse(args)
-	if *dataPath == "" || *wlPath == "" {
+
+	// A durable directory that already holds a checkpoint recovers
+	// without the source files; everything else needs them.
+	recovering := *dataDir != "" && rdffrag.HasCheckpoint(*dataDir)
+	if !recovering && (*dataPath == "" || *wlPath == "") {
 		fs.Usage()
 		os.Exit(2)
 	}
 
-	dep := deploy(*dataPath, *wlPath, *strategy, *sites, *minsup)
+	var durable *rdffrag.Durable
+	var dep *rdffrag.Deployment
+	if *dataDir != "" {
+		dcfg := rdffrag.DurabilityConfig{
+			Dir:             *dataDir,
+			Sync:            *walSync,
+			FlushInterval:   *walFlush,
+			SegmentBytes:    *walSeg,
+			CheckpointBytes: *ckptBytes,
+		}
+		if *crashProb > 0 {
+			// The crash harness's fault seam: fsyncs roll a simulated
+			// machine crash — a random prefix of the unflushed tail
+			// persists (a torn write), then the process SIGKILLs itself.
+			dcfg.FS = wal.NewChaosFS(*crashSeed, *crashProb)
+		}
+		var err error
+		durable, err = rdffrag.OpenDurable(dcfg)
+		if err != nil {
+			fatal(err)
+		}
+		if recovering {
+			dep, err = durable.Recover(rdffrag.Config{})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("recovered from %s: checkpoint seq=%d, replayed=%d records, clean=%v\n",
+				*dataDir, durable.CheckpointSeq(), durable.ReplayedRecords(), durable.CleanStart())
+		} else {
+			dep = deploy(*dataPath, *wlPath, *strategy, *sites, *minsup)
+			if err := durable.Bootstrap(dep); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("bootstrapped %s: checkpoint seq=0, wal-sync=%s\n", *dataDir, *walSync)
+		}
+	} else {
+		dep = deploy(*dataPath, *wlPath, *strategy, *sites, *minsup)
+	}
+
 	srv := dep.StartServer(rdffrag.ServerConfig{
 		Workers:        *workers,
 		QueueDepth:     *queue,
@@ -70,6 +128,7 @@ func serveMain(args []string) {
 		PlanCacheSize:  *cache,
 		Parallelism:    *parallel,
 		JoinPartitions: *joinPart,
+		Durable:        durable,
 		Remote: rdffrag.RemoteConfig{
 			Sites:            remoteSites,
 			Retries:          *retries,
@@ -81,7 +140,6 @@ func serveMain(args []string) {
 			PartialResults:   *partial,
 		},
 	})
-	defer srv.Close()
 
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())
@@ -96,9 +154,37 @@ func serveMain(args []string) {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 
-	fmt.Printf("serving on %s (workers=%d queue=%d timeout=%s cache=%d parallel=%d join-partitions=%d remote-sites=%d partial=%v pprof=%v)\n",
-		*addr, *workers, *queue, *timeout, *cache, *parallel, *joinPart, len(remoteSites), *partial, *profile)
-	if err := http.ListenAndServe(*addr, mux); err != nil {
+	// Listen before printing: the resolved address line is
+	// machine-readable on purpose — the crash harness starts servers on
+	// :0 and scrapes the port.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
 		fatal(err)
 	}
+	fmt.Printf("serving on %s (workers=%d queue=%d timeout=%s cache=%d parallel=%d join-partitions=%d remote-sites=%d partial=%v durable=%v pprof=%v)\n",
+		ln.Addr(), *workers, *queue, *timeout, *cache, *parallel, *joinPart, len(remoteSites), *partial, durable != nil, *profile)
+
+	httpSrv := &http.Server{Handler: mux}
+	// Graceful shutdown: SIGTERM/SIGINT stops accepting requests, drains
+	// in-flight queries (bounded by -drain-timeout), then closes the
+	// server — which, when durable, checkpoints, marks the directory
+	// clean and fsyncs the log, so nothing is lost even under the
+	// "interval" sync policy.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := <-sigs
+		fmt.Printf("received %s, draining (timeout %s)\n", sig, *drainTO)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+		httpSrv.Shutdown(ctx)
+		cancel()
+		srv.Close()
+		fmt.Println("shutdown complete")
+	}()
+	if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		fatal(err)
+	}
+	<-done
 }

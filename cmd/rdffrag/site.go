@@ -1,13 +1,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"rdffrag"
 )
@@ -29,6 +33,8 @@ func siteMain(args []string) {
 		minsup   = fs.Float64("minsup", 0.01, "pattern mining support threshold (must match the control site)")
 		addr     = fs.String("addr", ":7400", "HTTP listen address (use 127.0.0.1:0 for an ephemeral port)")
 		serveIDs = fs.String("serve-sites", "", "comma-separated site IDs to answer for (default: all)")
+
+		drainTO = fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown bound: how long SIGTERM waits for in-flight evals to drain")
 
 		chaosSeed  = fs.Int64("chaos-seed", 1, "seed for the deterministic fault injector")
 		chaosDrop  = fs.Float64("chaos-drop", 0, "probability an /eval request is dropped (503)")
@@ -74,9 +80,28 @@ func siteMain(args []string) {
 	// The resolved address line is machine-readable on purpose: the
 	// multi-process harness starts sites on :0 and scrapes the port.
 	fmt.Printf("site listening on %s (serving sites %s)\n", ln.Addr(), siteList(ids))
-	if err := http.Serve(ln, dep.SiteHandler(cfg)); err != nil {
+
+	httpSrv := &http.Server{Handler: dep.SiteHandler(cfg)}
+	// Graceful shutdown: SIGTERM/SIGINT stops accepting evals and drains
+	// the in-flight ones (streams finish or their clients give up)
+	// bounded by -drain-timeout, so the control site sees clean stream
+	// ends instead of torn ones when a host is decommissioned politely.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := <-sigs
+		fmt.Printf("received %s, draining (timeout %s)\n", sig, *drainTO)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+		httpSrv.Shutdown(ctx)
+		cancel()
+		fmt.Println("shutdown complete")
+	}()
+	if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
 		fatal(err)
 	}
+	<-done
 }
 
 func siteList(ids []int) string {

@@ -1,0 +1,392 @@
+package rdffrag
+
+// Crash-recovery soak: a real `rdffrag serve` process with a durable
+// data directory is SIGKILLed at seeded points mid-update-stream — from
+// the outside (plain process death) and from the inside via the WAL's
+// fault-injecting filesystem (a simulated machine crash that tears the
+// log tail mid-fsync) — then restarted, and the recovered state is
+// checked against a client-side oracle that counts only acknowledged
+// updates: no lost acks, no torn batches, no gaps. A final SIGTERM cycle
+// proves graceful shutdown loses nothing even under the "interval" sync
+// policy.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// crashBatch renders update batch i: two triples under dedicated
+// predicates with a unique subject, so recovery can be checked for
+// prefix-exactness (no gaps, no duplicates) and batch atomicity (both
+// triples or neither).
+func crashBatch(i int) string {
+	return fmt.Sprintf("<C%d> <urn:crash:p> <V%d> .\n<C%d> <urn:crash:q> \"mark %d\" .\n", i, i, i, i)
+}
+
+// serveProc is one `rdffrag serve` child with a durable data directory.
+type serveProc struct {
+	cmd  *exec.Cmd
+	addr string
+	// recovered is the scraped recovery summary line ("" on bootstrap).
+	recovered string
+}
+
+func (p *serveProc) url(path string) string { return "http://" + p.addr + path }
+
+// startServeProc spawns `rdffrag serve -data-dir` and waits for the
+// machine-readable listen line (scraping the recovery summary on the
+// way). extra appends to the base argument list.
+func startServeProc(t *testing.T, bin, dataDir string, extra ...string) *serveProc {
+	t.Helper()
+	args := append([]string{"serve", "-addr", "127.0.0.1:0", "-data-dir", dataDir, "-workers", "2"}, extra...)
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start serve process: %v", err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+
+	p := &serveProc{cmd: cmd}
+	got := make(chan struct{}, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.HasPrefix(line, "recovered from ") {
+				p.recovered = line
+			}
+			if strings.HasPrefix(line, "serving on ") {
+				p.addr = strings.Fields(line)[2]
+				got <- struct{}{}
+				break
+			}
+		}
+		io.Copy(io.Discard, stdout)
+	}()
+	select {
+	case <-got:
+		return p
+	case <-time.After(60 * time.Second):
+		t.Fatal("serve process did not report a listen address in time")
+		return nil
+	}
+}
+
+// sendBatch posts one update; ok reports whether it was acknowledged
+// (2xx with a parsed body). Anything else — connection reset by a dying
+// process, a refused socket — counts as unacknowledged.
+func sendBatch(p *serveProc, i int) (seq uint64, ok bool) {
+	resp, err := http.Post(p.url("/update"), "application/n-triples", strings.NewReader(crashBatch(i)))
+	if err != nil {
+		return 0, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return 0, false
+	}
+	var body struct {
+		Seq uint64 `json:"seq"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return 0, false
+	}
+	return body.Seq, true
+}
+
+// recoveredBatches queries the dedicated predicates and verifies the
+// recovered set is exactly the prefix 1..R with both triples of every
+// batch present (batch atomicity), returning R.
+func recoveredBatches(t *testing.T, p *serveProc) int {
+	t.Helper()
+	subjects := func(query string) map[string]bool {
+		resp, err := http.Post(p.url("/query?format=tsv"), "application/sparql-query", strings.NewReader(query))
+		if err != nil {
+			t.Fatalf("probe query: %v", err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("probe query: HTTP %d: %s", resp.StatusCode, b)
+		}
+		set := map[string]bool{}
+		lines := strings.Split(strings.TrimSpace(string(b)), "\n")
+		for _, line := range lines[1:] { // skip header
+			line = strings.TrimSpace(line)
+			if line == "" {
+				continue
+			}
+			x := strings.Fields(line)[0]
+			if set[x] {
+				t.Fatalf("duplicate subject %q in recovered state (double apply)", x)
+			}
+			set[x] = true
+		}
+		return set
+	}
+	ps := subjects(`SELECT ?x WHERE { ?x <urn:crash:p> ?v . }`)
+	qs := subjects(`SELECT ?x WHERE { ?x <urn:crash:q> ?v . }`)
+	if len(ps) != len(qs) {
+		t.Fatalf("torn batches: %d <urn:crash:p> subjects vs %d <urn:crash:q>", len(ps), len(qs))
+	}
+	for i := 1; i <= len(ps); i++ {
+		want := fmt.Sprintf("<C%d>", i)
+		if !ps[want] || !qs[want] {
+			t.Fatalf("recovered state is not the prefix 1..%d: batch %d missing (set: %v)", len(ps), i, ps)
+		}
+	}
+	return len(ps)
+}
+
+// walMetricsOf scrapes the WAL keys from /metrics.
+func walMetricsOf(t *testing.T, p *serveProc) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(p.url("/metrics"))
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("metrics decode: %v", err)
+	}
+	out := map[string]float64{}
+	for _, k := range []string{"wal_appends", "wal_last_seq", "wal_checkpoint_seq", "replayed_records", "checkpoints"} {
+		v, ok := m[k].(float64)
+		if !ok {
+			t.Fatalf("metrics missing %q (durable server must export it): %v", k, m[k])
+		}
+		out[k] = v
+	}
+	return out
+}
+
+// waitDeath blocks until the child exits (it SIGKILLed itself, or we
+// killed it).
+func waitDeath(t *testing.T, p *serveProc) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() { p.cmd.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("child did not die in time")
+	}
+}
+
+func TestCrashRecoverySoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes; skipped in -short mode")
+	}
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "rdffrag")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/rdffrag").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	dataPath := filepath.Join(tmp, "data.nt")
+	wlPath := filepath.Join(tmp, "workload.rq")
+	if err := os.WriteFile(dataPath, []byte(soakNT(30, 0)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(wlPath, []byte(strings.Join(soakWorkload, "\n---\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dataDir := filepath.Join(tmp, "durable")
+
+	// Bootstrap: first start runs the offline pipeline and writes the
+	// seq-0 checkpoint. Aggressive checkpointing (tiny thresholds) makes
+	// the soak cross checkpoint/rotate/retire boundaries constantly.
+	base := []string{"-data", dataPath, "-workload", wlPath, "-sites", "2", "-minsup", "0.2",
+		"-wal-sync", "always", "-checkpoint-bytes", "4096", "-wal-segment-bytes", "2048"}
+	p := startServeProc(t, bin, dataDir, base...)
+
+	acked := 0     // batches with a 2xx ack — recovery owes us all of them
+	attempted := 0 // batches sent; in-flight ones may or may not survive
+	kills := 0
+
+	verify := func(p *serveProc, phase string) {
+		R := recoveredBatches(t, p)
+		if R < acked || R > attempted {
+			t.Fatalf("%s: recovered %d batches, want acked %d <= R <= attempted %d", phase, R, acked, attempted)
+		}
+		// Metrics reconciliation: what startup replayed is exactly the
+		// log tail past the checkpoint.
+		m := walMetricsOf(t, p)
+		if m["replayed_records"] != m["wal_last_seq"]-m["wal_checkpoint_seq"] {
+			t.Fatalf("%s: replayed_records %v != wal_last_seq %v - wal_checkpoint_seq %v",
+				phase, m["replayed_records"], m["wal_last_seq"], m["wal_checkpoint_seq"])
+		}
+		// Re-anchor the oracle: every batch <= R is now durable state
+		// (it will be re-checked after every later crash), the rest were
+		// torn away before their ack.
+		acked, attempted = R, R
+	}
+
+	for cycle := 0; kills < 20; cycle++ {
+		injected := cycle%2 == 1 // odd cycles crash inside the WAL fsync
+		if cycle > 0 {
+			extra := append([]string(nil), base...)
+			if injected {
+				extra = append(extra, "-wal-crash-prob", "0.12", "-wal-crash-seed", fmt.Sprint(1000+cycle))
+			}
+			p = startServeProc(t, bin, dataDir, extra...)
+			if p.recovered == "" {
+				t.Fatalf("cycle %d: restart did not report a recovery summary", cycle)
+			}
+			verify(p, fmt.Sprintf("cycle %d", cycle))
+		}
+
+		if injected {
+			// Stream until the injected machine crash SIGKILLs the child
+			// mid-fsync (tearing the log tail at a seeded point).
+			died := false
+			for i := 0; i < 80; i++ {
+				attempted++
+				if seq, ok := sendBatch(p, attempted); ok {
+					acked++
+					_ = seq
+				} else {
+					died = true
+					break
+				}
+			}
+			if !died {
+				t.Fatalf("cycle %d: 80 batches without an injected crash; raise the probability", cycle)
+			}
+			waitDeath(t, p)
+		} else {
+			// A few acked batches, then plain SIGKILL from the outside.
+			for i := 0; i < 1+cycle%4; i++ {
+				attempted++
+				seq, ok := sendBatch(p, attempted)
+				if !ok {
+					t.Fatalf("cycle %d: healthy server rejected batch %d", cycle, attempted)
+				}
+				if seq == 0 {
+					t.Fatalf("cycle %d: durable ack carried seq 0", cycle)
+				}
+				acked++
+			}
+			p.cmd.Process.Kill()
+			waitDeath(t, p)
+		}
+		kills++
+	}
+
+	// Final restart after the last kill: everything acked survived 20+
+	// crashes worth of torn tails, checkpoints and replays.
+	p = startServeProc(t, bin, dataDir, base...)
+	verify(p, "final")
+	t.Logf("soak: %d kills, %d batches durable", kills, acked)
+}
+
+// TestGracefulShutdownSIGTERM: under the lossy-window "interval" sync
+// policy, SIGTERM must drain, checkpoint, fsync and mark the directory
+// clean — the restart replays nothing and has every acknowledged batch.
+func TestGracefulShutdownSIGTERM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes; skipped in -short mode")
+	}
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "rdffrag")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/rdffrag").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	dataPath := filepath.Join(tmp, "data.nt")
+	wlPath := filepath.Join(tmp, "workload.rq")
+	if err := os.WriteFile(dataPath, []byte(soakNT(30, 0)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(wlPath, []byte(strings.Join(soakWorkload, "\n---\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dataDir := filepath.Join(tmp, "durable")
+	base := []string{"-data", dataPath, "-workload", wlPath, "-sites", "2", "-minsup", "0.2",
+		"-wal-sync", "interval", "-drain-timeout", "10s"}
+
+	p := startServeProc(t, bin, dataDir, base...)
+	const batches = 10
+	for i := 1; i <= batches; i++ {
+		if _, ok := sendBatch(p, i); !ok {
+			t.Fatalf("batch %d rejected", i)
+		}
+	}
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("SIGTERM exit: %v (want clean exit 0)", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not exit after SIGTERM")
+	}
+
+	p2 := startServeProc(t, bin, dataDir, base...)
+	if !strings.Contains(p2.recovered, "replayed=0") || !strings.Contains(p2.recovered, "clean=true") {
+		t.Fatalf("restart after SIGTERM was not clean: %q", p2.recovered)
+	}
+	if got := recoveredBatches(t, p2); got != batches {
+		t.Fatalf("recovered %d batches after graceful shutdown, want %d (interval acks lost)", got, batches)
+	}
+}
+
+// TestSiteGracefulShutdownSIGTERM: a fragment-host process drains and
+// exits 0 on SIGTERM.
+func TestSiteGracefulShutdownSIGTERM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes; skipped in -short mode")
+	}
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "rdffrag")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/rdffrag").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	dataPath := filepath.Join(tmp, "data.nt")
+	wlPath := filepath.Join(tmp, "workload.rq")
+	if err := os.WriteFile(dataPath, []byte(soakNT(20, 0)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(wlPath, []byte(strings.Join(soakWorkload, "\n---\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	proc, addr := startSiteProc(t, bin, dataPath, wlPath, "127.0.0.1:0")
+	if resp, err := http.Get("http://" + addr + "/healthz"); err != nil {
+		t.Fatalf("healthz: %v", err)
+	} else {
+		resp.Body.Close()
+	}
+	if err := proc.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- proc.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("site SIGTERM exit: %v (want clean exit 0)", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("site did not exit after SIGTERM")
+	}
+}

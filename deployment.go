@@ -30,6 +30,10 @@ type Deployment struct {
 	dict     *dict.Dictionary
 	cluster  *cluster.Cluster
 	engine   *exec.Engine
+	// walSeq is the write-ahead-log sequence stamp the deployment was
+	// loaded at (0 for freshly built deployments); Durable.Recover
+	// replays WAL records past it.
+	walSeq uint64
 }
 
 // Result is a decoded query answer.

@@ -84,10 +84,14 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
+	// seq is the batch's write-ahead-log sequence number: by the time
+	// this response is on the wire the batch is logged (and, under the
+	// "always" sync policy, fsynced). 0 on a non-durable server.
 	json.NewEncoder(w).Encode(map[string]any{
 		"added":         res.Added,
 		"delta_triples": res.DeltaTriples,
 		"compactions":   res.Compactions,
+		"seq":           res.Seq,
 	})
 }
 
@@ -110,7 +114,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"site_p99_ms":   float64(sm.P99) / float64(time.Millisecond),
 		})
 	}
-	json.NewEncoder(w).Encode(map[string]any{
+	out := map[string]any{
 		"uptime_seconds": m.Uptime.Seconds(),
 		"completed":      m.Completed,
 		"failed":         m.Failed,
@@ -151,7 +155,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		// counters (retries, hedges, breaker state, p99 per site).
 		"partial_results": m.PartialResults,
 		"sites":           sites,
-	})
+	}
+	if m.WAL != nil {
+		// Durability: write-ahead-log counters, checkpoint progress and
+		// how much the last startup replayed.
+		out["wal_sync"] = m.WAL.SyncPolicy
+		out["wal_appends"] = m.WAL.Appends
+		out["wal_fsyncs"] = m.WAL.Fsyncs
+		out["wal_bytes"] = m.WAL.AppendedBytes
+		out["wal_live_bytes"] = m.WAL.LiveBytes
+		out["wal_segments"] = m.WAL.Segments
+		out["wal_last_seq"] = m.WAL.LastSeq
+		out["wal_checkpoint_seq"] = m.WAL.CheckpointSeq
+		out["checkpoints"] = m.WAL.Checkpoints
+		out["replayed_records"] = m.WAL.ReplayedRecords
+		out["wal_append_p99_ms"] = float64(m.WAL.AppendP99) / float64(time.Millisecond)
+		out["wal_fsync_p99_ms"] = float64(m.WAL.FsyncP99) / float64(time.Millisecond)
+	}
+	json.NewEncoder(w).Encode(out)
 }
 
 // readQuery pulls the SPARQL text from ?q= or the request body.

@@ -20,13 +20,25 @@ import (
 )
 
 // Version guards against decoding snapshots from incompatible builds.
-const Version = 1
+// Version 2 added the WAL checkpoint stamp (WALSeq) and the dictionary
+// fingerprint header.
+const Version = 2
 
 // Snapshot is the serialized deployment state.
 type Snapshot struct {
 	Version int
 	Sites   int
 	Kind    uint8 // fragment.Kind of the fragmentation
+
+	// WALSeq is the last write-ahead-log sequence number applied to
+	// this snapshot; recovery replays only records past it. Zero for
+	// snapshots of non-durable deployments.
+	WALSeq uint64
+	// DictFP fingerprints the Terms list (rdf.Dict.Fingerprint over all
+	// of them); Load refuses a snapshot whose rebuilt dictionary hashes
+	// differently, so a checkpoint can never be replayed against a
+	// mismatched dictionary.
+	DictFP uint64
 
 	Terms        []TermDTO
 	GraphTriples [][3]uint32
@@ -95,6 +107,9 @@ type State struct {
 	Frag  *fragment.Fragmentation
 	Alloc *allocation.Allocation
 	Sites int
+	// WALSeq stamps (Save) / reports (Load) the last applied WAL
+	// sequence number; see Snapshot.WALSeq.
+	WALSeq uint64
 }
 
 // Save encodes the state to w. Delta-carrying frozen graphs (a live
@@ -112,7 +127,7 @@ func Save(w io.Writer, st *State) error {
 	for _, f := range st.Frag.All() {
 		f.Graph.Compact()
 	}
-	snap := &Snapshot{Version: Version, Sites: st.Sites, Kind: uint8(st.Frag.Kind)}
+	snap := &Snapshot{Version: Version, Sites: st.Sites, Kind: uint8(st.Frag.Kind), WALSeq: st.WALSeq}
 
 	d := st.Graph.Dict
 	snap.Terms = make([]TermDTO, d.Len())
@@ -120,6 +135,7 @@ func Save(w io.Writer, st *State) error {
 		t := d.Decode(rdf.ID(i))
 		snap.Terms[i] = TermDTO{Kind: uint8(t.Kind), Value: t.Value}
 	}
+	snap.DictFP = d.Fingerprint(len(snap.Terms))
 	snap.GraphTriples = encodeTriples(st.Graph.Triples())
 	for p := range st.HC.FreqProps {
 		snap.FreqProps = append(snap.FreqProps, uint32(p))
@@ -188,6 +204,9 @@ func Load(r io.Reader) (*State, error) {
 		if id != rdf.ID(i) {
 			return nil, fmt.Errorf("persist: dictionary IDs diverged at %d", i)
 		}
+	}
+	if fp := dict.Fingerprint(len(snap.Terms)); fp != snap.DictFP {
+		return nil, fmt.Errorf("persist: dictionary fingerprint mismatch (snapshot %016x, rebuilt %016x): snapshot is corrupt or from a different deployment", snap.DictFP, fp)
 	}
 
 	graph := rdf.NewGraph(dict)
@@ -277,7 +296,7 @@ func Load(r io.Reader) (*State, error) {
 		}
 	}
 
-	return &State{Graph: graph, HC: hc, Frag: fr, Alloc: alloc, Sites: snap.Sites}, nil
+	return &State{Graph: graph, HC: hc, Frag: fr, Alloc: alloc, Sites: snap.Sites, WALSeq: snap.WALSeq}, nil
 }
 
 func encodeTriples(ts []rdf.Triple) [][3]uint32 {

@@ -200,3 +200,49 @@ func TestLoadedMintermStillFilters(t *testing.T) {
 	}
 	_ = allocation.Allocation{}
 }
+
+// TestDictFingerprintGuardsTampering: a snapshot whose Terms list was
+// altered after Save (bit rot, wrong file, a different deployment's
+// snapshot spliced in) must be refused at Load — silently decoding
+// triples against the wrong dictionary would scramble every term.
+func TestDictFingerprintGuardsTampering(t *testing.T) {
+	st := buildState(t, false)
+	var buf bytes.Buffer
+	if err := Save(&buf, st); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+
+	var snap Snapshot
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&snap); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if snap.DictFP == 0 {
+		t.Fatal("Save left DictFP unstamped")
+	}
+	snap.Terms[len(snap.Terms)/2].Value += "-tampered"
+	var evil bytes.Buffer
+	if err := gob.NewEncoder(&evil).Encode(&snap); err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if _, err := Load(&evil); err == nil {
+		t.Fatal("Load accepted a snapshot with a tampered dictionary")
+	}
+}
+
+// TestWALSeqRoundTrips: the checkpoint's WAL sequence stamp survives the
+// round trip — recovery replays only records past it.
+func TestWALSeqRoundTrips(t *testing.T) {
+	st := buildState(t, false)
+	st.WALSeq = 12345
+	var buf bytes.Buffer
+	if err := Save(&buf, st); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got.WALSeq != 12345 {
+		t.Fatalf("WALSeq = %d, want 12345", got.WALSeq)
+	}
+}

@@ -17,6 +17,16 @@ type Dict struct {
 	mu    sync.RWMutex
 	byKey map[string]ID
 	terms []Term
+
+	// Prefix-fingerprint cache: the dictionary is append-only, so the
+	// fingerprint of terms[0:n] never changes once computed. fpN/fpHash
+	// is the rolling FNV state after the first fpN terms (extended
+	// incrementally as the dictionary grows); fpMemo remembers exact
+	// answers for the prefix lengths callers keep asking about.
+	fpMu   sync.Mutex
+	fpN    int
+	fpHash uint64
+	fpMemo map[int]uint64
 }
 
 // NewDict returns an empty dictionary.
@@ -66,6 +76,60 @@ func (d *Dict) Len() int {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	return len(d.terms)
+}
+
+// FNV-1a parameters (hash/fnv is not used directly: the rolling state
+// must be resumable across calls, which the stdlib hash hides).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Fingerprint hashes the first n interned terms in ID order (FNV-1a
+// over each term's kind, length and bytes). Two dictionaries that agree
+// on IDs 0..n-1 have equal n-fingerprints, so a fingerprint identifies
+// a dictionary prefix: checkpoints stamp it to refuse replay against a
+// foreign dictionary, and the transport verifies the shared prefix
+// before interpreting raw-ID binding rows. n must be <= Len. Computed
+// fingerprints are cached — the dictionary is append-only, so a prefix
+// fingerprint never changes.
+func (d *Dict) Fingerprint(n int) uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	d.fpMu.Lock()
+	defer d.fpMu.Unlock()
+	if h, ok := d.fpMemo[n]; ok {
+		return h
+	}
+	start, h := 0, uint64(fnvOffset64)
+	if d.fpN > 0 && d.fpN <= n {
+		start, h = d.fpN, d.fpHash
+	}
+	for i := start; i < n; i++ {
+		h = fnvTerm(h, d.terms[i])
+	}
+	if n >= d.fpN {
+		d.fpN, d.fpHash = n, h
+	}
+	if d.fpMemo == nil || len(d.fpMemo) > 4096 {
+		d.fpMemo = make(map[int]uint64)
+	}
+	d.fpMemo[n] = h
+	return h
+}
+
+// fnvTerm folds one term into a rolling FNV-1a state. The length
+// prefix keeps adjacent terms from sliding into each other.
+func fnvTerm(h uint64, t Term) uint64 {
+	h = (h ^ uint64(t.Kind)) * fnvPrime64
+	n := uint32(len(t.Value))
+	for shift := 0; shift < 32; shift += 8 {
+		h = (h ^ uint64(byte(n>>shift))) * fnvPrime64
+	}
+	for i := 0; i < len(t.Value); i++ {
+		h = (h ^ uint64(t.Value[i])) * fnvPrime64
+	}
+	return h
 }
 
 // MustIRI interns an IRI given by its lexical value.

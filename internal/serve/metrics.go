@@ -76,6 +76,37 @@ type Metrics struct {
 	// generations being reclaimed once their last reader drains.
 	Generations     int
 	PinnedSnapshots int
+	// WAL reports the durability layer's counters; nil when the server
+	// fronts a non-durable deployment (Config.WALStats unset).
+	WAL *WALMetrics
+}
+
+// WALMetrics is the durability layer's snapshot: write-ahead-log
+// counters plus checkpoint/recovery progress.
+type WALMetrics struct {
+	// SyncPolicy is the configured fsync policy ("always", "interval",
+	// "none").
+	SyncPolicy string
+	// Appends, Fsyncs and AppendedBytes count WAL records written,
+	// completed fsyncs and on-disk bytes appended since startup.
+	Appends       uint64
+	Fsyncs        uint64
+	AppendedBytes uint64
+	// LiveBytes and Segments describe the log's current footprint;
+	// LastSeq is the newest record's sequence number.
+	LiveBytes int64
+	Segments  int
+	LastSeq   uint64
+	// CheckpointSeq is the WAL sequence the latest checkpoint covers;
+	// Checkpoints counts checkpoints written since startup.
+	CheckpointSeq uint64
+	Checkpoints   uint64
+	// ReplayedRecords is how many WAL records startup recovery applied
+	// (0 after a clean shutdown).
+	ReplayedRecords uint64
+	// AppendP99 and FsyncP99 are recent-window latency percentiles.
+	AppendP99 time.Duration
+	FsyncP99  time.Duration
 }
 
 // collector accumulates metrics from concurrent workers.

@@ -71,8 +71,14 @@ type Config struct {
 	// serialized with each other, never with queries) and publishes a new
 	// MVCC read view when the batch lands. In-flight queries keep reading
 	// the view they pinned at admission; queries admitted afterwards see
-	// the whole batch. The callback reports what the batch did.
-	Apply func(ts []rdf.Triple) UpdateStats
+	// the whole batch. The callback reports what the batch did; an error
+	// rejects the batch whole — the sink's contract is that it fails only
+	// before mutating anything (e.g. the write-ahead-log append failed),
+	// so no view is published and nothing was torn.
+	Apply func(ts []rdf.Triple) (UpdateStats, error)
+	// WALStats, when non-nil, snapshots the durability layer's counters
+	// for Metrics (a server fronting a write-ahead-logged deployment).
+	WALStats func() WALMetrics
 }
 
 // UpdateStats reports the effect of one applied update batch.
@@ -85,6 +91,10 @@ type UpdateStats struct {
 	DeltaTriples int
 	// Compactions is the global graph's cumulative compaction count.
 	Compactions uint64
+	// Seq is the batch's write-ahead-log sequence number; 0 when the
+	// deployment is not durable. The batch is recoverable iff a record
+	// with this sequence number survives a crash.
+	Seq uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -323,7 +333,12 @@ func (s *Server) Update(ctx context.Context, ts []rdf.Triple) (UpdateStats, erro
 	if err := ctx.Err(); err != nil {
 		return UpdateStats{}, err
 	}
-	st := s.cfg.Apply(ts)
+	st, err := s.cfg.Apply(ts)
+	if err != nil {
+		// The sink rejected the batch before mutating anything (its
+		// contract): no new view, no gauge movement, nothing applied.
+		return UpdateStats{}, err
+	}
 	// Make the batch visible: capture a consistent cut of every graph as
 	// the new read view. Queries admitted from here on see the whole
 	// batch; queries already running keep their pinned older view.
@@ -396,5 +411,9 @@ func (s *Server) Metrics() Metrics {
 	views := s.engine.Views()
 	m.Generations = views.Generations()
 	m.PinnedSnapshots = views.PinnedSnapshots()
+	if s.cfg.WALStats != nil {
+		w := s.cfg.WALStats()
+		m.WAL = &w
+	}
 	return m
 }

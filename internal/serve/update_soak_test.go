@@ -34,7 +34,7 @@ import (
 // triples additionally go to the hot graph and every fragment whose
 // generating pattern uses the predicate, everything else to the cold
 // graph and cold fragment.
-func testApply(env *testenv.Env) func(ts []rdf.Triple) serve.UpdateStats {
+func testApply(env *testenv.Env) func(ts []rdf.Triple) (serve.UpdateStats, error) {
 	usesPred := func(f *fragment.Fragment, p rdf.ID) bool {
 		if f.Pattern == nil {
 			return false
@@ -46,7 +46,7 @@ func testApply(env *testenv.Env) func(ts []rdf.Triple) serve.UpdateStats {
 		}
 		return false
 	}
-	return func(ts []rdf.Triple) serve.UpdateStats {
+	return func(ts []rdf.Triple) (serve.UpdateStats, error) {
 		added := 0
 		for _, t := range ts {
 			if !env.G.Add(t) {
@@ -73,7 +73,7 @@ func testApply(env *testenv.Env) func(ts []rdf.Triple) serve.UpdateStats {
 			Added:        added,
 			DeltaTriples: env.G.DeltaLen(),
 			Compactions:  env.G.Compactions(),
-		}
+		}, nil
 	}
 }
 

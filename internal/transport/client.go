@@ -298,6 +298,14 @@ func (c *SiteClient) runAttempt(ctx context.Context, wire *evalWire, st *streamS
 		watchdog.Reset(c.cfg.FrameTimeout)
 		switch f.K {
 		case "hdr":
+			// Dictionary agreement, server side: the header fingerprints
+			// the shared dictionary prefix (the server already verified
+			// our stamp covers its side). Rows are raw IDs, so a mismatch
+			// means every row would decode to the wrong terms — fail the
+			// call outright; a retry cannot heal a diverged deployment.
+			if f.DictLen > 0 && f.DictLen <= c.cfg.Dict.Len() && c.cfg.Dict.Fingerprint(f.DictLen) != f.DictFP {
+				return outcome{err: fmt.Errorf("transport: site %d: dictionary mismatch: server prefix %d does not match this deployment's dictionary", c.cfg.Site, f.DictLen), id: id, claimed: claimed}
+			}
 			// The server echoes the resume it accepted: Skip==Resume when
 			// honored, 0 when the epoch moved and the stream restarts.
 			acked, epoch = f.Skip, f.Epoch

@@ -65,21 +65,33 @@ type evalWire struct {
 	// under; the server ignores Resume (and streams from scratch) when
 	// its current epoch differs.
 	Epoch uint64 `json:"epoch,omitempty"`
+	// DictLen/DictFP fingerprint the client dictionary's first DictLen
+	// terms (rdf.Dict.Fingerprint). Binding rows travel as raw IDs, so a
+	// client and server whose data dictionaries diverged would silently
+	// decode each other's rows to the wrong terms; both sides verify the
+	// shared prefix min(client, server length) instead — full lengths
+	// legitimately differ, because each side interns ad-hoc query
+	// constants the other never sees. Zero means an old client; the
+	// check is skipped.
+	DictLen int    `json:"dictLen,omitempty"`
+	DictFP  uint64 `json:"dictFp,omitempty"`
 }
 
 // frame is one NDJSON response frame, discriminated by K: "hdr" opens
 // the stream, "b" carries a batch, "done" closes it, "err" reports a
 // server-side failure (Retry says whether it is worth retrying).
 type frame struct {
-	K     string     `json:"k"`
-	Epoch uint64     `json:"epoch,omitempty"` // hdr
-	Skip  int        `json:"skip,omitempty"`  // hdr: batches skipped for resume
-	Seq   int        `json:"seq"`             // b
-	Vars  []string   `json:"vars,omitempty"`  // b
-	Rows  [][]rdf.ID `json:"rows,omitempty"`  // b
-	Count int        `json:"count,omitempty"` // done: total batches in sequence
-	Msg   string     `json:"msg,omitempty"`   // err
-	Retry bool       `json:"retry,omitempty"` // err
+	K       string     `json:"k"`
+	Epoch   uint64     `json:"epoch,omitempty"`   // hdr
+	Skip    int        `json:"skip,omitempty"`    // hdr: batches skipped for resume
+	DictLen int        `json:"dictLen,omitempty"` // hdr: shared dictionary prefix length
+	DictFP  uint64     `json:"dictFp,omitempty"`  // hdr: server fingerprint of that prefix
+	Seq     int        `json:"seq"`               // b
+	Vars    []string   `json:"vars,omitempty"`    // b
+	Rows    [][]rdf.ID `json:"rows,omitempty"`    // b
+	Count   int        `json:"count,omitempty"`   // done: total batches in sequence
+	Msg     string     `json:"msg,omitempty"`     // err
+	Retry   bool       `json:"retry,omitempty"`   // err
 }
 
 // encodeQuery flattens a parsed query graph for the wire, decoding
@@ -153,11 +165,17 @@ func encodeRequest(req cluster.EvalRequest, d *rdf.Dict, batchSize int) (*evalWi
 	if req.Filter != nil {
 		return nil, fmt.Errorf("transport: vertex filters cannot be serialized to remote sites")
 	}
+	// Stamp the client dictionary state. Prefix fingerprints are
+	// immutable (the dictionary is append-only), so the stamp stays
+	// valid across every retry and hedge of this request.
+	dictLen := d.Len()
 	return &evalWire{
 		Site:        req.SiteID,
 		Frags:       append([]int(nil), req.FragIDs...),
 		Query:       encodeQuery(req.Query, d),
 		Parallelism: req.Parallelism,
 		Batch:       batchSize,
+		DictLen:     dictLen,
+		DictFP:      d.Fingerprint(dictLen),
 	}, nil
 }

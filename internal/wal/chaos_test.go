@@ -1,0 +1,126 @@
+package wal
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestChaosCrashRecoverySoak drives the log through seeded simulated
+// machine crashes: under SyncAlways every acknowledged append must
+// survive (the fsync happened before the ack), and the recovered log
+// must be exactly the acked prefix — no lost acks, no resurrected
+// unacked records, no torn state. Each crash persists a random prefix of
+// the unflushed tail, so recovery exercises the torn-record truncation
+// path too.
+func TestChaosCrashRecoverySoak(t *testing.T) {
+	dir := t.TempDir()
+	acked := uint64(0)
+	crashes := 0
+
+	for round := 0; round < 30; round++ {
+		cfs := NewChaosFS(int64(round)*1000+11, 0.05)
+		// In-process power cut: Sync fails with errCrashed instead of
+		// SIGKILLing the test binary; the log instance is dead after it.
+		cfs.SetKill(func() {})
+		l, err := Open(Options{Dir: dir, Sync: SyncAlways, FS: cfs})
+		if err != nil {
+			t.Fatalf("round %d: Open: %v", round, err)
+		}
+		if l.LastSeq() != acked {
+			t.Fatalf("round %d: recovered LastSeq = %d, want %d acked", round, l.LastSeq(), acked)
+		}
+		// Every record that was ever acked must replay, intact.
+		n := uint64(0)
+		err = l.Replay(0, nil, func(rec Record) error {
+			n++
+			if rec.Seq != n {
+				return fmt.Errorf("replay out of order: got seq %d at position %d", rec.Seq, n)
+			}
+			if want := payloadFor(rec.Seq); string(rec.Payload) != want {
+				return fmt.Errorf("seq %d payload = %q, want %q", rec.Seq, rec.Payload, want)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if n != acked {
+			t.Fatalf("round %d: replayed %d records, want %d", round, n, acked)
+		}
+
+		// Append until the machine crashes or the round's budget runs out.
+		for i := 0; i < 40; i++ {
+			seq, err := l.Append([]byte(payloadFor(acked + 1)))
+			if err != nil {
+				// The crash struck this append's fsync: the record was
+				// never acked, so recovery may or may not keep earlier
+				// synced bytes of it — but must not count it.
+				crashes++
+				break
+			}
+			if seq != acked+1 {
+				t.Fatalf("round %d: seq = %d, want %d", round, seq, acked+1)
+			}
+			acked = seq
+		}
+		l.Close() // no-op rounds close cleanly; crashed rounds error — both fine
+	}
+	if crashes == 0 {
+		t.Fatal("soak never crashed; raise the probability or rounds")
+	}
+	t.Logf("soak: %d crashes, %d records acked and recovered", crashes, acked)
+}
+
+// TestChaosCrashTearsPending verifies the explicit Crash hook: unsynced
+// writes vanish (up to the torn prefix), synced ones survive.
+func TestChaosCrashTearsPending(t *testing.T) {
+	dir := t.TempDir()
+	cfs := NewChaosFS(1, 0)
+	l, err := Open(Options{Dir: dir, Sync: SyncNone, FS: cfs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if _, err := l.Append([]byte(payloadFor(uint64(i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil { // records 1-3 reach the platter
+		t.Fatal(err)
+	}
+	for i := 4; i <= 6; i++ {
+		if _, err := l.Append([]byte(payloadFor(uint64(i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfs.Crash(5) // power cut: 5 bytes of the unsynced tail survive, torn
+
+	l2, err := Open(Options{Dir: dir, Sync: SyncAlways})
+	if err != nil {
+		t.Fatalf("reopen after crash: %v", err)
+	}
+	defer l2.Close()
+	if l2.LastSeq() != 3 {
+		t.Fatalf("LastSeq after crash = %d, want 3 (the synced prefix)", l2.LastSeq())
+	}
+	got := map[uint64]string{}
+	l2.Replay(0, nil, func(rec Record) error {
+		got[rec.Seq] = string(rec.Payload)
+		return nil
+	})
+	if len(got) != 3 {
+		t.Fatalf("recovered %d records, want 3", len(got))
+	}
+	for i := uint64(1); i <= 3; i++ {
+		if got[i] != payloadFor(i) {
+			t.Fatalf("seq %d corrupted: %q", i, got[i])
+		}
+	}
+}
+
+// payloadFor derives a record's payload from its seq so the soak can
+// verify content without bookkeeping.
+func payloadFor(seq uint64) string {
+	return fmt.Sprintf("payload-%06d-%s", seq, strings.Repeat("x", int(seq%17)))
+}

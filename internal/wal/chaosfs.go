@@ -1,0 +1,192 @@
+package wal
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"syscall"
+)
+
+// errCrashed fails every operation on a file the simulated machine
+// crash already tore; the log instance holding it is dead and must be
+// reopened against the directory to observe recovery.
+var errCrashed = errors.New("wal: simulated machine crash")
+
+// ChaosFS models machine-crash durability semantics over the real
+// filesystem, which a plain SIGKILL cannot: the OS page cache survives
+// process death, so killing a process never loses buffered writes.
+// ChaosFS moves the "page cache" into process memory — Write only
+// buffers, Sync persists the buffered tail to the real file — and with
+// probability CrashProb a Sync dies mid-fsync: it persists a random
+// prefix of the tail (a torn write) and invokes Kill. The default Kill
+// SIGKILLs the process, which is how the crash-recovery soak produces
+// torn WAL tails at seeded points; unit tests override Kill (SetKill)
+// or call Crash to simulate the power cut in-process.
+type ChaosFS struct {
+	inner FS
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	crashProb float64
+	kill      func()
+	files     map[string]*chaosFile
+}
+
+// NewChaosFS returns a ChaosFS over the real filesystem whose Syncs
+// crash with probability crashProb, deterministically per seed.
+func NewChaosFS(seed int64, crashProb float64) *ChaosFS {
+	return &ChaosFS{
+		inner:     osFS{},
+		rng:       rand.New(rand.NewSource(seed)),
+		crashProb: crashProb,
+		kill:      killSelf,
+		files:     make(map[string]*chaosFile),
+	}
+}
+
+// SetKill replaces the crash action (default: SIGKILL the process).
+// The replacement must not touch the ChaosFS — it runs with its lock
+// held.
+func (c *ChaosFS) SetKill(fn func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.kill = fn
+}
+
+// Crash simulates the machine dying right now without killing the
+// process: every open file keeps only a tear-byte prefix of its
+// unsynced tail, the rest is dropped, and all further operations on the
+// dead files fail. Reopen the directory with a fresh Log (and a fresh
+// FS) to observe recovery.
+func (c *ChaosFS) Crash(tear int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for path, f := range c.files {
+		n := tear
+		if n > len(f.pending) {
+			n = len(f.pending)
+		}
+		f.inner.Write(f.pending[:n])
+		f.inner.Sync()
+		f.inner.Close()
+		f.pending = nil
+		f.crashed = true
+		delete(c.files, path)
+	}
+}
+
+func (c *ChaosFS) MkdirAll(dir string) error { return c.inner.MkdirAll(dir) }
+
+func (c *ChaosFS) List(dir string) ([]string, error) { return c.inner.List(dir) }
+
+func (c *ChaosFS) ReadFile(path string) ([]byte, error) { return c.inner.ReadFile(path) }
+
+func (c *ChaosFS) Remove(path string) error { return c.inner.Remove(path) }
+
+func (c *ChaosFS) Truncate(path string, size int64) error { return c.inner.Truncate(path, size) }
+
+func (c *ChaosFS) Create(path string) (File, error) {
+	f, err := c.inner.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return c.track(path, f), nil
+}
+
+func (c *ChaosFS) OpenAppend(path string) (File, error) {
+	f, err := c.inner.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return c.track(path, f), nil
+}
+
+func (c *ChaosFS) track(path string, f File) *chaosFile {
+	cf := &chaosFile{fs: c, path: path, inner: f}
+	c.mu.Lock()
+	c.files[path] = cf
+	c.mu.Unlock()
+	return cf
+}
+
+// chaosFile buffers writes until Sync, like a page cache the machine
+// can lose.
+type chaosFile struct {
+	fs      *ChaosFS
+	path    string
+	inner   File
+	pending []byte
+	crashed bool
+}
+
+func (f *chaosFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.crashed {
+		return 0, errCrashed
+	}
+	f.pending = append(f.pending, p...)
+	return len(p), nil
+}
+
+func (f *chaosFile) Sync() error {
+	f.fs.mu.Lock()
+	if f.crashed {
+		f.fs.mu.Unlock()
+		return errCrashed
+	}
+	if f.fs.crashProb > 0 && f.fs.rng.Float64() < f.fs.crashProb {
+		// The machine dies mid-fsync: a random prefix of the unsynced
+		// tail makes it to the platter (possibly tearing a record in
+		// half), the rest is lost with the power.
+		n := f.fs.rng.Intn(len(f.pending) + 1)
+		f.inner.Write(f.pending[:n])
+		f.inner.Sync()
+		f.inner.Close()
+		f.pending = nil
+		f.crashed = true
+		delete(f.fs.files, f.path)
+		kill := f.fs.kill
+		f.fs.mu.Unlock()
+		kill() // default: SIGKILL — never returns
+		return errCrashed
+	}
+	_, err := f.inner.Write(f.pending)
+	f.pending = f.pending[:0]
+	f.fs.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return f.inner.Sync()
+}
+
+// Close flushes and persists the buffered tail: a clean close is
+// durable, matching a process that exits gracefully on a machine that
+// stays up.
+func (f *chaosFile) Close() error {
+	f.fs.mu.Lock()
+	if f.crashed {
+		f.fs.mu.Unlock()
+		return errCrashed
+	}
+	_, werr := f.inner.Write(f.pending)
+	f.pending = nil
+	delete(f.fs.files, f.path)
+	f.fs.mu.Unlock()
+	serr := f.inner.Sync()
+	cerr := f.inner.Close()
+	if werr != nil {
+		return werr
+	}
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// killSelf delivers an unmaskable SIGKILL to this process; it does not
+// return.
+func killSelf() {
+	syscall.Kill(syscall.Getpid(), syscall.SIGKILL)
+	select {} // unreachable: SIGKILL cannot be caught or delayed
+}

@@ -1,0 +1,64 @@
+package wal
+
+import (
+	"io"
+	"os"
+)
+
+// FS is the filesystem seam the log writes through. The default
+// implementation is the real filesystem; tests and the crash harness
+// substitute ChaosFS, which models machine-crash durability (buffered
+// writes survive only once fsynced, and an fsync can die mid-write).
+type FS interface {
+	MkdirAll(dir string) error
+	// List returns the base names of dir's entries.
+	List(dir string) ([]string, error)
+	ReadFile(path string) ([]byte, error)
+	// Create opens path for writing, truncating any existing content.
+	Create(path string) (File, error)
+	// OpenAppend opens an existing path for appending.
+	OpenAppend(path string) (File, error)
+	Remove(path string) error
+	Truncate(path string, size int64) error
+}
+
+// File is one writable log segment.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+// OS returns the real filesystem.
+func OS() FS { return osFS{} }
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) List(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	return names, nil
+}
+
+func (osFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (osFS) Create(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+}
+
+func (osFS) OpenAppend(path string) (File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (osFS) Remove(path string) error { return os.Remove(path) }
+
+func (osFS) Truncate(path string, size int64) error { return os.Truncate(path, size) }

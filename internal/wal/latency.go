@@ -1,0 +1,41 @@
+package wal
+
+import (
+	"sort"
+	"time"
+)
+
+// latWindowSize is how many recent samples the percentile estimator
+// keeps (a sliding window; old samples are overwritten).
+const latWindowSize = 1024
+
+// latWindow is a fixed ring of recent latencies. Callers hold the log
+// mutex around observe and p99.
+type latWindow struct {
+	samples []time.Duration
+	next    int
+}
+
+func (w *latWindow) observe(d time.Duration) {
+	if len(w.samples) < latWindowSize {
+		w.samples = append(w.samples, d)
+		return
+	}
+	w.samples[w.next] = d
+	w.next = (w.next + 1) % latWindowSize
+}
+
+// p99 reads the 99th percentile of the window (nearest-rank; zero until
+// the first sample).
+func (w *latWindow) p99() time.Duration {
+	if len(w.samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), w.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	i := int(0.99 * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

@@ -18,12 +18,20 @@ import (
 // first (a mutation), so while a Server is running use Server.Save,
 // which takes the server's exclusive data lock.
 func (dep *Deployment) Save(w io.Writer) error {
+	return dep.saveState(w, 0)
+}
+
+// saveState is Save with an explicit WAL sequence stamp — the durable
+// checkpoint path records which log records the snapshot already
+// contains, so recovery replays only the tail past it.
+func (dep *Deployment) saveState(w io.Writer, walSeq uint64) error {
 	return persist.Save(w, &persist.State{
-		Graph: dep.db.graph,
-		HC:    dep.hc,
-		Frag:  dep.frag,
-		Alloc: dep.alloc,
-		Sites: dep.cfg.Sites,
+		Graph:  dep.db.graph,
+		HC:     dep.hc,
+		Frag:   dep.frag,
+		Alloc:  dep.alloc,
+		Sites:  dep.cfg.Sites,
+		WALSeq: walSeq,
 	})
 }
 
@@ -62,5 +70,6 @@ func LoadDeployment(r io.Reader, cfg Config) (*Deployment, error) {
 		dict:    dd,
 		cluster: cl,
 		engine:  engine,
+		walSeq:  st.WALSeq,
 	}, nil
 }

@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"rdffrag/internal/rdf"
 	"rdffrag/internal/serve"
 	"rdffrag/internal/sparql"
 )
@@ -35,6 +36,11 @@ type ServerConfig struct {
 	// circuit-breaker / degradation policy used to reach them. The zero
 	// value keeps every site in-process.
 	Remote RemoteConfig
+	// Durable routes every update batch through a write-ahead log before
+	// it is acknowledged (see OpenDurable). The Durable must be bound —
+	// via Recover or Bootstrap — to the same deployment this server
+	// fronts. Nil serves without durability.
+	Durable *Durable
 }
 
 // ErrOverloaded is returned by Server.Query when the admission queue is
@@ -48,8 +54,9 @@ var ErrServerClosed = serve.ErrClosed
 // behind a bounded admission queue, with per-query cancellation and a
 // plan cache keyed on canonicalized query structure.
 type Server struct {
-	dep   *Deployment
-	inner *serve.Server
+	dep     *Deployment
+	inner   *serve.Server
+	durable *Durable // nil when serving without durability
 }
 
 // StartServer starts a concurrent query server over the deployment.
@@ -64,8 +71,20 @@ func (dep *Deployment) StartServer(cfg ServerConfig) *Server {
 	// it must be static from here on (updates only append triples).
 	dep.ensureColdFragment()
 	dep.wireRemotes(cfg.Remote)
-	return &Server{
-		dep: dep,
+	apply := func(ts []rdf.Triple) (serve.UpdateStats, error) {
+		return dep.applyUpdate(ts), nil
+	}
+	var walStats func() serve.WALMetrics
+	if cfg.Durable != nil {
+		if cfg.Durable.dep != dep {
+			panic("rdffrag: ServerConfig.Durable is bound to a different deployment (Recover/Bootstrap it with this one)")
+		}
+		apply = cfg.Durable.applyDurable
+		walStats = cfg.Durable.walMetrics
+	}
+	s := &Server{
+		dep:     dep,
+		durable: cfg.Durable,
 		inner: serve.New(dep.engine, serve.Config{
 			Workers:        cfg.Workers,
 			QueueDepth:     cfg.QueueDepth,
@@ -73,9 +92,14 @@ func (dep *Deployment) StartServer(cfg ServerConfig) *Server {
 			PlanCacheSize:  cfg.PlanCacheSize,
 			Parallelism:    cfg.Parallelism,
 			JoinPartitions: cfg.JoinPartitions,
-			Apply:          dep.applyUpdate,
+			Apply:          apply,
+			WALStats:       walStats,
 		}),
 	}
+	if cfg.Durable != nil {
+		cfg.Durable.start(s)
+	}
+	return s
 }
 
 // Query parses and executes one query through the server, honouring ctx
@@ -98,7 +122,16 @@ func (s *Server) QueryParsed(ctx context.Context, q *sparql.Graph) (*Result, err
 }
 
 // Close stops accepting queries and waits for in-flight work to finish.
-func (s *Server) Close() { s.inner.Close() }
+// On a durable server it then writes a final checkpoint, stamps the data
+// directory with a clean-shutdown marker (so the next start skips WAL
+// replay) and closes the log — this is what makes graceful shutdown
+// lossless even under the "interval" sync policy.
+func (s *Server) Close() {
+	s.inner.Close()
+	if s.durable != nil {
+		s.durable.shutdown()
+	}
+}
 
 // Save snapshots the deployment under the server's writer mutex: no
 // update applies while the snapshot's compact-on-save mutates the

@@ -28,13 +28,31 @@ var ErrNoUpdater = serve.ErrNoUpdater
 // in-flight queries, which keep reading the MVCC view they pinned at
 // admission. Queries admitted after Update returns see the new triples.
 func (s *Server) Update(ctx context.Context, ntriples string) (*UpdateResult, error) {
-	// Parse into a scratch graph with a private dictionary first: a batch
-	// rejected for syntax (or an already-dead ctx) leaves nothing behind,
-	// not even interned terms in the shared dictionary. Only a valid
-	// batch re-encodes into the deployment dictionary (concurrency-safe
-	// inserts); a valid batch that then fails admission (server closed)
-	// may leave its terms interned, which is benign — terms are
-	// content-addressed and carry no graph state.
+	ts, err := parseUpdateBatch(s.dep.db.graph.Dict, ntriples)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	st, err := s.inner.Update(ctx, ts)
+	if err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// parseUpdateBatch parses a whole N-Triples document into
+// deployment-dictionary triples, atomically: it parses into a scratch
+// graph with a private dictionary first, so a batch rejected for syntax
+// anywhere — even on its last line — leaves nothing behind, not even
+// interned terms in the shared dictionary. Only a fully valid batch
+// re-encodes into the deployment dictionary (concurrency-safe inserts);
+// a valid batch that then fails admission (server closed) may leave its
+// terms interned, which is benign — terms are content-addressed and
+// carry no graph state. WAL replay parses recovered records through the
+// same path, so recovery and the live path agree on what a batch means.
+func parseUpdateBatch(d *rdf.Dict, ntriples string) ([]rdf.Triple, error) {
 	scratch := rdf.NewGraph(nil)
 	if _, err := rdf.ReadNTriples(scratch, strings.NewReader(ntriples)); err != nil {
 		return nil, err
@@ -42,10 +60,6 @@ func (s *Server) Update(ctx context.Context, ntriples string) (*UpdateResult, er
 	if scratch.NumTriples() == 0 {
 		return nil, fmt.Errorf("rdffrag: update carried no triples")
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	d := s.dep.db.graph.Dict
 	ts := make([]rdf.Triple, 0, scratch.NumTriples())
 	for _, t := range scratch.Triples() {
 		ts = append(ts, rdf.Triple{
@@ -54,11 +68,21 @@ func (s *Server) Update(ctx context.Context, ntriples string) (*UpdateResult, er
 			O: d.Encode(scratch.Dict.Decode(t.O)),
 		})
 	}
-	st, err := s.inner.Update(ctx, ts)
-	if err != nil {
-		return nil, err
+	return ts, nil
+}
+
+// encodeUpdateBatch renders an already-encoded batch back to N-Triples
+// text — the write-ahead-log payload. Logging term text instead of raw
+// IDs makes replay independent of dictionary ID assignment: IDs diverge
+// across restarts (queries intern ad-hoc constants the log never sees),
+// but re-encoding the text through parseUpdateBatch lands each term on
+// whatever ID the recovered dictionary assigns it.
+func encodeUpdateBatch(d *rdf.Dict, ts []rdf.Triple) []byte {
+	var buf strings.Builder
+	for _, t := range ts {
+		fmt.Fprintf(&buf, "%s %s %s .\n", d.Decode(t.S), d.Decode(t.P), d.Decode(t.O))
 	}
-	return &st, nil
+	return []byte(buf.String())
 }
 
 // applyUpdate is the serve layer's Apply sink: it routes each new triple
