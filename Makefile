@@ -1,6 +1,6 @@
 # Local dev targets mirroring .github/workflows/ci.yml: `make ci`
 # reproduces the gate's checks; CI additionally runs `make bench-baseline`
-# (kept out of `ci` because it rewrites BENCH_7.json's current section).
+# (kept out of `ci` because it rewrites BENCH_8.json's current section).
 
 GO ?= go
 # bench-baseline needs pipefail so a panicking benchmark fails the target.
@@ -23,9 +23,10 @@ cover:
 
 # Coverage floors for the packages this repo's correctness hangs on:
 # internal/cluster (control-site join operators, pre-PR-4 baseline),
-# internal/rdf (the CSR + delta-overlay storage engine) and
-# internal/match (the merge-cursor matcher), the latter two at their
-# pre-PR-5 baselines measured before the live-update overlay landed,
+# internal/rdf (the CSR + delta-overlay storage engine, raised to its
+# PR-8 coverage after the tombstone suite landed) and
+# internal/match (the merge-cursor matcher) at its
+# pre-PR-5 baseline measured before the live-update overlay landed,
 # internal/serve (the MVCC query admission/update path) at its PR-6
 # baseline measured when snapshot reads landed, and internal/transport
 # (the networked site RPC with retry/hedging/breaker) at its PR-7
@@ -34,7 +35,7 @@ cover:
 # write-ahead log the durability guarantee hangs on) at the floor the
 # durability PR committed to (landed at ~93%).
 COVER_FLOOR_CLUSTER ?= 81.9
-COVER_FLOOR_RDF ?= 89.8
+COVER_FLOOR_RDF ?= 92.0
 COVER_FLOOR_MATCH ?= 88.3
 COVER_FLOOR_SERVE ?= 88.0
 COVER_FLOOR_TRANSPORT ?= 82.0
@@ -67,21 +68,25 @@ chaos-soak:
 # the WAL's fault-injecting filesystem tearing the log tail mid-fsync —
 # then restarted; recovered state must contain every acknowledged update
 # (no lost acks, no torn batches, no duplicate applies) and reconcile
-# with the replay metrics. The SIGTERM tests prove graceful shutdown
+# with the replay metrics. The delete soak interleaves DELETE batches
+# into the killed stream: an acknowledged delete must never resurrect on
+# replay. The SIGTERM tests prove graceful shutdown
 # loses nothing even under the lossy-window "interval" sync policy.
 crash-soak:
 	$(GO) test -race -count=1 -run \
-		'TestCrashRecoverySoak|TestGracefulShutdownSIGTERM|TestSiteGracefulShutdownSIGTERM' .
+		'TestCrashRecoverySoak|TestCrashRecoveryDeleteSoak|TestGracefulShutdownSIGTERM|TestSiteGracefulShutdownSIGTERM' .
 
 # One iteration per benchmark: a compile-and-run smoke, not a measurement.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # Hot-path benchmarks, recorded as a point of the perf trajectory in
-# BENCH_7.json. The current section includes the partitioned-join
+# BENCH_8.json. The current section includes the partitioned-join
 # per-partition-count sweep (BenchmarkJoinStreamPartitioned/P*), the
 # live-update mixed add+query pair (BenchmarkLiveMixedAddQuery/overlay
-# vs /refreeze) and the MVCC writer-latency pair
+# vs /refreeze), its add+delete sibling
+# (BenchmarkLiveMixedAddDeleteQuery — the tombstone overlay against the
+# rebuild-per-mutation baseline) and the MVCC writer-latency pair
 # (BenchmarkUpdateLatencyUnderLoad/mvcc vs /rwlock — per-update latency
 # with long queries in flight, snapshot reads against the retired
 # data-lock architecture; run at a fixed iteration count because the
@@ -89,11 +94,11 @@ bench:
 # re-measures BenchmarkMatchWatDiv and the join sweep under GOMAXPROCS=1
 # and the host's full core count, and the regression gate fails the
 # target when any benchmark runs >20% slower than the previous committed
-# trajectory file (BENCH_6.json). The WAL section measures the durable
+# trajectory file (BENCH_7.json). The WAL section measures the durable
 # append under each sync policy (BenchmarkWALAppend/always-interval-none)
 # and the group-commit ack latency (BenchmarkWALGroupCommitLatency) —
 # the write-side cost every durable update now pays.
-BENCH_HOT := BenchmarkCandidateScan$$|BenchmarkMatchWatDiv$$|BenchmarkHashJoin$$|BenchmarkJoinStreamPartitioned$$|BenchmarkLiveMixedAddQuery$$
+BENCH_HOT := BenchmarkCandidateScan$$|BenchmarkMatchWatDiv$$|BenchmarkHashJoin$$|BenchmarkJoinStreamPartitioned$$|BenchmarkLiveMixedAddQuery$$|BenchmarkLiveMixedAddDeleteQuery$$
 BENCH_PAR := BenchmarkMatchWatDiv$$|BenchmarkJoinStreamPartitioned$$
 BENCH_SERVE := BenchmarkUpdateLatencyUnderLoad$$
 BENCH_WAL := BenchmarkWALAppend$$|BenchmarkWALGroupCommitLatency$$
@@ -120,9 +125,9 @@ bench-baseline:
 		./internal/wal > .bench_wal.txt; \
 	{ $(GO) test -run '^$$' -bench '$(BENCH_HOT)' -benchmem -benchtime 1s \
 		./internal/match ./internal/cluster; cat .bench_serve.txt; cat .bench_wal.txt; } | \
-		$(GO) run ./cmd/benchjson -pr 7 -out BENCH_7.json \
-		-require 'BenchmarkCandidateScan,BenchmarkMatchWatDiv,BenchmarkHashJoin,BenchmarkJoinStreamPartitioned/P2,BenchmarkLiveMixedAddQuery/overlay,BenchmarkLiveMixedAddQuery/refreeze,BenchmarkUpdateLatencyUnderLoad/mvcc,BenchmarkUpdateLatencyUnderLoad/rwlock,BenchmarkWALAppend/always,BenchmarkWALAppend/interval,BenchmarkWALAppend/none,BenchmarkWALGroupCommitLatency' \
-		-parallel "$$par" -prev BENCH_6.json -max-regress $(BENCH_MAX_REGRESS); \
+		$(GO) run ./cmd/benchjson -pr 8 -out BENCH_8.json \
+		-require 'BenchmarkCandidateScan,BenchmarkMatchWatDiv,BenchmarkHashJoin,BenchmarkJoinStreamPartitioned/P2,BenchmarkLiveMixedAddQuery/overlay,BenchmarkLiveMixedAddQuery/refreeze,BenchmarkLiveMixedAddDeleteQuery/overlay,BenchmarkLiveMixedAddDeleteQuery/refreeze,BenchmarkUpdateLatencyUnderLoad/mvcc,BenchmarkUpdateLatencyUnderLoad/rwlock,BenchmarkWALAppend/always,BenchmarkWALAppend/interval,BenchmarkWALAppend/none,BenchmarkWALGroupCommitLatency' \
+		-parallel "$$par" -prev BENCH_7.json -max-regress $(BENCH_MAX_REGRESS); \
 	status=$$?; rm -f .bench_gomaxprocs_1.txt .bench_gomaxprocs_np.txt .bench_serve.txt .bench_wal.txt; exit $$status
 
 fmt:

@@ -19,6 +19,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"strings"
 	"syscall"
 	"testing"
@@ -295,6 +296,200 @@ func TestCrashRecoverySoak(t *testing.T) {
 	p = startServeProc(t, bin, dataDir, base...)
 	verify(p, "final")
 	t.Logf("soak: %d kills, %d batches durable", kills, acked)
+}
+
+// sendDeleteBatch issues batch i as a DELETE /update; ok reports a 2xx
+// ack, exactly like sendBatch.
+func sendDeleteBatch(p *serveProc, i int) (seq uint64, ok bool) {
+	req, err := http.NewRequest(http.MethodDelete, p.url("/update"), strings.NewReader(crashBatch(i)))
+	if err != nil {
+		return 0, false
+	}
+	req.Header.Set("Content-Type", "application/n-triples")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return 0, false
+	}
+	var body struct {
+		Seq uint64 `json:"seq"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return 0, false
+	}
+	return body.Seq, true
+}
+
+// liveCrashBatches reads which crash batches are live (both dedicated
+// predicates present — recovery replays whole batches, so a half-present
+// batch means a torn insert or delete) and returns their numbers sorted.
+func liveCrashBatches(t *testing.T, p *serveProc) []int {
+	t.Helper()
+	subjects := func(query string) map[int]bool {
+		resp, err := http.Post(p.url("/query?format=tsv"), "application/sparql-query", strings.NewReader(query))
+		if err != nil {
+			t.Fatalf("probe query: %v", err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("probe query: HTTP %d: %s", resp.StatusCode, b)
+		}
+		set := map[int]bool{}
+		for _, line := range strings.Split(strings.TrimSpace(string(b)), "\n")[1:] {
+			line = strings.TrimSpace(line)
+			if line == "" {
+				continue
+			}
+			var i int
+			if _, err := fmt.Sscanf(strings.Fields(line)[0], "<C%d>", &i); err != nil {
+				t.Fatalf("unexpected probe subject %q", line)
+			}
+			if set[i] {
+				t.Fatalf("duplicate subject C%d in recovered state (double apply)", i)
+			}
+			set[i] = true
+		}
+		return set
+	}
+	ps := subjects(`SELECT ?x WHERE { ?x <urn:crash:p> ?v . }`)
+	qs := subjects(`SELECT ?x WHERE { ?x <urn:crash:q> ?v . }`)
+	if len(ps) != len(qs) {
+		t.Fatalf("torn batches: %d <urn:crash:p> subjects vs %d <urn:crash:q>", len(ps), len(qs))
+	}
+	out := make([]int, 0, len(ps))
+	for i := range ps {
+		if !qs[i] {
+			t.Fatalf("batch %d half-present (torn delete or insert)", i)
+		}
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// TestCrashRecoveryDeleteSoak SIGKILLs a durable server mid-stream of
+// alternating insert/delete ops — op 2k-1 inserts batch C_k, op 2k
+// deletes it — from the outside and via the WAL's fault-injecting
+// filesystem. Recovery must land on an exact op prefix: the live set is
+// empty (even prefix) or exactly the one batch whose delete had not
+// acked (odd prefix), never a resurrected batch whose delete was
+// acknowledged before the kill, and never a torn half-batch. Acked
+// deletes are owed durability exactly like acked inserts: the WAL
+// record's kind byte is what keeps replay from re-inserting them.
+func TestCrashRecoveryDeleteSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes; skipped in -short mode")
+	}
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "rdffrag")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/rdffrag").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	dataPath := filepath.Join(tmp, "data.nt")
+	wlPath := filepath.Join(tmp, "workload.rq")
+	if err := os.WriteFile(dataPath, []byte(soakNT(30, 0)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(wlPath, []byte(strings.Join(soakWorkload, "\n---\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dataDir := filepath.Join(tmp, "durable")
+	base := []string{"-data", dataPath, "-workload", wlPath, "-sites", "2", "-minsup", "0.2",
+		"-wal-sync", "always", "-checkpoint-bytes", "4096", "-wal-segment-bytes", "2048"}
+	p := startServeProc(t, bin, dataDir, base...)
+
+	// sendOp issues op j of the alternating stream.
+	sendOp := func(p *serveProc, j int) bool {
+		if j%2 == 1 {
+			_, ok := sendBatch(p, (j+1)/2)
+			return ok
+		}
+		_, ok := sendDeleteBatch(p, j/2)
+		return ok
+	}
+	// liveFor is the oracle: the live set after an exact prefix of R ops.
+	liveFor := func(R int) []int {
+		if R%2 == 1 {
+			return []int{(R + 1) / 2}
+		}
+		return nil
+	}
+
+	acked, attempted, kills := 0, 0, 0
+	verify := func(p *serveProc, phase string) {
+		live := liveCrashBatches(t, p)
+		found := -1
+		for R := acked; R <= attempted; R++ {
+			if want := liveFor(R); fmt.Sprint(live) == fmt.Sprint(want) || (len(live) == 0 && len(want) == 0) {
+				found = R
+				break
+			}
+		}
+		if found < 0 {
+			t.Fatalf("%s: live set %v matches no op prefix in [%d, %d] — a lost ack or a resurrected delete",
+				phase, live, acked, attempted)
+		}
+		m := walMetricsOf(t, p)
+		if m["replayed_records"] != m["wal_last_seq"]-m["wal_checkpoint_seq"] {
+			t.Fatalf("%s: replayed_records %v != wal_last_seq %v - wal_checkpoint_seq %v",
+				phase, m["replayed_records"], m["wal_last_seq"], m["wal_checkpoint_seq"])
+		}
+		acked, attempted = found, found
+	}
+
+	for cycle := 0; kills < 12; cycle++ {
+		injected := cycle%2 == 1 // odd cycles crash inside the WAL fsync
+		if cycle > 0 {
+			extra := append([]string(nil), base...)
+			if injected {
+				extra = append(extra, "-wal-crash-prob", "0.12", "-wal-crash-seed", fmt.Sprint(7000+cycle))
+			}
+			p = startServeProc(t, bin, dataDir, extra...)
+			if p.recovered == "" {
+				t.Fatalf("cycle %d: restart did not report a recovery summary", cycle)
+			}
+			verify(p, fmt.Sprintf("cycle %d", cycle))
+		}
+
+		if injected {
+			died := false
+			for i := 0; i < 120; i++ {
+				attempted++
+				if sendOp(p, attempted) {
+					acked++
+				} else {
+					died = true
+					break
+				}
+			}
+			if !died {
+				t.Fatalf("cycle %d: 120 ops without an injected crash; raise the probability", cycle)
+			}
+			waitDeath(t, p)
+		} else {
+			// A few acked ops — ending on a just-acked delete half the
+			// time — then plain SIGKILL from the outside.
+			for i := 0; i < 1+cycle%4; i++ {
+				attempted++
+				if !sendOp(p, attempted) {
+					t.Fatalf("cycle %d: healthy server rejected op %d", cycle, attempted)
+				}
+				acked++
+			}
+			p.cmd.Process.Kill()
+			waitDeath(t, p)
+		}
+		kills++
+	}
+
+	p = startServeProc(t, bin, dataDir, base...)
+	verify(p, "final")
+	t.Logf("delete soak: %d kills, %d ops durable", kills, acked)
 }
 
 // TestGracefulShutdownSIGTERM: under the lossy-window "interval" sync

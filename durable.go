@@ -1,16 +1,18 @@
 package rdffrag
 
-// Durable updates: every acknowledged update batch is appended to a
+// Durable updates: every acknowledged update batch — insert or delete,
+// told apart by the WAL record's kind byte — is appended to a
 // write-ahead log before it is applied, and a background checkpointer
 // periodically folds the log into a persist.Save snapshot stamped with
 // the last applied WAL sequence number. Restart loads the latest
 // checkpoint and replays the WAL tail through the exact same
-// Deployment.applyUpdate path the live server uses, truncating at the
+// Deployment.applyBatch path the live server uses, truncating at the
 // first torn or CRC-failing record — so a crash (SIGKILL, power cut)
 // loses at most updates that were never acknowledged (SyncAlways) or
 // the last unflushed group-commit window (SyncInterval), and never
-// yields torn or duplicated state: replay is idempotent by sequence
-// number.
+// yields torn, duplicated or resurrected state: replay is idempotent by
+// sequence number, and re-applying a delete to a triple already gone is
+// a no-op.
 
 import (
 	"fmt"
@@ -181,7 +183,16 @@ func (d *Durable) Recover(cfg Config) (*Deployment, error) {
 		if err != nil {
 			return fmt.Errorf("rdffrag: WAL replay: record %d: %w", rec.Seq, err)
 		}
-		dep.applyUpdate(ts)
+		// Deletes replay through Encode (interning), not Lookup: the
+		// batch's terms were in the dictionary when the record was
+		// logged, so post-checkpoint they resolve to the same triples;
+		// a term the recovered dictionary genuinely lacks yields a
+		// triple that was never present, and deleting it is a no-op.
+		op := serve.OpInsert
+		if rec.Kind == wal.KindDelete {
+			op = serve.OpDelete
+		}
+		dep.applyBatch(op, ts)
 		d.appliedSeq.Store(rec.Seq)
 		d.replayed++
 		return nil
@@ -246,15 +257,20 @@ func (d *Durable) openLog(dep *Deployment) error {
 // applyDurable is the serve-layer Apply sink of a durable deployment:
 // WAL append first (under SyncAlways the fsync happens inside, so a
 // batch is on stable storage before the caller can ack it), then the
-// normal in-memory apply. The caller holds the server's writer mutex,
-// so append order, sequence order and apply order all agree. A failed
-// append rejects the batch before anything mutates.
-func (d *Durable) applyDurable(ts []rdf.Triple) (serve.UpdateStats, error) {
-	seq, err := d.log.Append(encodeUpdateBatch(d.dep.db.graph.Dict, ts))
+// normal in-memory apply. The record kind carries the operation, so
+// replay re-applies deletes as deletes. The caller holds the server's
+// writer mutex, so append order, sequence order and apply order all
+// agree. A failed append rejects the batch before anything mutates.
+func (d *Durable) applyDurable(op serve.Op, ts []rdf.Triple) (serve.UpdateStats, error) {
+	kind := wal.KindInsert
+	if op == serve.OpDelete {
+		kind = wal.KindDelete
+	}
+	seq, err := d.log.Append(kind, encodeUpdateBatch(d.dep.db.graph.Dict, ts))
 	if err != nil {
 		return serve.UpdateStats{}, fmt.Errorf("rdffrag: %w", err)
 	}
-	st := d.dep.applyUpdate(ts)
+	st := d.dep.applyBatch(op, ts)
 	st.Seq = seq
 	d.appliedSeq.Store(seq)
 	// Kick the checkpointer when the log has grown past the configured

@@ -62,8 +62,27 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST an N-Triples document", http.StatusMethodNotAllowed)
+	// POST applies the batch per ?op= ("insert", the default, or
+	// "delete"); the DELETE method is shorthand for POST /update?op=delete.
+	var del bool
+	switch op := r.URL.Query().Get("op"); {
+	case r.Method == http.MethodDelete:
+		if op != "" && op != "delete" {
+			http.Error(w, fmt.Sprintf("op=%s contradicts the DELETE method", op), http.StatusBadRequest)
+			return
+		}
+		del = true
+	case r.Method == http.MethodPost:
+		switch op {
+		case "", "insert":
+		case "delete":
+			del = true
+		default:
+			http.Error(w, fmt.Sprintf("unknown op %q (want insert or delete)", op), http.StatusBadRequest)
+			return
+		}
+	default:
+		http.Error(w, "POST (or DELETE) an N-Triples document", http.StatusMethodNotAllowed)
 		return
 	}
 	// MaxBytesReader (not LimitReader) so an oversized batch errors
@@ -78,9 +97,41 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	res, err := s.Update(r.Context(), string(body))
-	if err != nil {
+	var res *UpdateResult
+	if del {
+		res, err = s.Delete(r.Context(), string(body))
+	} else {
+		res, err = s.Update(r.Context(), string(body))
+	}
+	// Status routing mirrors handleQuery: only the client's own mistakes
+	// are 400s. Overload and shutdown are retryable 5xx — mapping them
+	// to 400 (as this handler once did) told well-behaved clients their
+	// batch was malformed when the server was merely busy.
+	switch {
+	case errors.Is(err, ErrServerClosed):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case errors.Is(err, ErrOverloaded):
+		http.Error(w, "server overloaded, retry later", http.StatusServiceUnavailable)
+		return
+	case errors.Is(err, ErrNoUpdater):
+		http.Error(w, err.Error(), http.StatusNotImplemented)
+		return
+	case errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, err.Error(), http.StatusGatewayTimeout)
+		return
+	case errors.Is(err, context.Canceled):
+		// The client went away; the status is never seen.
+		http.Error(w, err.Error(), http.StatusRequestTimeout)
+		return
+	case errors.Is(err, ErrBadUpdate):
 		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	case err != nil:
+		// Anything else is the server's problem — e.g. a poisoned WAL
+		// rejecting appends. 500 tells the client to alert, not to
+		// "fix" a batch that was never wrong.
+		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -89,6 +140,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	// "always" sync policy, fsynced). 0 on a non-durable server.
 	json.NewEncoder(w).Encode(map[string]any{
 		"added":         res.Added,
+		"deleted":       res.Deleted,
 		"delta_triples": res.DeltaTriples,
 		"compactions":   res.Compactions,
 		"seq":           res.Seq,
@@ -141,10 +193,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		// Live updates: applied batches, the new triples they
 		// contributed, the global graph's current delta overlay size,
 		// and how many times the delta compacted into the CSR.
-		"updates":       m.Updates,
-		"triples_added": m.TriplesAdded,
-		"delta_triples": m.DeltaTriples,
-		"compactions":   m.Compactions,
+		"updates":         m.Updates,
+		"triples_added":   m.TriplesAdded,
+		"triples_deleted": m.TriplesDeleted,
+		"delta_triples":   m.DeltaTriples,
+		"compactions":     m.Compactions,
 		// MVCC health: CSR generations still alive (current +
 		// retired-but-pinned) and snapshot pins held by in-flight
 		// queries; generations settling back to one per graph when

@@ -41,9 +41,13 @@ type Dictionary struct {
 	// patterns holds the distinct selected patterns by code.
 	patterns map[string]*mining.Pattern
 	// coldStats holds per-predicate triple counts of the cold graph for
-	// cold subquery estimation.
-	coldPredCount map[rdf.ID]int
-	coldTriples   int
+	// cold subquery estimation, frozen at Build time; coldGraph and
+	// coldBuildTriples let estimation rescale them to the graph's current
+	// live size (see liveRatio).
+	coldPredCount    map[rdf.ID]int
+	coldTriples      int
+	coldGraph        *rdf.Graph
+	coldBuildTriples int
 	// selectivity divisor applied per constant vertex during cardinality
 	// estimation (see EstimateCard).
 	constSelectivity int
@@ -95,8 +99,25 @@ func Build(fr *fragment.Fragmentation, alloc *allocation.Allocation, workload []
 			d.coldPredCount[p] = csn.PredicateCount(p)
 		}
 		csn.Close()
+		d.coldGraph = fr.Cold.Graph
+		d.coldBuildTriples = d.coldTriples
 	}
 	return d
+}
+
+// liveRatio rescales a Build-time statistic to a graph's current live
+// size: counting exact per-pattern cardinalities on every estimate would
+// put a match enumeration on the planning path, but the live/build
+// triple ratio (read from an atomic, safe against the concurrent writer)
+// tracks growth from delta inserts and shrinkage from tombstones well
+// enough for cost comparison — without it the planner keeps seeing the
+// frozen fragmentation-time cardinalities forever, however many update
+// batches have landed since.
+func liveRatio(g *rdf.Graph, buildSize int) float64 {
+	if g == nil || buildSize <= 0 {
+		return 1
+	}
+	return float64(g.LiveTriples()) / float64(buildSize)
 }
 
 // Entries returns all dictionary entries.
@@ -171,7 +192,9 @@ func (d *Dictionary) EstimateCard(sub *sparql.Graph) (int, bool) {
 	constrained := false
 	for _, e := range entries {
 		if e.Fragment.RelevantTo(sub) {
-			total += e.Cardinality
+			// Scale the Build-time cardinality by the fragment's live
+			// growth (or shrinkage) so estimates follow live updates.
+			total += int(float64(e.Cardinality) * liveRatio(e.Fragment.Graph, e.Size))
 			if e.Fragment.Minterm != nil {
 				constrained = true
 			}
@@ -203,6 +226,7 @@ func (d *Dictionary) EstimateCard(sub *sparql.Graph) (int, bool) {
 // the matches of a connected pattern from above far better than the
 // product, and stays monotone for the cost comparison.
 func (d *Dictionary) EstimateColdCard(sub *sparql.Graph) int {
+	ratio := liveRatio(d.coldGraph, d.coldBuildTriples)
 	est := -1
 	for _, e := range sub.Edges {
 		var c int
@@ -211,6 +235,10 @@ func (d *Dictionary) EstimateColdCard(sub *sparql.Graph) int {
 		} else {
 			c = d.coldPredCount[e.Pred]
 		}
+		// The per-predicate counts are Build-time; rescale to the cold
+		// graph's current live size so deltas and tombstones move the
+		// estimate.
+		c = int(float64(c) * ratio)
 		if est == -1 || c < est {
 			est = c
 		}

@@ -1,9 +1,11 @@
 package dict_test
 
 import (
+	"fmt"
 	"testing"
 
 	"rdffrag/internal/dict"
+	"rdffrag/internal/rdf"
 	"rdffrag/internal/sparql"
 	"rdffrag/internal/testenv"
 )
@@ -140,6 +142,79 @@ func TestRelevantEntriesHorizontalPruning(t *testing.T) {
 // the ghost query must at least not carry an equality on another constant.
 func compatibleWithGhost(e *dict.Entry) bool {
 	return e.Fragment.Minterm == nil || len(e.Fragment.Minterm.Constraints) > 0
+}
+
+// TestEstimatesTrackLiveUpdates pins the stale-cardinality fix: the
+// dictionary's Build-time statistics are rescaled by each graph's
+// live/build triple ratio, so a large insert batch raises the estimates
+// the planner compares and a delete batch lowers them again — without
+// the fix the planner kept seeing fragmentation-time cardinalities
+// forever, however many update batches had landed.
+func TestEstimatesTrackLiveUpdates(t *testing.T) {
+	env, err := testenv.Build(testenv.Options{})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	sub := sparql.MustParse(env.G.Dict, `SELECT ?x WHERE { ?x <name> ?n . }`)
+	base, ok := env.Dict.EstimateCard(sub)
+	if !ok {
+		t.Fatal("name subquery not mapped")
+	}
+
+	// A large insert batch: double every relevant fragment graph.
+	name := env.G.Dict.MustIRI("name")
+	var added []rdf.Triple
+	for _, e := range env.Dict.LookupGraph(sub) {
+		for i := 0; i < e.Size; i++ {
+			tr := rdf.Triple{
+				S: env.G.Dict.MustIRI(fmt.Sprintf("Grown%d_%d", e.Fragment.ID, i)),
+				P: name,
+				O: env.G.Dict.MustLiteral(fmt.Sprintf("Grown %d %d", e.Fragment.ID, i)),
+			}
+			if e.Fragment.Graph.Add(tr) {
+				added = append(added, tr)
+			}
+		}
+	}
+	grown, _ := env.Dict.EstimateCard(sub)
+	if grown <= base {
+		t.Fatalf("estimate did not rise after doubling the fragments: %d -> %d", base, grown)
+	}
+
+	// Deleting the batch brings the estimate back down.
+	for _, tr := range added {
+		for _, e := range env.Dict.LookupGraph(sub) {
+			e.Fragment.Graph.Delete(tr)
+		}
+	}
+	shrunk, _ := env.Dict.EstimateCard(sub)
+	if shrunk >= grown {
+		t.Fatalf("estimate did not fall after deleting the batch: %d -> %d", grown, shrunk)
+	}
+	if shrunk != base {
+		t.Errorf("estimate after add+delete round trip = %d, want the baseline %d", shrunk, base)
+	}
+
+	// Cold estimates rescale too: tombstoning half the cold graph's viaf
+	// triples must lower the cold bound.
+	coldSub := sparql.MustParse(env.G.Dict, `SELECT ?x WHERE { ?x <viaf> ?v . }`)
+	coldBase := env.Dict.EstimateColdCard(coldSub)
+	cold := env.Frag.Cold.Graph
+	viaf := env.G.Dict.MustIRI("viaf")
+	removed := 0
+	for _, tr := range cold.Triples() {
+		if tr.P == viaf && removed*2 < coldBase {
+			cold.Delete(tr)
+			removed++
+		}
+	}
+	if removed == 0 {
+		t.Skip("fixture holds no cold viaf triples to delete")
+	}
+	if coldAfter := env.Dict.EstimateColdCard(coldSub); coldAfter >= coldBase {
+		t.Errorf("cold estimate did not fall after deleting %d viaf triples: %d -> %d",
+			removed, coldBase, coldAfter)
+	}
 }
 
 func TestAccessFrequencies(t *testing.T) {

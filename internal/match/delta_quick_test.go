@@ -1,8 +1,8 @@
 package match
 
 // The match half of the differential mutation/query harness: random
-// interleavings of Add/Freeze/Compact and queries run against three
-// copies of the same evolving graph — a delta-carrying frozen overlay, a
+// interleavings of Add/Delete/Freeze/Compact and queries run against
+// three copies of the same evolving graph — a delta-carrying frozen overlay, a
 // map-mode oracle, and a rebuilt-from-scratch frozen graph — and the
 // matcher must return byte-identical results on overlay vs rebuild (the
 // merge cursor reproduces the rebuilt CSR's enumeration order exactly)
@@ -65,16 +65,28 @@ func TestDeltaOverlayMatchDifferentialProperty(t *testing.T) {
 		}
 		q := randomQuery(querySeed, 3)
 		const nv, np = 6, 3
+		randomTriple := func() rdf.Triple {
+			return rdf.Triple{
+				S: rdf.ID(r.Intn(nv)),
+				P: rdf.ID(nv + r.Intn(np)),
+				O: rdf.ID(r.Intn(nv)),
+			}
+		}
 		for step := 0; step < 40; step++ {
 			switch op := r.Intn(10); {
-			case op < 8:
-				tr := rdf.Triple{
-					S: rdf.ID(r.Intn(nv)),
-					P: rdf.ID(nv + r.Intn(np)),
-					O: rdf.ID(r.Intn(nv)),
-				}
+			case op < 6:
+				tr := randomTriple()
 				overlay.Add(tr)
 				oracle.Add(tr)
+			case op < 8: // Delete: a live triple, or a possibly-absent one
+				var tr rdf.Triple
+				if live := overlay.Triples(); len(live) > 0 && r.Intn(2) == 0 {
+					tr = live[r.Intn(len(live))]
+				} else {
+					tr = randomTriple()
+				}
+				overlay.Delete(tr)
+				oracle.Delete(tr)
 			case op < 9:
 				overlay.Freeze()
 			default:
@@ -92,8 +104,8 @@ func TestDeltaOverlayMatchDifferentialProperty(t *testing.T) {
 			got := Find(q, overlay.Snapshot(), Options{Parallelism: 1})
 			want := Find(q, rebuilt.Snapshot(), Options{Parallelism: 1})
 			if !reflect.DeepEqual(got, want) {
-				t.Logf("step %d (delta=%d): overlay Find not byte-identical to rebuilt (%d vs %d matches)",
-					step, overlay.DeltaLen(), len(got), len(want))
+				t.Logf("step %d (delta=%d tombs=%d): overlay Find not byte-identical to rebuilt (%d vs %d matches)",
+					step, overlay.DeltaLen(), overlay.DeltaTombstones(), len(got), len(want))
 				return false
 			}
 			if !sameMatchSet(got, Find(q, oracle.Snapshot(), Options{Parallelism: 1})) {
@@ -129,6 +141,36 @@ func deltaHubGraph(fanout, preds, deltaEdges int) *rdf.Graph {
 	return g
 }
 
+// tombHubGraph layers tombstones over deltaHubGraph: every 7th base hub
+// edge and every 5th delta edge is deleted, plus one delete-then-reinsert
+// and one never-inserted no-op, so the visible window interleaves insert
+// and tombstone runs against the base CSR.
+func tombHubGraph(fanout, preds, deltaEdges int) *rdf.Graph {
+	g := deltaHubGraph(fanout, preds, deltaEdges)
+	hub := g.Dict.MustIRI("hub")
+	for i := 0; i < fanout; i += 7 {
+		o := g.Dict.MustIRI(fmt.Sprintf("o%d", i))
+		p := g.Dict.MustIRI(fmt.Sprintf("p%d", i%preds))
+		if !g.Delete(rdf.Triple{S: hub, P: p, O: o}) {
+			panic("tombHubGraph: base edge missing")
+		}
+	}
+	for i := 0; i < deltaEdges; i += 5 {
+		o := g.Dict.MustIRI(fmt.Sprintf("d%d", i))
+		p := g.Dict.MustIRI(fmt.Sprintf("p%d", i%preds))
+		if !g.Delete(rdf.Triple{S: hub, P: p, O: o}) {
+			panic("tombHubGraph: delta edge missing")
+		}
+	}
+	// Delete-then-reinsert: the later insert must win over the tombstone.
+	re := rdf.Triple{S: hub, P: g.Dict.MustIRI("p0"), O: g.Dict.MustIRI("o0")}
+	g.Delete(re)
+	g.Add(re)
+	// Never-inserted: a pure no-op, not a phantom the merge could trip on.
+	g.Delete(rdf.Triple{S: hub, P: g.Dict.MustIRI("p0"), O: g.Dict.MustIRI("never")})
+	return g
+}
+
 // TestParallelDeltaByteIdentical: the morsel fan-out over a root run that
 // carries a delta overlay (base and delta partitioned along the same
 // boundary keys) returns exactly the sequential enumeration, for Find,
@@ -161,6 +203,52 @@ func TestParallelDeltaByteIdentical(t *testing.T) {
 		if !reflect.DeepEqual(mg.Triples(), sg.Triples()) {
 			t.Fatalf("%s: parallel MatchedGraph insertion order diverged", qs)
 		}
+	}
+}
+
+// TestParallelTombstoneByteIdentical: the three-run morsel fan-out (base,
+// insert and tombstone runs all carved along the same boundary keys)
+// returns exactly the sequential enumeration when the visible window
+// carries deletes — byte-identical Find, equal Count, identical
+// MatchedGraph insertion order — at several worker counts.
+func TestParallelTombstoneByteIdentical(t *testing.T) {
+	g := tombHubGraph(2048, 8, 300)
+	if g.DeltaTombstones() == 0 {
+		t.Fatal("setup lost the tombstones")
+	}
+	queries := []string{
+		`SELECT ?x WHERE { <hub> <p5> ?x . }`,
+		`SELECT ?x ?p WHERE { <hub> ?p ?x . }`,
+		`SELECT ?s ?x WHERE { ?s <p3> ?x . }`,
+	}
+	for _, qs := range queries {
+		q := sparql.MustParse(g.Dict, qs)
+		seq := Find(q, g.Snapshot(), Options{Parallelism: 1})
+		for _, w := range []int{2, 4, 8} {
+			par := Find(q, g.Snapshot(), Options{Parallelism: w})
+			if !reflect.DeepEqual(seq, par) {
+				t.Fatalf("%s: parallel(%d) Find diverged from sequential over tombstones (%d vs %d matches)",
+					qs, w, len(par), len(seq))
+			}
+			if c := Count(q, g.Snapshot(), Options{Parallelism: w}); c != len(seq) {
+				t.Fatalf("%s: parallel(%d) Count = %d, want %d", qs, w, c, len(seq))
+			}
+		}
+		mg := MatchedGraph(q, g.Snapshot(), Options{Parallelism: 4})
+		sg := MatchedGraph(q, g.Snapshot(), Options{Parallelism: 1})
+		if !reflect.DeepEqual(mg.Triples(), sg.Triples()) {
+			t.Fatalf("%s: parallel MatchedGraph insertion order diverged over tombstones", qs)
+		}
+		// No deleted edge may leak into any match.
+		sn := g.Snapshot()
+		for _, m := range seq {
+			for _, tr := range m.Triples {
+				if !sn.Has(tr) {
+					t.Fatalf("%s: match carries tombstoned triple %v", qs, tr)
+				}
+			}
+		}
+		sn.Close()
 	}
 }
 
@@ -222,9 +310,9 @@ func TestEmptyDeltaFastPathUntouched(t *testing.T) {
 	sn := g.Snapshot()
 	defer sn.Close()
 	hub := sn.Vertices()[0]
-	base, delta := sn.OutEdges2(hub)
-	if delta != nil {
-		t.Fatalf("OutEdges2 returned a delta run (%d) on a delta-free graph", len(delta))
+	base, delta, tomb := sn.OutEdges2(hub)
+	if delta != nil || tomb != nil {
+		t.Fatalf("OutEdges2 returned delta runs (%d ins, %d tomb) on a delta-free graph", len(delta), len(tomb))
 	}
 	if len(base) == 0 {
 		t.Fatal("OutEdges2 returned no base run")
@@ -250,5 +338,60 @@ func TestEmptyDeltaFastPathUntouched(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("empty-delta fast path allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// TestTombstoneCursorZeroAllocs: the three-run merge (base vs insert vs
+// tombstone) filters deleted candidates without allocating — deletes must
+// not push the matcher's candidate enumeration onto the heap.
+func TestTombstoneCursorZeroAllocs(t *testing.T) {
+	g := tombHubGraph(2048, 8, 256)
+	if g.DeltaTombstones() == 0 {
+		t.Fatal("setup lost the tombstones")
+	}
+	sn := g.Snapshot()
+	hub := g.Dict.MustIRI("hub")
+	p5 := g.Dict.MustIRI("p5")
+	// Expected candidate counts come from the degree accessors, which the
+	// rdf differential suite pins against the map-mode oracle.
+	wantP5 := sn.OutDegreeP(hub, p5)
+	wantAll := sn.OutDegree(hub)
+	sn.Close()
+	cases := []struct {
+		name  string
+		query string
+		want  int
+	}{
+		{"bound-subject-const-pred", `SELECT ?x WHERE { <hub> <p5> ?x . }`, wantP5},
+		{"bound-subject-var-pred", `SELECT ?x ?p WHERE { <hub> ?p ?x . }`, wantAll},
+		{"unbound-const-pred", `SELECT ?s ?x WHERE { ?s <p5> ?x . }`, wantP5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			q := sparql.MustParse(g.Dict, tc.query)
+			s := newTestSearcher(q, g)
+			for i, v := range q.Verts {
+				if !v.IsVar() {
+					s.bound[i] = true
+					s.m.Vertex[i] = v.Term
+				}
+			}
+			e := q.Edges[0]
+			allocs := testing.AllocsPerRun(100, func() {
+				var cur candCursor
+				s.initCursor(&cur, e)
+				var tr rdf.Triple
+				n := 0
+				for cur.next(&tr) {
+					n++
+				}
+				if n != tc.want {
+					t.Fatalf("cursor yielded %d candidates, want %d", n, tc.want)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("tombstone-merge candidate enumeration allocates %.1f per run, want 0", allocs)
+			}
+		})
 	}
 }

@@ -43,6 +43,49 @@ func liveBenchSetup(b *testing.B) (*rdf.Graph, *sparql.Graph) {
 	return g, q
 }
 
+// BenchmarkLiveMixedAddDeleteQuery extends the mixed live benchmark with
+// deletes: update ticks alternate between inserting a fresh triple and
+// tombstoning the one inserted on the previous tick, so the visible
+// window carries both insert and tombstone runs while the read-mostly
+// lookups stream on. "overlay" is the tombstone side-run this PR adds;
+// "refreeze" pays the pre-overlay full rebuild on every mutation (a
+// delete without tombstones had no cheaper option). Recorded in
+// BENCH_8.json next to the add-only pair.
+func BenchmarkLiveMixedAddDeleteQuery(b *testing.B) {
+	for _, mode := range []string{"overlay", "refreeze"} {
+		b.Run(mode, func(b *testing.B) {
+			g, q := liveBenchSetup(b)
+			obj := g.Triples()[1].O
+			pred := g.Triples()[0].P
+			serial := 0
+			var last rdf.Triple
+			havePending := false
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%liveUpdateRatio == 0 {
+					if havePending {
+						g.Delete(last)
+						havePending = false
+					} else {
+						s := g.Dict.MustIRI(fmt.Sprintf("livedel%d", serial))
+						serial++
+						last = rdf.Triple{S: s, P: pred, O: obj}
+						g.Add(last)
+						havePending = true
+					}
+					if mode == "refreeze" {
+						g.Compact() // the rebuild the pre-overlay mutation forced
+					}
+				}
+				if n := Count(q, g.Snapshot(), Options{Parallelism: 1}); n == 0 {
+					b.Fatal("point lookup matched nothing")
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkLiveMixedAddQuery(b *testing.B) {
 	for _, mode := range []string{"overlay", "refreeze"} {
 		b.Run(mode, func(b *testing.B) {

@@ -389,24 +389,29 @@ func (s *searcher) expandRoot(ei int, t rdf.Triple) {
 }
 
 // candCursor enumerates the candidate data triples of one query edge
-// without materializing them: it merge-walks up to two zero-copy index
-// runs (a CSR run plus its delta-overlay run, the per-predicate triple
-// arena plus its delta, or the full triple list) and synthesizes each
-// Triple into caller-provided storage. On a frozen graph both runs are
-// sorted, and the two-way merge reproduces exactly the enumeration order
-// a freshly rebuilt CSR would give — the property the differential
-// harness pins. The cursor itself lives on the searcher's stack —
-// candidate enumeration performs zero heap allocations, with or without
-// a delta.
+// without materializing them: it merge-walks up to three zero-copy index
+// runs (a CSR run plus its insert and tombstone delta runs, the
+// per-predicate triple arena plus its deltas, or the full triple list)
+// and synthesizes each Triple into caller-provided storage. On a frozen
+// graph the runs are sorted, and the merge reproduces exactly the
+// enumeration order a freshly rebuilt CSR would give — the property the
+// differential harness pins. The tombstone run is nil on insert-only
+// snapshots, leaving the original two-way merge; with tombstones the
+// cursor walks key groups and resolves latest-op-wins visibility
+// inline. The cursor itself lives on the searcher's stack — candidate
+// enumeration performs zero heap allocations, with or without a delta.
 type candCursor struct {
 	mode  uint8             // one of curHalf, curTris, curSingle, curDone
 	half  []rdf.HalfEdge    // curHalf: base adjacency run to walk
-	dhalf []rdf.DeltaHalf   // curHalf: delta-overlay run (nil without delta)
+	dhalf []rdf.DeltaHalf   // curHalf: insert delta run (nil without delta)
+	thalf []rdf.DeltaHalf   // curHalf: tombstone run (nil without visible deletes)
 	tris  []rdf.Triple      // curTris: base triple run to walk
-	dtris []rdf.DeltaTriple // curTris: delta-overlay run (nil without delta)
+	dtris []rdf.DeltaTriple // curTris: insert delta run (nil without delta)
+	ttris []rdf.DeltaTriple // curTris: tombstone run (nil without visible deletes)
 	one   rdf.Triple        // curSingle: the only candidate
 	i     int               // position in the base run
-	j     int               // position in the delta run
+	j     int               // position in the insert delta run
+	k     int               // position in the tombstone run
 	bound uint32            // snapshot visibility bound: delta entries with Seq >= bound are skipped
 	fixed rdf.ID            // curHalf: the bound endpoint's data vertex
 	other rdf.ID            // curHalf: required far endpoint; NoID = unconstrained
@@ -430,8 +435,8 @@ const (
 func (s *searcher) initCursor(c *candCursor, e sparql.Edge) {
 	fromBound := s.bound[e.From]
 	toBound := s.bound[e.To]
-	c.i, c.j = 0, 0
-	c.dhalf, c.dtris = nil, nil
+	c.i, c.j, c.k = 0, 0, 0
+	c.dhalf, c.thalf, c.dtris, c.ttris = nil, nil, nil, nil
 	c.bound = s.g.Bound()
 	c.other = rdf.NoID
 	c.needP = rdf.NoID
@@ -454,10 +459,10 @@ func (s *searcher) initCursor(c *candCursor, e sparql.Edge) {
 			c.other = s.m.Vertex[e.To]
 		}
 		if e.IsPredVar() {
-			c.half, c.dhalf = s.g.OutEdges2(sub)
+			c.half, c.dhalf, c.thalf = s.g.OutEdges2(sub)
 		} else {
-			base, delta, exact := s.g.OutRun2(sub, e.Pred)
-			c.half, c.dhalf = base, delta
+			base, ins, tomb, exact := s.g.OutRun2(sub, e.Pred)
+			c.half, c.dhalf, c.thalf = base, ins, tomb
 			if !exact {
 				c.needP = e.Pred
 			}
@@ -468,20 +473,21 @@ func (s *searcher) initCursor(c *candCursor, e sparql.Edge) {
 		c.out = false
 		c.fixed = obj
 		if e.IsPredVar() {
-			c.half, c.dhalf = s.g.InEdges2(obj)
+			c.half, c.dhalf, c.thalf = s.g.InEdges2(obj)
 		} else {
-			base, delta, exact := s.g.InRun2(obj, e.Pred)
-			c.half, c.dhalf = base, delta
+			base, ins, tomb, exact := s.g.InRun2(obj, e.Pred)
+			c.half, c.dhalf, c.thalf = base, ins, tomb
 			if !exact {
 				c.needP = e.Pred
 			}
 		}
 	case !e.IsPredVar():
 		c.mode = curTris
-		c.tris, c.dtris = s.g.ByPredicate2(e.Pred)
+		c.tris, c.dtris, c.ttris = s.g.ByPredicate2(e.Pred)
 	default:
-		// Full scan: the insertion-order triple list already contains the
-		// delta triples as its newest suffix — no second run needed.
+		// Full scan: the snapshot's triple list already folds the delta
+		// in — inserts as its newest suffix, deletes materialized away —
+		// so no side runs are needed.
 		c.mode = curTris
 		c.tris = s.g.Triples()
 	}
@@ -498,6 +504,9 @@ func (s *searcher) initCursor(c *candCursor, e sparql.Edge) {
 func (c *candCursor) next(t *rdf.Triple) bool {
 	switch c.mode {
 	case curTris:
+		if len(c.ttris) != 0 {
+			return c.nextTrisTomb(t)
+		}
 		for c.j < len(c.dtris) && c.dtris[c.j].Seq >= c.bound {
 			c.j++
 		}
@@ -527,6 +536,9 @@ func (c *candCursor) next(t *rdf.Triple) bool {
 		*t = c.one
 		return true
 	case curHalf:
+		if len(c.thalf) != 0 {
+			return c.nextHalfTomb(t)
+		}
 		for {
 			for c.j < len(c.dhalf) && c.dhalf[c.j].Seq >= c.bound {
 				c.j++
@@ -563,6 +575,97 @@ func (c *candCursor) next(t *rdf.Triple) bool {
 			}
 			return true
 		}
+	}
+	return false
+}
+
+// nextHalfTomb is the curHalf walk with a tombstone run present: a
+// three-run group merge that consumes one (P, Other) key group per step
+// and resolves latest-op-wins visibility before emitting. Still zero
+// allocations per candidate.
+func (c *candCursor) nextHalfTomb(t *rdf.Triple) bool {
+	for c.i < len(c.half) || c.j < len(c.dhalf) || c.k < len(c.thalf) {
+		var key rdf.HalfEdge
+		have := false
+		if c.i < len(c.half) {
+			key, have = c.half[c.i], true
+		}
+		if c.j < len(c.dhalf) && (!have || rdf.CompareHalf(c.dhalf[c.j].H, key) < 0) {
+			key, have = c.dhalf[c.j].H, true
+		}
+		if c.k < len(c.thalf) && (!have || rdf.CompareHalf(c.thalf[c.k].H, key) < 0) {
+			key = c.thalf[c.k].H
+		}
+		basePresent := c.i < len(c.half) && c.half[c.i] == key
+		if basePresent {
+			c.i++
+		}
+		var insVis, tombVis bool
+		var insSeq, tombSeq uint32
+		for ; c.j < len(c.dhalf) && c.dhalf[c.j].H == key; c.j++ {
+			if sq := c.dhalf[c.j].Seq; sq < c.bound && (!insVis || sq > insSeq) {
+				insVis, insSeq = true, sq
+			}
+		}
+		for ; c.k < len(c.thalf) && c.thalf[c.k].H == key; c.k++ {
+			if sq := c.thalf[c.k].Seq; sq < c.bound && (!tombVis || sq > tombSeq) {
+				tombVis, tombSeq = true, sq
+			}
+		}
+		if !rdf.VisibleKey(basePresent, insVis, insSeq, tombVis, tombSeq) {
+			continue
+		}
+		if c.needP != rdf.NoID && key.P != c.needP {
+			continue
+		}
+		if c.other != rdf.NoID && key.Other != c.other {
+			continue
+		}
+		if c.out {
+			*t = rdf.Triple{S: c.fixed, P: key.P, O: key.Other}
+		} else {
+			*t = rdf.Triple{S: key.Other, P: key.P, O: c.fixed}
+		}
+		return true
+	}
+	return false
+}
+
+// nextTrisTomb is nextHalfTomb for the per-predicate triple runs.
+func (c *candCursor) nextTrisTomb(t *rdf.Triple) bool {
+	for c.i < len(c.tris) || c.j < len(c.dtris) || c.k < len(c.ttris) {
+		var key rdf.Triple
+		have := false
+		if c.i < len(c.tris) {
+			key, have = c.tris[c.i], true
+		}
+		if c.j < len(c.dtris) && (!have || rdf.CompareSO(c.dtris[c.j].T, key) < 0) {
+			key, have = c.dtris[c.j].T, true
+		}
+		if c.k < len(c.ttris) && (!have || rdf.CompareSO(c.ttris[c.k].T, key) < 0) {
+			key = c.ttris[c.k].T
+		}
+		basePresent := c.i < len(c.tris) && c.tris[c.i] == key
+		if basePresent {
+			c.i++
+		}
+		var insVis, tombVis bool
+		var insSeq, tombSeq uint32
+		for ; c.j < len(c.dtris) && c.dtris[c.j].T == key; c.j++ {
+			if sq := c.dtris[c.j].Seq; sq < c.bound && (!insVis || sq > insSeq) {
+				insVis, insSeq = true, sq
+			}
+		}
+		for ; c.k < len(c.ttris) && c.ttris[c.k].T == key; c.k++ {
+			if sq := c.ttris[c.k].Seq; sq < c.bound && (!tombVis || sq > tombSeq) {
+				tombVis, tombSeq = true, sq
+			}
+		}
+		if !rdf.VisibleKey(basePresent, insVis, insSeq, tombVis, tombSeq) {
+			continue
+		}
+		*t = key
+		return true
 	}
 	return false
 }

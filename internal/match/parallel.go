@@ -56,14 +56,17 @@ type parallelRun struct {
 	rootEdge sparql.Edge
 
 	// Root candidates: exactly one of half/tris is non-nil, mirroring
-	// candCursor's curHalf and curTris modes. dhalf/dtris are the delta
-	// overlay runs of a live-updated frozen graph (nil without a delta);
-	// the sequential cursor merge-walks base and delta in sorted order,
-	// so the morsels partition that merged sequence.
+	// candCursor's curHalf and curTris modes. dhalf/dtris are the insert
+	// delta runs of a live-updated frozen graph (nil without a delta)
+	// and thalf/ttris the tombstone runs (nil on insert-only snapshots);
+	// the sequential cursor merge-walks the runs in sorted order, so the
+	// morsels partition that merged sequence.
 	half  []rdf.HalfEdge
 	dhalf []rdf.DeltaHalf
+	thalf []rdf.DeltaHalf
 	tris  []rdf.Triple
 	dtris []rdf.DeltaTriple
+	ttris []rdf.DeltaTriple
 	bound uint32 // snapshot visibility bound for the delta runs
 	fixed rdf.ID // curHalf: the bound endpoint's data vertex
 	other rdf.ID // curHalf: required far endpoint; NoID = unconstrained
@@ -75,8 +78,15 @@ type parallelRun struct {
 	numMorsels int
 	// dsplit[m] is the delta-run index where morsel m starts: the delta
 	// elements ordered before morsel m's first base candidate belong to
-	// earlier morsels. nil when the delta run is empty.
+	// earlier morsels. nil when the delta run is empty. tsplit carves
+	// the tombstone run along the same boundaries. A key group — all
+	// delta entries of one (P, Other) or (S, O) key — can never straddle
+	// a boundary: boundaries are keyed on base candidates, same-key
+	// entries compare equal, and the binary search puts them all on one
+	// side, so each morsel resolves its keys' visibility independently
+	// and byte-identical concatenation survives deletes.
 	dsplit []int
+	tsplit []int
 
 	next atomic.Int64 // dispatcher: index of the next unclaimed morsel
 	stop atomic.Bool  // kill switch: a callback returned false
@@ -109,9 +119,9 @@ func planParallel(q *sparql.Graph, g *rdf.Snapshot, opts Options, order []int) *
 	// including the delta-overlay runs of a live-updated frozen graph.
 	var (
 		half         []rdf.HalfEdge
-		dhalf        []rdf.DeltaHalf
+		dhalf, thalf []rdf.DeltaHalf
 		tris         []rdf.Triple
-		dtris        []rdf.DeltaTriple
+		dtris, ttris []rdf.DeltaTriple
 		fixed        rdf.ID
 		other, needP = rdf.NoID, rdf.NoID
 		out          bool
@@ -127,10 +137,10 @@ func planParallel(q *sparql.Graph, g *rdf.Snapshot, opts Options, order []int) *
 			other = to.Term
 		}
 		if e.IsPredVar() {
-			half, dhalf = g.OutEdges2(from.Term)
+			half, dhalf, thalf = g.OutEdges2(from.Term)
 		} else {
-			base, delta, exact := g.OutRun2(from.Term, e.Pred)
-			half, dhalf = base, delta
+			base, delta, tomb, exact := g.OutRun2(from.Term, e.Pred)
+			half, dhalf, thalf = base, delta, tomb
 			if !exact {
 				needP = e.Pred
 			}
@@ -138,18 +148,18 @@ func planParallel(q *sparql.Graph, g *rdf.Snapshot, opts Options, order []int) *
 	case !to.IsVar():
 		fixed = to.Term
 		if e.IsPredVar() {
-			half, dhalf = g.InEdges2(to.Term)
+			half, dhalf, thalf = g.InEdges2(to.Term)
 		} else {
-			base, delta, exact := g.InRun2(to.Term, e.Pred)
-			half, dhalf = base, delta
+			base, delta, tomb, exact := g.InRun2(to.Term, e.Pred)
+			half, dhalf, thalf = base, delta, tomb
 			if !exact {
 				needP = e.Pred
 			}
 		}
 	case !e.IsPredVar():
-		tris, dtris = g.ByPredicate2(e.Pred)
+		tris, dtris, ttris = g.ByPredicate2(e.Pred)
 	default:
-		tris = g.Triples() // insertion order already includes the delta
+		tris = g.Triples() // enumeration order already folds the delta and deletes
 	}
 
 	// Morsel geometry is defined on the base run; the (small) delta run
@@ -165,7 +175,8 @@ func planParallel(q *sparql.Graph, g *rdf.Snapshot, opts Options, order []int) *
 	r := &parallelRun{
 		q: q, g: g, opts: opts, order: order,
 		rootIdx: rootIdx, rootEdge: e,
-		half: half, dhalf: dhalf, tris: tris, dtris: dtris,
+		half: half, dhalf: dhalf, thalf: thalf,
+		tris: tris, dtris: dtris, ttris: ttris,
 		bound: g.Bound(),
 		fixed: fixed, other: other, needP: needP, out: out,
 	}
@@ -194,6 +205,19 @@ func planParallel(q *sparql.Graph, g *rdf.Snapshot, opts Options, order []int) *
 			}
 		}
 	}
+	if len(thalf)+len(ttris) > 0 {
+		r.tsplit = make([]int, r.numMorsels+1)
+		r.tsplit[r.numMorsels] = len(thalf) + len(ttris)
+		for m := 1; m < r.numMorsels; m++ {
+			if half != nil {
+				r.tsplit[m], _ = slices.BinarySearchFunc(thalf, half[m*r.morselSize],
+					func(a rdf.DeltaHalf, b rdf.HalfEdge) int { return rdf.CompareHalf(a.H, b) })
+			} else {
+				r.tsplit[m], _ = slices.BinarySearchFunc(ttris, tris[m*r.morselSize],
+					func(a rdf.DeltaTriple, b rdf.Triple) int { return rdf.CompareSO(a.T, b) })
+			}
+		}
+	}
 	return r
 }
 
@@ -210,6 +234,10 @@ func (r *parallelRun) runMorsel(s *searcher, morsel int) {
 	dlo, dhi := 0, 0
 	if r.dsplit != nil {
 		dlo, dhi = r.dsplit[morsel], r.dsplit[morsel+1]
+	}
+	if r.tsplit != nil {
+		r.runMorselTomb(s, blo, bhi, dlo, dhi, r.tsplit[morsel], r.tsplit[morsel+1])
+		return
 	}
 	if r.tris != nil {
 		i, j := blo, dlo
@@ -259,6 +287,97 @@ func (r *parallelRun) runMorsel(s *searcher, morsel int) {
 			t = rdf.Triple{S: r.fixed, P: h.P, O: h.Other}
 		} else {
 			t = rdf.Triple{S: h.Other, P: h.P, O: r.fixed}
+		}
+		s.expandRoot(r.rootIdx, t)
+	}
+}
+
+// runMorselTomb is runMorsel for snapshots whose visible window contains
+// deletes: a group-wise three-run merge over the morsel's base, insert,
+// and tombstone sub-ranges, mirroring the sequential cursor's
+// nextHalfTomb/nextTrisTomb so the concatenated morsel output stays
+// byte-identical to the sequential enumeration.
+func (r *parallelRun) runMorselTomb(s *searcher, blo, bhi, dlo, dhi, tlo, thi int) {
+	if r.tris != nil {
+		i, j, k := blo, dlo, tlo
+		for !s.done && (i < bhi || j < dhi || k < thi) {
+			var key rdf.Triple
+			have := false
+			if i < bhi {
+				key, have = r.tris[i], true
+			}
+			if j < dhi && (!have || rdf.CompareSO(r.dtris[j].T, key) < 0) {
+				key, have = r.dtris[j].T, true
+			}
+			if k < thi && (!have || rdf.CompareSO(r.ttris[k].T, key) < 0) {
+				key = r.ttris[k].T
+			}
+			basePresent := i < bhi && r.tris[i] == key
+			if basePresent {
+				i++
+			}
+			var insVis, tombVis bool
+			var insSeq, tombSeq uint32
+			for ; j < dhi && r.dtris[j].T == key; j++ {
+				if sq := r.dtris[j].Seq; sq < r.bound && (!insVis || sq > insSeq) {
+					insVis, insSeq = true, sq
+				}
+			}
+			for ; k < thi && r.ttris[k].T == key; k++ {
+				if sq := r.ttris[k].Seq; sq < r.bound && (!tombVis || sq > tombSeq) {
+					tombVis, tombSeq = true, sq
+				}
+			}
+			if !rdf.VisibleKey(basePresent, insVis, insSeq, tombVis, tombSeq) {
+				continue
+			}
+			s.expandRoot(r.rootIdx, key)
+		}
+		return
+	}
+	i, j, k := blo, dlo, tlo
+	for !s.done && (i < bhi || j < dhi || k < thi) {
+		var key rdf.HalfEdge
+		have := false
+		if i < bhi {
+			key, have = r.half[i], true
+		}
+		if j < dhi && (!have || rdf.CompareHalf(r.dhalf[j].H, key) < 0) {
+			key, have = r.dhalf[j].H, true
+		}
+		if k < thi && (!have || rdf.CompareHalf(r.thalf[k].H, key) < 0) {
+			key = r.thalf[k].H
+		}
+		basePresent := i < bhi && r.half[i] == key
+		if basePresent {
+			i++
+		}
+		var insVis, tombVis bool
+		var insSeq, tombSeq uint32
+		for ; j < dhi && r.dhalf[j].H == key; j++ {
+			if sq := r.dhalf[j].Seq; sq < r.bound && (!insVis || sq > insSeq) {
+				insVis, insSeq = true, sq
+			}
+		}
+		for ; k < thi && r.thalf[k].H == key; k++ {
+			if sq := r.thalf[k].Seq; sq < r.bound && (!tombVis || sq > tombSeq) {
+				tombVis, tombSeq = true, sq
+			}
+		}
+		if !rdf.VisibleKey(basePresent, insVis, insSeq, tombVis, tombSeq) {
+			continue
+		}
+		if r.needP != rdf.NoID && key.P != r.needP {
+			continue
+		}
+		if r.other != rdf.NoID && key.Other != r.other {
+			continue
+		}
+		var t rdf.Triple
+		if r.out {
+			t = rdf.Triple{S: r.fixed, P: key.P, O: key.Other}
+		} else {
+			t = rdf.Triple{S: key.Other, P: key.P, O: r.fixed}
 		}
 		s.expandRoot(r.rootIdx, t)
 	}

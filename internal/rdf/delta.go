@@ -22,12 +22,25 @@ type DeltaTriple struct {
 	Seq uint32
 }
 
+// deltaOp is one entry of a generation's operation log: the triple, the
+// running add count through this op (so a reader can turn an op-window
+// length into an order-prefix length in O(1)), and whether the op is a
+// delete. The op at index i has sequence number i — the same space the
+// runs' Seq fields index into.
+type deltaOp struct {
+	T    Triple
+	Adds uint32 // adds among ops[0..i] inclusive
+	Del  bool
+}
+
 // genDelta is the mutable side of one CSR generation: post-freeze Adds
-// accumulate here instead of thawing the CSR, LSM-style. Each per-vertex
-// run is kept sorted by (P, Other) and each per-predicate run by (S, O) —
-// the same orders the CSR arenas use — so read paths can two-way merge a
-// CSR run with its delta run and produce exactly the sequence a freshly
-// rebuilt CSR would serve.
+// and Deletes accumulate here instead of thawing the CSR, LSM-style.
+// Inserts land in the out/in/byPred runs, deletes land as tombstones in
+// the tombOut/tombIn/tombByPred side-runs with the same sort discipline.
+// Each per-vertex run is kept sorted by (P, Other) and each
+// per-predicate run by (S, O) — the same orders the CSR arenas use — so
+// read paths can merge a CSR run with its delta runs and produce exactly
+// the sequence a freshly rebuilt CSR would serve.
 //
 // The index is single-writer, many-reader. Runs are immutable once
 // published: the writer inserts copy-on-write (load the run, build a new
@@ -36,11 +49,29 @@ type DeltaTriple struct {
 // happen before the length counter's increment, so a reader that loads
 // n is guaranteed to find every entry with Seq < n in the runs it loads
 // afterwards; entries beyond its n it filters by Seq.
+//
+// Per-triple visibility is latest-op-wins: within one key, the highest
+// visible insert seq vs the highest visible tombstone seq decides (the
+// writer's Add/Delete preconditions guarantee the two alternate, so the
+// comparison is total). dels is a published hint — a reader that loads
+// n and then reads dels == 0 knows no tombstone can be visible at its
+// bound and takes the insert-only fast paths unchanged.
 type genDelta struct {
-	n      atomic.Int64 // published delta length (triples fully indexed)
+	n      atomic.Int64 // published delta length (ops fully indexed)
+	dels   atomic.Int64 // published tombstone count (0 = insert-only so far)
 	out    sync.Map     // ID -> []DeltaHalf, sorted by (P, Other)
 	in     sync.Map     // ID -> []DeltaHalf, sorted by (P, Other)
 	byPred sync.Map     // ID -> []DeltaTriple, sorted by (S, O)
+
+	tombOut    sync.Map // ID -> []DeltaHalf tombstones, sorted by (P, Other)
+	tombIn     sync.Map // ID -> []DeltaHalf tombstones, sorted by (P, Other)
+	tombByPred sync.Map // ID -> []DeltaTriple tombstones, sorted by (S, O)
+
+	// ops is the writer-owned operation log; opsHdr republishes its
+	// header after every append (before n increments), so a reader with
+	// bound n can slice ops[:n] and replay its exact visibility window.
+	ops    []deltaOp
+	opsHdr atomic.Pointer[[]deltaOp]
 }
 
 // CompareHalf orders adjacency entries by (P, Other) — the CSR run order.
@@ -69,6 +100,34 @@ func (d *genDelta) add(t Triple, seq uint32) {
 	run := loadTripleRun(&d.byPred, t.P)
 	i, _ := slices.BinarySearchFunc(run, t, func(a DeltaTriple, b Triple) int { return CompareSO(a.T, b) })
 	d.byPred.Store(t.P, insertAt(run, i, DeltaTriple{T: t, Seq: seq}))
+}
+
+// addTomb indexes one tombstone under sequence number seq, mirroring add
+// into the tombstone side-runs. Writer-only; the caller publishes via
+// dels and n afterwards.
+func (d *genDelta) addTomb(t Triple, seq uint32) {
+	d.tombOut.Store(t.S, insertDeltaHalf(loadHalfRun(&d.tombOut, t.S), DeltaHalf{H: HalfEdge{P: t.P, Other: t.O}, Seq: seq}))
+	d.tombIn.Store(t.O, insertDeltaHalf(loadHalfRun(&d.tombIn, t.O), DeltaHalf{H: HalfEdge{P: t.P, Other: t.S}, Seq: seq}))
+	run := loadTripleRun(&d.tombByPred, t.P)
+	i, _ := slices.BinarySearchFunc(run, t, func(a DeltaTriple, b Triple) int { return CompareSO(a.T, b) })
+	d.tombByPred.Store(t.P, insertAt(run, i, DeltaTriple{T: t, Seq: seq}))
+}
+
+// appendOp records one op in the log and republishes the header. The
+// end-append into spare capacity is safe for the same reason insertAt's
+// fast path is: the write lands one past every published header's
+// length, invisible to readers until the new header is stored.
+func (d *genDelta) appendOp(t Triple, del bool) {
+	adds := uint32(0)
+	if len(d.ops) > 0 {
+		adds = d.ops[len(d.ops)-1].Adds
+	}
+	if !del {
+		adds++
+	}
+	d.ops = append(d.ops, deltaOp{T: t, Adds: adds, Del: del})
+	hdr := d.ops
+	d.opsHdr.Store(&hdr)
 }
 
 func loadHalfRun(m *sync.Map, k ID) []DeltaHalf {
@@ -210,4 +269,181 @@ func mergeHalf(base, delta []HalfEdge) []HalfEdge {
 // in (S, O) order.
 func mergeTriples(base, delta []Triple) []Triple {
 	return mergeSorted(base, delta, CompareSO)
+}
+
+// VisibleKey resolves latest-op-wins visibility for one key: the highest
+// visible insert seq vs the highest visible tombstone seq, falling back
+// to base presence when neither op is visible. The writer's Add/Delete
+// preconditions (Add only when absent, Delete only when present) make
+// inserts and tombstones of one key alternate, so comparing the two
+// maxima is exact.
+func VisibleKey(basePresent, insVis bool, insSeq uint32, tombVis bool, tombSeq uint32) bool {
+	if insVis {
+		return !tombVis || insSeq > tombSeq
+	}
+	return basePresent && !tombVis
+}
+
+// maxVisibleSeqHalf scans a (P, Other)-sorted delta run for entries
+// matching key and returns whether any is visible at bound, with the
+// highest visible seq.
+func maxVisibleSeqHalf(run []DeltaHalf, key HalfEdge, bound uint32) (vis bool, seq uint32) {
+	i, _ := slices.BinarySearchFunc(run, key, func(a DeltaHalf, b HalfEdge) int { return CompareHalf(a.H, b) })
+	for ; i < len(run) && run[i].H == key; i++ {
+		if run[i].Seq < bound && (!vis || run[i].Seq > seq) {
+			vis, seq = true, run[i].Seq
+		}
+	}
+	return vis, seq
+}
+
+// visibleMergedHalf merges a CSR adjacency run with its insert and
+// tombstone delta runs at visibility bound, resolving each key with
+// latest-op-wins. It produces exactly the run a freshly rebuilt CSR
+// would serve for the visible triple set.
+func visibleMergedHalf(base []HalfEdge, ins, tomb []DeltaHalf, bound uint32) []HalfEdge {
+	out := make([]HalfEdge, 0, len(base)+len(ins))
+	i, j, k := 0, 0, 0
+	for i < len(base) || j < len(ins) || k < len(tomb) {
+		var key HalfEdge
+		have := false
+		if i < len(base) {
+			key, have = base[i], true
+		}
+		if j < len(ins) && (!have || CompareHalf(ins[j].H, key) < 0) {
+			key, have = ins[j].H, true
+		}
+		if k < len(tomb) && (!have || CompareHalf(tomb[k].H, key) < 0) {
+			key = tomb[k].H
+		}
+		basePresent := i < len(base) && base[i] == key
+		if basePresent {
+			i++
+		}
+		var insVis, tombVis bool
+		var insSeq, tombSeq uint32
+		for ; j < len(ins) && ins[j].H == key; j++ {
+			if ins[j].Seq < bound && (!insVis || ins[j].Seq > insSeq) {
+				insVis, insSeq = true, ins[j].Seq
+			}
+		}
+		for ; k < len(tomb) && tomb[k].H == key; k++ {
+			if tomb[k].Seq < bound && (!tombVis || tomb[k].Seq > tombSeq) {
+				tombVis, tombSeq = true, tomb[k].Seq
+			}
+		}
+		if VisibleKey(basePresent, insVis, insSeq, tombVis, tombSeq) {
+			out = append(out, key)
+		}
+	}
+	return out
+}
+
+// visibleMergedTriples is visibleMergedHalf for per-predicate runs.
+func visibleMergedTriples(base []Triple, ins, tomb []DeltaTriple, bound uint32) []Triple {
+	out := make([]Triple, 0, len(base)+len(ins))
+	i, j, k := 0, 0, 0
+	for i < len(base) || j < len(ins) || k < len(tomb) {
+		var key Triple
+		have := false
+		if i < len(base) {
+			key, have = base[i], true
+		}
+		if j < len(ins) && (!have || CompareSO(ins[j].T, key) < 0) {
+			key, have = ins[j].T, true
+		}
+		if k < len(tomb) && (!have || CompareSO(tomb[k].T, key) < 0) {
+			key = tomb[k].T
+		}
+		basePresent := i < len(base) && base[i] == key
+		if basePresent {
+			i++
+		}
+		var insVis, tombVis bool
+		var insSeq, tombSeq uint32
+		for ; j < len(ins) && ins[j].T == key; j++ {
+			if ins[j].Seq < bound && (!insVis || ins[j].Seq > insSeq) {
+				insVis, insSeq = true, ins[j].Seq
+			}
+		}
+		for ; k < len(tomb) && tomb[k].T == key; k++ {
+			if tomb[k].Seq < bound && (!tombVis || tomb[k].Seq > tombSeq) {
+				tombVis, tombSeq = true, tomb[k].Seq
+			}
+		}
+		if VisibleKey(basePresent, insVis, insSeq, tombVis, tombSeq) {
+			out = append(out, key)
+		}
+	}
+	return out
+}
+
+// countMergedHalf counts the visible entries of a merged (base, ins,
+// tomb) adjacency run without materializing it: len(base) plus a
+// per-key adjustment for every key the delta touches. O(|delta| log
+// |base|) and allocation-free, so the exact-degree selectivity probes
+// stay cheap with tombstones present.
+func countMergedHalf(base []HalfEdge, ins, tomb []DeltaHalf, bound uint32) int {
+	n := len(base)
+	j, k := 0, 0
+	for j < len(ins) || k < len(tomb) {
+		var key HalfEdge
+		if j < len(ins) && (k >= len(tomb) || CompareHalf(ins[j].H, tomb[k].H) <= 0) {
+			key = ins[j].H
+		} else {
+			key = tomb[k].H
+		}
+		var insVis, tombVis bool
+		var insSeq, tombSeq uint32
+		for ; j < len(ins) && ins[j].H == key; j++ {
+			if ins[j].Seq < bound && (!insVis || ins[j].Seq > insSeq) {
+				insVis, insSeq = true, ins[j].Seq
+			}
+		}
+		for ; k < len(tomb) && tomb[k].H == key; k++ {
+			if tomb[k].Seq < bound && (!tombVis || tomb[k].Seq > tombSeq) {
+				tombVis, tombSeq = true, tomb[k].Seq
+			}
+		}
+		_, basePresent := slices.BinarySearchFunc(base, key, CompareHalf)
+		if vis := VisibleKey(basePresent, insVis, insSeq, tombVis, tombSeq); vis && !basePresent {
+			n++
+		} else if !vis && basePresent {
+			n--
+		}
+	}
+	return n
+}
+
+// countMergedTriples is countMergedHalf for per-predicate runs.
+func countMergedTriples(base []Triple, ins, tomb []DeltaTriple, bound uint32) int {
+	n := len(base)
+	j, k := 0, 0
+	for j < len(ins) || k < len(tomb) {
+		var key Triple
+		if j < len(ins) && (k >= len(tomb) || CompareSO(ins[j].T, tomb[k].T) <= 0) {
+			key = ins[j].T
+		} else {
+			key = tomb[k].T
+		}
+		var insVis, tombVis bool
+		var insSeq, tombSeq uint32
+		for ; j < len(ins) && ins[j].T == key; j++ {
+			if ins[j].Seq < bound && (!insVis || ins[j].Seq > insSeq) {
+				insVis, insSeq = true, ins[j].Seq
+			}
+		}
+		for ; k < len(tomb) && tomb[k].T == key; k++ {
+			if tomb[k].Seq < bound && (!tombVis || tomb[k].Seq > tombSeq) {
+				tombVis, tombSeq = true, tomb[k].Seq
+			}
+		}
+		_, basePresent := slices.BinarySearchFunc(base, key, CompareSO)
+		if vis := VisibleKey(basePresent, insVis, insSeq, tombVis, tombSeq); vis && !basePresent {
+			n++
+		} else if !vis && basePresent {
+			n--
+		}
+	}
+	return n
 }

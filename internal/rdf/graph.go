@@ -2,6 +2,7 @@ package rdf
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 	"sync/atomic"
 )
@@ -71,10 +72,21 @@ type Graph struct {
 	triples map[Triple]struct{}
 	order   []Triple // insertion order, for deterministic iteration (writer-owned)
 
-	// ord republishes the order slice header after every frozen-mode
-	// Add, so snapshot readers can slice a consistent prefix without
-	// racing the writer's append.
-	ord atomic.Pointer[[]Triple]
+	// staleOrder counts occurrences in order that are no longer live
+	// (deleted, or superseded by a later re-insert). Frozen-mode deletes
+	// only tombstone, so order grows append-only within a generation;
+	// Compact rebuilds it without the stale occurrences.
+	staleOrder int
+
+	// liveOrder caches the materialized live triple list when order
+	// carries stale occurrences; valid while liveOrderAt == epoch.
+	liveOrder   []Triple
+	liveOrderAt uint64
+
+	// liveCount mirrors len(triples) through an atomic so concurrent
+	// readers (planner cardinality scaling) can read the live size while
+	// the writer mutates.
+	liveCount atomic.Int64
 
 	// Map-mode indexes; nil while frozen.
 	out    map[ID][]HalfEdge // subject -> (P,O)
@@ -127,14 +139,16 @@ func (g *Graph) Add(t Triple) bool {
 	}
 	g.triples[t] = struct{}{}
 	g.order = append(g.order, t)
+	g.liveCount.Add(1)
 	if gen := g.gen.Load(); gen != nil {
-		// Publish order: order header first, then the delta runs, then
-		// the delta length (the readers' acquire point). A snapshot that
-		// observes delta length n is guaranteed to find all n triples in
-		// the order prefix and the runs.
+		// Publish order: order header first, then the op log, then the
+		// delta runs, then the delta length (the readers' acquire
+		// point). A snapshot that observes delta length n is guaranteed
+		// to find all n ops in the order prefix, the log and the runs.
 		ord := g.order
-		g.ord.Store(&ord)
+		gen.ord.Store(&ord)
 		seq := uint32(gen.delta.n.Load())
+		gen.delta.appendOp(t, false)
 		gen.delta.add(t, seq)
 		gen.delta.n.Add(1)
 		g.epoch.Add(1)
@@ -148,6 +162,74 @@ func (g *Graph) Add(t Triple) bool {
 	g.byPred[t.P] = append(g.byPred[t.P], t)
 	g.epoch.Add(1)
 	return true
+}
+
+// Delete removes a triple; deleting an absent (or never-inserted) triple
+// is a no-op, not a phantom — it reports whether the triple was present.
+// On a frozen graph the delete lands as a tombstone in the current
+// generation's delta overlay: snapshots taken after Delete returns no
+// longer see the triple, snapshots already pinned keep seeing it, and
+// Compact folds the tombstone away when it rebuilds the CSR. Writer-side,
+// like Add.
+func (g *Graph) Delete(t Triple) bool {
+	if _, ok := g.triples[t]; !ok {
+		return false
+	}
+	delete(g.triples, t)
+	g.liveCount.Add(-1)
+	if gen := g.gen.Load(); gen != nil {
+		g.staleOrder++
+		seq := uint32(gen.delta.n.Load())
+		gen.delta.appendOp(t, true)
+		gen.delta.addTomb(t, seq)
+		gen.delta.dels.Add(1)
+		gen.delta.n.Add(1)
+		g.epoch.Add(1)
+		if g.shouldCompact(gen) {
+			g.Compact()
+		}
+		return true
+	}
+	// Map mode: splice the triple out of every index (old contract — no
+	// readers concurrent with mutation).
+	g.order = spliceTriple(g.order, t)
+	if run := spliceHalf(g.out[t.S], HalfEdge{P: t.P, Other: t.O}); len(run) > 0 {
+		g.out[t.S] = run
+	} else {
+		delete(g.out, t.S)
+	}
+	if run := spliceHalf(g.in[t.O], HalfEdge{P: t.P, Other: t.S}); len(run) > 0 {
+		g.in[t.O] = run
+	} else {
+		delete(g.in, t.O)
+	}
+	if run := spliceTriple(g.byPred[t.P], t); len(run) > 0 {
+		g.byPred[t.P] = run
+	} else {
+		delete(g.byPred, t.P)
+	}
+	g.epoch.Add(1)
+	return true
+}
+
+// spliceTriple removes the first occurrence of t, preserving order.
+func spliceTriple(run []Triple, t Triple) []Triple {
+	for i, x := range run {
+		if x == t {
+			return append(run[:i], run[i+1:]...)
+		}
+	}
+	return run
+}
+
+// spliceHalf removes the first occurrence of h, preserving order.
+func spliceHalf(run []HalfEdge, h HalfEdge) []HalfEdge {
+	for i, x := range run {
+		if x == h {
+			return append(run[:i], run[i+1:]...)
+		}
+	}
+	return run
 }
 
 // AddTerms interns the three terms and inserts the resulting triple.
@@ -180,7 +262,7 @@ func (g *Graph) installGeneration(csr *csrIndex) {
 	g.nextGenID++
 	gen := &generation{id: g.nextGenID, csr: csr, base: len(g.order), delta: &genDelta{}}
 	ord := g.order
-	g.ord.Store(&ord)
+	gen.ord.Store(&ord)
 	if old := g.gen.Load(); old != nil {
 		g.retired = append(g.retired, old)
 	}
@@ -243,9 +325,9 @@ func (g *Graph) PinnedSnapshots() int {
 // delta overlay; see DeltaLen).
 func (g *Graph) Frozen() bool { return g.gen.Load() != nil }
 
-// DeltaLen returns the number of post-freeze triples waiting in the
-// current generation's delta overlay (0 in map mode or right after a
-// compaction).
+// DeltaLen returns the number of post-freeze mutations (inserts and
+// tombstones) waiting in the current generation's delta overlay (0 in
+// map mode or right after a compaction).
 func (g *Graph) DeltaLen() int {
 	gen := g.gen.Load()
 	if gen == nil {
@@ -254,34 +336,24 @@ func (g *Graph) DeltaLen() int {
 	return int(gen.delta.n.Load())
 }
 
+// DeltaTombstones returns how many of the current generation's delta
+// mutations are tombstones.
+func (g *Graph) DeltaTombstones() int {
+	gen := g.gen.Load()
+	if gen == nil {
+		return 0
+	}
+	return int(gen.delta.dels.Load())
+}
+
 // Compactions returns how many times the delta has been folded into a
 // new CSR generation, by Compact directly or by the auto-compaction
 // threshold.
 func (g *Graph) Compactions() uint64 { return g.compactions.Load() }
 
 // Epoch returns the graph's mutation counter: it increments on every
-// successful Add. Derived caches use it to detect staleness.
+// successful Add or Delete. Derived caches use it to detect staleness.
 func (g *Graph) Epoch() uint64 { return g.epoch.Load() }
-
-// visibleLen is the number of triples a snapshot taken right now would
-// see. Safe to call concurrently with the writer on a frozen graph.
-func (g *Graph) visibleLen() int {
-	gen := g.gen.Load()
-	if gen == nil {
-		return len(g.order)
-	}
-	return gen.base + int(gen.delta.n.Load())
-}
-
-// orderPrefix returns the first n triples in insertion order, reading
-// the published header so it is safe concurrent with the writer on a
-// frozen graph.
-func (g *Graph) orderPrefix(n int) []Triple {
-	if ord := g.ord.Load(); ord != nil {
-		return (*ord)[:n]
-	}
-	return g.order[:n]
-}
 
 // SetAutoCompact sets the delta/CSR ratio beyond which Add compacts
 // automatically. 0 restores DefaultCompactFraction; a negative fraction
@@ -316,8 +388,22 @@ func (g *Graph) Compact() {
 	if gen == nil || gen.delta.n.Load() == 0 {
 		return
 	}
+	g.compactOrder()
 	g.installGeneration(buildCSR(g.order))
 	g.compactions.Add(1)
+}
+
+// compactOrder rebuilds the insertion-order list without stale
+// occurrences (this is where tombstones get folded away). The rebuild is
+// a fresh slice — retired generations' published order headers keep
+// pointing at the old array, so pinned snapshots are unaffected.
+func (g *Graph) compactOrder() {
+	if g.staleOrder == 0 {
+		return
+	}
+	g.order = g.Triples()
+	g.liveOrder = nil
+	g.staleOrder = 0
 }
 
 // Has reports whether the triple is present. Writer-side: it reads the
@@ -328,14 +414,46 @@ func (g *Graph) Has(t Triple) bool {
 	return ok
 }
 
-// NumTriples returns |E(G)| as the writer sees it (all adds included).
-func (g *Graph) NumTriples() int { return len(g.order) }
+// NumTriples returns |E(G)| as the writer sees it: live triples only
+// (adds included, deletes excluded).
+func (g *Graph) NumTriples() int { return len(g.triples) }
 
-// Triples returns the triples in insertion order (delta triples included —
-// they are the newest suffix). Writer-side; the returned slice is owned
-// by the graph and must not be mutated. Concurrent readers use
-// Snapshot.Triples.
-func (g *Graph) Triples() []Triple { return g.order }
+// LiveTriples returns the live triple count through an atomic counter,
+// safe to read concurrently with the writer (unlike NumTriples, which
+// reads the writer-owned map). Planner-side cardinality scaling reads it
+// while updates land.
+func (g *Graph) LiveTriples() int { return int(g.liveCount.Load()) }
+
+// Triples returns the live triples in insertion order (delta triples
+// included — they are the newest suffix; a triple re-inserted after a
+// delete counts from its latest insertion). Writer-side; the returned
+// slice is owned by the graph and must not be mutated. Concurrent
+// readers use Snapshot.Triples.
+func (g *Graph) Triples() []Triple {
+	if g.staleOrder == 0 {
+		return g.order
+	}
+	if g.liveOrder != nil && g.liveOrderAt == g.epoch.Load() {
+		return g.liveOrder
+	}
+	out := make([]Triple, 0, len(g.triples))
+	emitted := make(map[Triple]struct{}, g.staleOrder)
+	for i := len(g.order) - 1; i >= 0; i-- {
+		t := g.order[i]
+		if _, live := g.triples[t]; !live {
+			continue
+		}
+		if _, dup := emitted[t]; dup {
+			continue
+		}
+		emitted[t] = struct{}{}
+		out = append(out, t)
+	}
+	slices.Reverse(out)
+	g.liveOrder = out
+	g.liveOrderAt = g.epoch.Load()
+	return out
+}
 
 // mergeIDs merges two sorted, disjoint ID slices. With an empty extra it
 // returns base unchanged (zero-copy).
@@ -362,7 +480,7 @@ func (g *Graph) TripleString(t Triple) string {
 // The copy is in map mode regardless of the receiver's mode.
 func (g *Graph) Clone() *Graph {
 	c := NewGraph(g.Dict)
-	for _, t := range g.order {
+	for _, t := range g.Triples() {
 		c.Add(t)
 	}
 	return c
@@ -376,7 +494,7 @@ func (g *Graph) Merge(other *Graph) {
 	if other.Dict != g.Dict {
 		panic("rdf: Merge requires a shared dictionary")
 	}
-	for _, t := range other.order {
+	for _, t := range other.Triples() {
 		g.Add(t)
 	}
 }
@@ -385,7 +503,7 @@ func (g *Graph) Merge(other *Graph) {
 // containing exactly the triples whose property is in keep.
 func (g *Graph) SubgraphByPredicates(keep map[ID]bool) *Graph {
 	sub := NewGraph(g.Dict)
-	for _, t := range g.order {
+	for _, t := range g.Triples() {
 		if keep[t.P] {
 			sub.Add(t)
 		}

@@ -20,6 +20,14 @@ type generation struct {
 	base  int // triples compiled into csr (the order-prefix length)
 	delta *genDelta
 	pins  atomic.Int64 // snapshots currently pinning this generation
+
+	// ord republishes the graph's order slice header after every
+	// frozen-mode Add of this generation. It lives on the generation —
+	// not the graph — because Compact rebuilds the order list (folding
+	// tombstones away), and a snapshot must pair the generation it
+	// pinned with the order array that generation's base/seq space
+	// indexes into.
+	ord atomic.Pointer[[]Triple]
 }
 
 // Snapshot is an immutable, lock-free read view of a graph: it pins a
@@ -42,6 +50,15 @@ type Snapshot struct {
 	order  []Triple    // pinned insertion-order prefix (frozen mode)
 	pinned bool
 	closed atomic.Bool
+
+	// ops is the visible op window when it contains deletes; nil for
+	// insert-only windows, whose read paths are byte-for-byte the
+	// two-run fast paths of the delete-free engine. With ops set, the
+	// order prefix may carry stale occurrences; Triples/NumTriples
+	// materialize the live list lazily (once) instead of slicing.
+	ops     []deltaOp
+	matOnce sync.Once
+	mat     []Triple
 }
 
 // Snapshot pins the graph's current read view. The returned snapshot is
@@ -68,10 +85,21 @@ func (g *Graph) snapshotAt() *Snapshot {
 	}
 	// Load n before the order header: the writer publishes the order
 	// first and increments n last, so the header seen here covers at
-	// least base+n triples.
+	// least the window's adds. The dels hint is loaded after n: reading
+	// 0 proves no tombstone has seq < n, so the window is insert-only
+	// and every op extended the order prefix.
 	n := uint32(gen.delta.n.Load())
-	ord := *g.ord.Load()
-	return &Snapshot{g: g, gen: gen, n: n, order: ord[:gen.base+int(n)]}
+	ord := *gen.ord.Load()
+	if n == 0 || gen.delta.dels.Load() == 0 {
+		return &Snapshot{g: g, gen: gen, n: n, order: ord[:gen.base+int(n)]}
+	}
+	ops := (*gen.delta.opsHdr.Load())[:n]
+	adds := int(ops[n-1].Adds)
+	s := &Snapshot{g: g, gen: gen, n: n, order: ord[:gen.base+adds]}
+	if int(n) > adds { // the window itself contains deletes
+		s.ops = ops
+	}
+	return s
 }
 
 // Close releases the snapshot's generation pin. Idempotent; a nil or
@@ -110,16 +138,57 @@ func (s *Snapshot) NumTriples() int {
 	if s.gen == nil {
 		return len(s.g.order)
 	}
-	return len(s.order)
+	if s.ops == nil {
+		return len(s.order)
+	}
+	return len(s.materialize())
 }
 
-// Triples returns the visible triples in insertion order. The slice is
-// owned by the store and must not be mutated.
+// Triples returns the visible triples in insertion order (a triple
+// re-inserted after a delete counts from its latest insertion). The
+// slice is owned by the store and must not be mutated.
 func (s *Snapshot) Triples() []Triple {
 	if s.gen == nil {
 		return s.g.order
 	}
-	return s.order
+	if s.ops == nil {
+		return s.order
+	}
+	return s.materialize()
+}
+
+// materialize folds the snapshot's op window over its order prefix into
+// the live triple list, once, caching the result. Last-op-wins per
+// triple; a live triple keeps its latest insertion position, matching
+// what a rebuild from scratch would produce.
+func (s *Snapshot) materialize() []Triple {
+	s.matOnce.Do(func() {
+		state := make(map[Triple]bool, len(s.ops))
+		for _, op := range s.ops {
+			state[op.T] = !op.Del
+		}
+		out := make([]Triple, 0, len(s.order))
+		var emitted map[Triple]struct{}
+		for i := len(s.order) - 1; i >= 0; i-- {
+			t := s.order[i]
+			if live, touched := state[t]; touched {
+				if !live {
+					continue
+				}
+				if emitted == nil {
+					emitted = make(map[Triple]struct{}, len(state))
+				}
+				if _, dup := emitted[t]; dup {
+					continue
+				}
+				emitted[t] = struct{}{}
+			}
+			out = append(out, t)
+		}
+		slices.Reverse(out)
+		s.mat = out
+	})
+	return s.mat
 }
 
 // Has reports whether the triple is visible in this snapshot.
@@ -128,147 +197,185 @@ func (s *Snapshot) Has(t Triple) bool {
 		_, ok := s.g.triples[t]
 		return ok
 	}
+	key := HalfEdge{P: t.P, Other: t.O}
 	base := predRange(s.gen.csr.out(t.S), t.P)
-	if _, ok := slices.BinarySearchFunc(base, HalfEdge{P: t.P, Other: t.O}, CompareHalf); ok {
-		return true
-	}
+	_, basePresent := slices.BinarySearchFunc(base, key, CompareHalf)
 	if s.n == 0 {
-		return false
+		return basePresent
 	}
-	for _, dh := range predRangeDeltaHalf(loadHalfRun(&s.gen.delta.out, t.S), t.P) {
-		if dh.H.Other == t.O && dh.Seq < s.n {
-			return true
-		}
+	insVis, insSeq := maxVisibleSeqHalf(predRangeDeltaHalf(loadHalfRun(&s.gen.delta.out, t.S), t.P), key, s.n)
+	if s.ops == nil {
+		return basePresent || insVis
 	}
-	return false
+	tombVis, tombSeq := maxVisibleSeqHalf(predRangeDeltaHalf(loadHalfRun(&s.gen.delta.tombOut, t.S), t.P), key, s.n)
+	return VisibleKey(basePresent, insVis, insSeq, tombVis, tombSeq)
 }
 
-// OutEdges2 returns the outgoing (P, Other) adjacency of vertex v as two
-// zero-copy runs: the immutable CSR run and the raw delta run, both
-// sorted by (P, Other). Delta entries with Seq >= Bound() belong to
-// writes after this snapshot and must be skipped by the caller (the
-// match cursor does this inline; the allocating OutEdges pre-filters).
-// In map mode the delta run is nil and the base run is in insertion
-// order.
-func (s *Snapshot) OutEdges2(v ID) (base []HalfEdge, delta []DeltaHalf) {
+// OutEdges2 returns the outgoing (P, Other) adjacency of vertex v as
+// zero-copy runs: the immutable CSR run plus the raw insert and
+// tombstone delta runs, all sorted by (P, Other). Delta entries with
+// Seq >= Bound() belong to writes after this snapshot and must be
+// skipped by the caller (the match cursor does this inline; the
+// allocating OutEdges pre-filters). The tombstone run is nil whenever
+// the snapshot's window is insert-only — the common case, where callers
+// keep their two-run merge. In map mode both delta runs are nil and the
+// base run is in insertion order.
+func (s *Snapshot) OutEdges2(v ID) (base []HalfEdge, ins, tomb []DeltaHalf) {
 	if s.gen == nil {
-		return s.g.out[v], nil
+		return s.g.out[v], nil, nil
 	}
 	if s.n == 0 { // empty visible delta: skip the side-index lookup
-		return s.gen.csr.out(v), nil
+		return s.gen.csr.out(v), nil, nil
 	}
-	return s.gen.csr.out(v), loadHalfRun(&s.gen.delta.out, v)
+	if s.ops != nil {
+		tomb = loadHalfRun(&s.gen.delta.tombOut, v)
+	}
+	return s.gen.csr.out(v), loadHalfRun(&s.gen.delta.out, v), tomb
 }
 
 // InEdges2 is OutEdges2 for incoming edges of v.
-func (s *Snapshot) InEdges2(v ID) (base []HalfEdge, delta []DeltaHalf) {
+func (s *Snapshot) InEdges2(v ID) (base []HalfEdge, ins, tomb []DeltaHalf) {
 	if s.gen == nil {
-		return s.g.in[v], nil
+		return s.g.in[v], nil, nil
 	}
 	if s.n == 0 {
-		return s.gen.csr.in(v), nil
+		return s.gen.csr.in(v), nil, nil
 	}
-	return s.gen.csr.in(v), loadHalfRun(&s.gen.delta.in, v)
+	if s.ops != nil {
+		tomb = loadHalfRun(&s.gen.delta.tombIn, v)
+	}
+	return s.gen.csr.in(v), loadHalfRun(&s.gen.delta.in, v), tomb
 }
 
 // OutRun2 narrows OutEdges2 to the sub-runs labelled p. On a frozen
-// graph both runs are binary-searched and exact is true; in map mode it
+// graph the runs are binary-searched and exact is true; in map mode it
 // returns the full adjacency with exact false and the caller filters by
-// P. The delta run is raw: filter by Seq < Bound().
-func (s *Snapshot) OutRun2(v, p ID) (base []HalfEdge, delta []DeltaHalf, exact bool) {
+// P. The delta runs are raw: filter by Seq < Bound().
+func (s *Snapshot) OutRun2(v, p ID) (base []HalfEdge, ins, tomb []DeltaHalf, exact bool) {
 	if s.gen == nil {
-		return s.g.out[v], nil, false
+		return s.g.out[v], nil, nil, false
 	}
 	if s.n == 0 {
-		return predRange(s.gen.csr.out(v), p), nil, true
+		return predRange(s.gen.csr.out(v), p), nil, nil, true
 	}
-	return predRange(s.gen.csr.out(v), p), predRangeDeltaHalf(loadHalfRun(&s.gen.delta.out, v), p), true
+	if s.ops != nil {
+		tomb = predRangeDeltaHalf(loadHalfRun(&s.gen.delta.tombOut, v), p)
+	}
+	return predRange(s.gen.csr.out(v), p), predRangeDeltaHalf(loadHalfRun(&s.gen.delta.out, v), p), tomb, true
 }
 
 // InRun2 is OutRun2 for incoming edges of v.
-func (s *Snapshot) InRun2(v, p ID) (base []HalfEdge, delta []DeltaHalf, exact bool) {
+func (s *Snapshot) InRun2(v, p ID) (base []HalfEdge, ins, tomb []DeltaHalf, exact bool) {
 	if s.gen == nil {
-		return s.g.in[v], nil, false
+		return s.g.in[v], nil, nil, false
 	}
 	if s.n == 0 {
-		return predRange(s.gen.csr.in(v), p), nil, true
+		return predRange(s.gen.csr.in(v), p), nil, nil, true
 	}
-	return predRange(s.gen.csr.in(v), p), predRangeDeltaHalf(loadHalfRun(&s.gen.delta.in, v), p), true
+	if s.ops != nil {
+		tomb = predRangeDeltaHalf(loadHalfRun(&s.gen.delta.tombIn, v), p)
+	}
+	return predRange(s.gen.csr.in(v), p), predRangeDeltaHalf(loadHalfRun(&s.gen.delta.in, v), p), tomb, true
 }
 
-// ByPredicate2 returns the triples labelled p as two zero-copy runs:
-// the CSR arena run and the raw delta run, both sorted by (S, O) when
-// frozen. The delta run is raw: filter by Seq < Bound(). In map mode the
-// delta run is nil and the base run is in insertion order.
-func (s *Snapshot) ByPredicate2(p ID) (base []Triple, delta []DeltaTriple) {
+// ByPredicate2 returns the triples labelled p as zero-copy runs: the
+// CSR arena run plus the raw insert and tombstone delta runs, all
+// sorted by (S, O) when frozen. The delta runs are raw: filter by
+// Seq < Bound(). In map mode both delta runs are nil and the base run
+// is in insertion order.
+func (s *Snapshot) ByPredicate2(p ID) (base []Triple, ins, tomb []DeltaTriple) {
 	if s.gen == nil {
-		return s.g.byPred[p], nil
+		return s.g.byPred[p], nil, nil
 	}
 	if s.n == 0 {
-		return s.gen.csr.pred(p), nil
+		return s.gen.csr.pred(p), nil, nil
 	}
-	return s.gen.csr.pred(p), loadTripleRun(&s.gen.delta.byPred, p)
+	if s.ops != nil {
+		tomb = loadTripleRun(&s.gen.delta.tombByPred, p)
+	}
+	return s.gen.csr.pred(p), loadTripleRun(&s.gen.delta.byPred, p), tomb
 }
 
 // OutEdges returns the outgoing adjacency of v merged into one run
 // sorted by (P, Other). It allocates when v has visible delta edges;
 // the matcher uses OutEdges2 instead.
 func (s *Snapshot) OutEdges(v ID) []HalfEdge {
-	base, delta := s.OutEdges2(v)
-	if len(delta) == 0 {
+	base, ins, tomb := s.OutEdges2(v)
+	if len(tomb) > 0 {
+		return visibleMergedHalf(base, ins, tomb, s.n)
+	}
+	if len(ins) == 0 {
 		return base
 	}
-	return mergeHalf(base, visibleHalf(delta, s.n))
+	return mergeHalf(base, visibleHalf(ins, s.n))
 }
 
 // InEdges is OutEdges for incoming edges of v.
 func (s *Snapshot) InEdges(v ID) []HalfEdge {
-	base, delta := s.InEdges2(v)
-	if len(delta) == 0 {
+	base, ins, tomb := s.InEdges2(v)
+	if len(tomb) > 0 {
+		return visibleMergedHalf(base, ins, tomb, s.n)
+	}
+	if len(ins) == 0 {
 		return base
 	}
-	return mergeHalf(base, visibleHalf(delta, s.n))
+	return mergeHalf(base, visibleHalf(ins, s.n))
 }
 
 // OutRun returns v's outgoing edges labelled p, merged. exact is false
 // in map mode, where the caller must filter by P.
 func (s *Snapshot) OutRun(v, p ID) (run []HalfEdge, exact bool) {
-	base, delta, exact := s.OutRun2(v, p)
-	if len(delta) == 0 {
+	base, ins, tomb, exact := s.OutRun2(v, p)
+	if len(tomb) > 0 {
+		return visibleMergedHalf(base, ins, tomb, s.n), exact
+	}
+	if len(ins) == 0 {
 		return base, exact
 	}
-	return mergeHalf(base, visibleHalf(delta, s.n)), exact
+	return mergeHalf(base, visibleHalf(ins, s.n)), exact
 }
 
 // InRun is OutRun for incoming edges of v.
 func (s *Snapshot) InRun(v, p ID) (run []HalfEdge, exact bool) {
-	base, delta, exact := s.InRun2(v, p)
-	if len(delta) == 0 {
+	base, ins, tomb, exact := s.InRun2(v, p)
+	if len(tomb) > 0 {
+		return visibleMergedHalf(base, ins, tomb, s.n), exact
+	}
+	if len(ins) == 0 {
 		return base, exact
 	}
-	return mergeHalf(base, visibleHalf(delta, s.n)), exact
+	return mergeHalf(base, visibleHalf(ins, s.n)), exact
 }
 
 // ByPredicate returns all visible triples labelled p, merged into one
 // (S, O)-sorted run when frozen.
 func (s *Snapshot) ByPredicate(p ID) []Triple {
-	base, delta := s.ByPredicate2(p)
-	if len(delta) == 0 {
+	base, ins, tomb := s.ByPredicate2(p)
+	if len(tomb) > 0 {
+		return visibleMergedTriples(base, ins, tomb, s.n)
+	}
+	if len(ins) == 0 {
 		return base
 	}
-	return mergeTriples(base, visibleTriples(delta, s.n))
+	return mergeTriples(base, visibleTriples(ins, s.n))
 }
 
 // OutDegree returns the number of visible outgoing edges of v.
 func (s *Snapshot) OutDegree(v ID) int {
-	base, delta := s.OutEdges2(v)
-	return len(base) + countVisibleHalf(delta, s.n)
+	base, ins, tomb := s.OutEdges2(v)
+	if len(tomb) > 0 {
+		return countMergedHalf(base, ins, tomb, s.n)
+	}
+	return len(base) + countVisibleHalf(ins, s.n)
 }
 
 // InDegree is OutDegree for incoming edges.
 func (s *Snapshot) InDegree(v ID) int {
-	base, delta := s.InEdges2(v)
-	return len(base) + countVisibleHalf(delta, s.n)
+	base, ins, tomb := s.InEdges2(v)
+	if len(tomb) > 0 {
+		return countMergedHalf(base, ins, tomb, s.n)
+	}
+	return len(base) + countVisibleHalf(ins, s.n)
 }
 
 // Degree returns the total (out + in) degree of v.
@@ -278,9 +385,12 @@ func (s *Snapshot) Degree(v ID) int { return s.OutDegree(v) + s.InDegree(v) }
 // p: an exact (vertex, predicate) selectivity. O(log deg + delta) when
 // frozen, O(deg) in map mode.
 func (s *Snapshot) OutDegreeP(v, p ID) int {
-	base, delta, exact := s.OutRun2(v, p)
+	base, ins, tomb, exact := s.OutRun2(v, p)
 	if exact {
-		return len(base) + countVisibleHalf(delta, s.n)
+		if len(tomb) > 0 {
+			return countMergedHalf(base, ins, tomb, s.n)
+		}
+		return len(base) + countVisibleHalf(ins, s.n)
 	}
 	n := 0
 	for _, h := range base {
@@ -293,9 +403,12 @@ func (s *Snapshot) OutDegreeP(v, p ID) int {
 
 // InDegreeP is OutDegreeP for incoming edges.
 func (s *Snapshot) InDegreeP(v, p ID) int {
-	base, delta, exact := s.InRun2(v, p)
+	base, ins, tomb, exact := s.InRun2(v, p)
 	if exact {
-		return len(base) + countVisibleHalf(delta, s.n)
+		if len(tomb) > 0 {
+			return countMergedHalf(base, ins, tomb, s.n)
+		}
+		return len(base) + countVisibleHalf(ins, s.n)
 	}
 	n := 0
 	for _, h := range base {
@@ -308,8 +421,11 @@ func (s *Snapshot) InDegreeP(v, p ID) int {
 
 // PredicateCount returns the number of visible triples labelled p.
 func (s *Snapshot) PredicateCount(p ID) int {
-	base, delta := s.ByPredicate2(p)
-	return len(base) + countVisibleTriples(delta, s.n)
+	base, ins, tomb := s.ByPredicate2(p)
+	if len(tomb) > 0 {
+		return countMergedTriples(base, ins, tomb, s.n)
+	}
+	return len(base) + countVisibleTriples(ins, s.n)
 }
 
 // Predicates returns the distinct visible properties in ascending ID
@@ -326,6 +442,21 @@ func (s *Snapshot) Predicates() []ID {
 	c := s.gen.csr
 	if s.n == 0 {
 		return c.preds
+	}
+	if s.ops != nil {
+		// Deletes pending: a predicate stays only while a live triple
+		// carries it. Derive the set from the materialized triple list,
+		// exactly as a rebuild would.
+		seen := make(map[ID]struct{})
+		ps := make([]ID, 0, len(c.preds))
+		for _, t := range s.materialize() {
+			if _, dup := seen[t.P]; !dup {
+				seen[t.P] = struct{}{}
+				ps = append(ps, t.P)
+			}
+		}
+		sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+		return ps
 	}
 	var extra []ID
 	s.gen.delta.byPred.Range(func(k, v any) bool {
@@ -360,6 +491,21 @@ func (s *Snapshot) Vertices() []ID {
 	c := s.gen.csr
 	if s.n == 0 {
 		return c.verts
+	}
+	if s.ops != nil {
+		// Deletes pending: derive the vertex set from the materialized
+		// triple list, exactly as a rebuild would.
+		seen := make(map[ID]struct{})
+		for _, t := range s.materialize() {
+			seen[t.S] = struct{}{}
+			seen[t.O] = struct{}{}
+		}
+		vs := make([]ID, 0, len(seen))
+		for v := range seen {
+			vs = append(vs, v)
+		}
+		sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+		return vs
 	}
 	seen := make(map[ID]struct{})
 	for _, side := range []*sync.Map{&s.gen.delta.out, &s.gen.delta.in} {

@@ -7,32 +7,38 @@ import "sync"
 // constant selectivities (a triple pattern with a bound object matches
 // count/distinctObjects triples on average).
 //
-// Refresh is incremental: the cache keeps persistent per-predicate
-// aggregates (count plus distinct-subject/object sets) and a high-water
-// mark of how many insertion-order triples have been folded in. A
-// lookup that finds new triples folds only that suffix — O(new), not
-// O(|E|) — which is what makes planning affordable under a live update
-// stream. Because the graph is append-only and a compaction changes
-// representation but not content, the insertion-order prefix length IS
-// the cache key: a (generation, delta length) snapshot cut corresponds
-// to exactly one prefix length, so folded-to-length stats are
-// snapshot-consistent for every view at that cut. Safe for concurrent
-// readers racing the single writer on a frozen graph: the visible
-// length and order prefix are read through the graph's published
-// atomics.
+// Refresh is incremental within a CSR generation: the cache keeps
+// persistent per-predicate aggregates (count plus refcounted
+// distinct-subject/object maps) keyed by the generation id, folds the
+// generation's base order once, and then folds only the delta op-log
+// suffix on later lookups — O(new ops), not O(|E|). Delete ops
+// decrement the refcounts, so distinct counts shrink exactly when the
+// last triple carrying a subject/object under a predicate goes away. A
+// compaction starts a new generation (its order list may have been
+// rewritten to fold tombstones), which resets the cache and refolds;
+// compactions are rare enough that the amortized cost stays negligible.
+// Safe for concurrent readers racing the single writer on a frozen
+// graph: every input is read through the generation's published
+// atomics. Map-mode graphs refold fully when the epoch moves (the old
+// no-readers-during-mutation contract).
 type Stats struct {
 	g *Graph
 
-	mu      sync.RWMutex
-	folded  int // order-prefix triples folded into the aggregates
-	perPred map[ID]*predAgg
+	mu        sync.RWMutex
+	mapMode   bool
+	foldedGen uint64 // CSR generation the aggregates cover (0 = none)
+	foldedOps int    // delta ops of that generation folded in
+	foldedEp  uint64 // map mode: graph epoch covered
+	perPred   map[ID]*predAgg
 }
 
-// predAgg is the persistent aggregate for one predicate.
+// predAgg is the persistent aggregate for one predicate. The maps count
+// how many live triples of this predicate carry each subject/object, so
+// deletes can retire a distinct value exactly when its count reaches 0.
 type predAgg struct {
 	count int
-	subs  map[ID]struct{}
-	objs  map[ID]struct{}
+	subs  map[ID]int
+	objs  map[ID]int
 }
 
 // PredStats summarizes one property.
@@ -48,12 +54,16 @@ func NewStats(g *Graph) *Stats {
 }
 
 // Predicate returns the statistics for property p (zero value if absent).
-// New triples since the last call are folded in incrementally;
-// fresh-cache lookups contend only on a read lock.
+// New ops since the last call are folded in incrementally; fresh-cache
+// lookups contend only on a read lock.
 func (s *Stats) Predicate(p ID) PredStats {
-	target := s.g.visibleLen()
+	gen := s.g.gen.Load()
+	if gen == nil {
+		return s.predicateMap(p)
+	}
+	n := int(gen.delta.n.Load())
 	s.mu.RLock()
-	if s.folded >= target {
+	if !s.mapMode && s.foldedGen == gen.id && s.foldedOps >= n {
 		ps := s.read(p)
 		s.mu.RUnlock()
 		return ps
@@ -61,22 +71,85 @@ func (s *Stats) Predicate(p ID) PredStats {
 	s.mu.RUnlock()
 
 	s.mu.Lock()
-	if s.folded < target { // lost the fold race: already fresh
-		for _, t := range s.g.orderPrefix(target)[s.folded:] {
-			agg := s.perPred[t.P]
-			if agg == nil {
-				agg = &predAgg{subs: make(map[ID]struct{}), objs: make(map[ID]struct{})}
-				s.perPred[t.P] = agg
-			}
-			agg.count++
-			agg.subs[t.S] = struct{}{}
-			agg.objs[t.O] = struct{}{}
+	if s.mapMode || s.foldedGen != gen.id {
+		s.perPred = make(map[ID]*predAgg)
+		for _, t := range (*gen.ord.Load())[:gen.base] {
+			s.foldAdd(t)
 		}
-		s.folded = target
+		s.mapMode = false
+		s.foldedGen = gen.id
+		s.foldedOps = 0
+	}
+	if n > s.foldedOps {
+		ops := (*gen.delta.opsHdr.Load())[:n]
+		for _, op := range ops[s.foldedOps:] {
+			if op.Del {
+				s.foldDel(op.T)
+			} else {
+				s.foldAdd(op.T)
+			}
+		}
+		s.foldedOps = n
 	}
 	ps := s.read(p)
 	s.mu.Unlock()
 	return ps
+}
+
+// predicateMap is the map-mode path: refold everything when the epoch
+// moved (map-mode mutation splices in place, so there is no stable
+// suffix to fold incrementally).
+func (s *Stats) predicateMap(p ID) PredStats {
+	epoch := s.g.epoch.Load()
+	s.mu.RLock()
+	if s.mapMode && s.foldedEp == epoch {
+		ps := s.read(p)
+		s.mu.RUnlock()
+		return ps
+	}
+	s.mu.RUnlock()
+
+	s.mu.Lock()
+	if !s.mapMode || s.foldedEp != epoch {
+		s.perPred = make(map[ID]*predAgg)
+		for _, t := range s.g.order {
+			s.foldAdd(t)
+		}
+		s.mapMode = true
+		s.foldedEp = epoch
+		s.foldedGen = 0
+		s.foldedOps = 0
+	}
+	ps := s.read(p)
+	s.mu.Unlock()
+	return ps
+}
+
+// foldAdd folds one live triple into the aggregates; caller holds mu.
+func (s *Stats) foldAdd(t Triple) {
+	agg := s.perPred[t.P]
+	if agg == nil {
+		agg = &predAgg{subs: make(map[ID]int), objs: make(map[ID]int)}
+		s.perPred[t.P] = agg
+	}
+	agg.count++
+	agg.subs[t.S]++
+	agg.objs[t.O]++
+}
+
+// foldDel undoes foldAdd for one deleted triple; caller holds mu.
+func (s *Stats) foldDel(t Triple) {
+	agg := s.perPred[t.P]
+	if agg == nil {
+		return
+	}
+	agg.count--
+	if agg.subs[t.S]--; agg.subs[t.S] == 0 {
+		delete(agg.subs, t.S)
+	}
+	if agg.objs[t.O]--; agg.objs[t.O] == 0 {
+		delete(agg.objs, t.O)
+	}
 }
 
 // read assembles the exported numbers for p; caller holds a lock.

@@ -78,6 +78,87 @@ func TestStatsRefreshOnMutation(t *testing.T) {
 	}
 }
 
+// TestStatsFoldDeletes: tombstone ops fold into the persistent
+// aggregates incrementally — counts drop, and a distinct
+// subject/object retires exactly when its last carrier under the
+// predicate dies, never a delete earlier.
+func TestStatsFoldDeletes(t *testing.T) {
+	g := statsGraph()
+	g.Freeze()
+	st := NewStats(g)
+	p, _ := g.Dict.Lookup(NewIRI("p"))
+	if got := st.Predicate(p); got.Count != 6 {
+		t.Fatalf("baseline count = %d, want 6", got.Count)
+	}
+	del := func(s, o string) {
+		t.Helper()
+		sid, _ := g.Dict.Lookup(NewIRI(s))
+		oid, _ := g.Dict.Lookup(NewIRI(o))
+		if !g.Delete(Triple{S: sid, P: p, O: oid}) {
+			t.Fatalf("Delete(%s p %s) missed", s, o)
+		}
+	}
+	// s3 keeps (s3,p,o2), so the subject must NOT retire yet.
+	del("s3", "o1")
+	if ps := st.Predicate(p); ps.Count != 5 || ps.DistinctSubjects != 3 || ps.DistinctObjects != 2 {
+		t.Fatalf("after first delete = %+v, want {5 3 2}", ps)
+	}
+	// s3's last triple: now the subject retires.
+	del("s3", "o2")
+	if ps := st.Predicate(p); ps.Count != 4 || ps.DistinctSubjects != 2 || ps.DistinctObjects != 2 {
+		t.Fatalf("after s3 gone = %+v, want {4 2 2}", ps)
+	}
+	// Every remaining o1 carrier: the object retires.
+	del("s1", "o1")
+	del("s2", "o1")
+	if ps := st.Predicate(p); ps.Count != 2 || ps.DistinctSubjects != 2 || ps.DistinctObjects != 1 {
+		t.Fatalf("after o1 gone = %+v, want {2 2 1}", ps)
+	}
+	// A reinsert after deletes folds back in.
+	g.AddTerms(NewIRI("s3"), NewIRI("p"), NewIRI("o1"))
+	if ps := st.Predicate(p); ps.Count != 3 || ps.DistinctSubjects != 3 || ps.DistinctObjects != 2 {
+		t.Fatalf("after reinsert = %+v, want {3 3 2}", ps)
+	}
+	// Compaction starts a new generation; the refold agrees.
+	g.Compact()
+	if ps := st.Predicate(p); ps.Count != 3 || ps.DistinctSubjects != 3 || ps.DistinctObjects != 2 {
+		t.Fatalf("after compaction = %+v, want {3 3 2}", ps)
+	}
+	// The lock-free live counter the planner scales by tracks too:
+	// 3 live p triples + 2 untouched q triples.
+	if got := g.LiveTriples(); got != 5 {
+		t.Fatalf("LiveTriples = %d, want 5", got)
+	}
+}
+
+// TestSnapshotIdentityAccessors smokes the snapshot's identity surface
+// and the delta visibility bound the cursors filter by.
+func TestSnapshotIdentityAccessors(t *testing.T) {
+	g := statsGraph()
+	g.Freeze()
+	g.AddTerms(NewIRI("s9"), NewIRI("p"), NewIRI("o9"))
+	sn := g.Snapshot()
+	defer sn.Close()
+	if sn.Dict() != g.Dict {
+		t.Error("Snapshot.Dict is not the graph's dictionary")
+	}
+	if sn.Graph() != g {
+		t.Error("Snapshot.Graph is not the source graph")
+	}
+	if sn.Bound() != uint32(g.DeltaLen()) {
+		t.Errorf("Bound = %d, want the pinned delta length %d", sn.Bound(), g.DeltaLen())
+	}
+	if g.Epoch() == 0 {
+		t.Error("Epoch still 0 after mutations")
+	}
+	if id := g.Dict.MustLiteral("lit"); g.Dict.Decode(id).Value != "lit" {
+		t.Error("MustLiteral round trip failed")
+	}
+	if g.Dict.String() == "" || (Triple{1, 2, 3}).String() == "" {
+		t.Error("debug Strings empty")
+	}
+}
+
 func TestEstimateTriplePattern(t *testing.T) {
 	g := statsGraph()
 	st := NewStats(g)

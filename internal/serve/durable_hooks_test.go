@@ -25,12 +25,12 @@ func TestUpdateApplyErrorLeavesServerUntouched(t *testing.T) {
 	rejected := errors.New("sink rejected the batch")
 	calls := 0
 	srv := serve.New(engine, serve.Config{
-		Apply: func(ts []rdf.Triple) (serve.UpdateStats, error) {
+		Apply: func(op serve.Op, ts []rdf.Triple) (serve.UpdateStats, error) {
 			calls++
 			if calls%2 == 1 {
 				return serve.UpdateStats{}, rejected
 			}
-			return testApply(env)(ts)
+			return testApply(env)(op, ts)
 		},
 	})
 	defer srv.Close()
@@ -73,7 +73,7 @@ func TestExclusivePublishesMaintenanceMutations(t *testing.T) {
 	// and compact-on-save do. Without the Publish inside Exclusive the
 	// next query would still be admitted against the stale view.
 	srv.Exclusive(func() {
-		testApply(env)([]rdf.Triple{{
+		testApply(env)(serve.OpInsert, []rdf.Triple{{
 			S: env.G.Dict.MustIRI("exclusive-s"),
 			P: env.G.Dict.MustIRI("name"),
 			O: env.G.Dict.MustLiteral("Exclusive Row"),

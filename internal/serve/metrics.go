@@ -49,10 +49,13 @@ type Metrics struct {
 	// first such completion.
 	JoinPartitionsCap       int
 	EffectiveJoinPartitions float64
-	// Updates counts applied live-update batches; TriplesAdded is the
-	// total of new triples they contributed (duplicates excluded).
-	Updates      uint64
-	TriplesAdded uint64
+	// Updates counts applied live-update batches (inserts and deletes);
+	// TriplesAdded is the total of new triples insert batches contributed
+	// (duplicates excluded) and TriplesDeleted the total delete batches
+	// removed (absent triples excluded).
+	Updates        uint64
+	TriplesAdded   uint64
+	TriplesDeleted uint64
 	// DeltaTriples is the global graph's delta overlay size after the
 	// most recent update (0 right after a compaction); Compactions is
 	// its cumulative compaction count. Both are zero until the first
@@ -126,7 +129,8 @@ type collector struct {
 	joinCount   atomic.Int64  // join-bearing completions the sum covers
 	partials    atomic.Uint64 // completions flagged partial (sites skipped)
 	updates     atomic.Uint64 // applied live-update batches
-	triplesAdd  atomic.Uint64 // new triples those batches contributed
+	triplesAdd  atomic.Uint64 // new triples insert batches contributed
+	triplesDel  atomic.Uint64 // triples delete batches removed
 	deltaGauge  atomic.Int64  // global delta size after the last update
 	compactions atomic.Uint64 // global graph's cumulative compactions
 
@@ -161,6 +165,7 @@ func (m *collector) joinPartitions(p int) {
 func (m *collector) update(st UpdateStats) {
 	m.updates.Add(1)
 	m.triplesAdd.Add(uint64(st.Added))
+	m.triplesDel.Add(uint64(st.Deleted))
 	m.deltaGauge.Store(int64(st.DeltaTriples))
 	m.compactions.Store(st.Compactions)
 }
@@ -191,6 +196,7 @@ func (m *collector) snapshot() Metrics {
 		PartialResults: m.partials.Load(),
 		Updates:        m.updates.Load(),
 		TriplesAdded:   m.triplesAdd.Load(),
+		TriplesDeleted: m.triplesDel.Load(),
 		DeltaTriples:   int(m.deltaGauge.Load()),
 		Compactions:    m.compactions.Load(),
 	}

@@ -19,6 +19,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"time"
@@ -66,19 +67,41 @@ type Config struct {
 	// it from its parallelism grant; negative forces the sequential
 	// symmetric join).
 	JoinPartitions int
-	// Apply, when non-nil, is the live-update sink: Update routes triple
-	// batches through it under the server's writer mutex (updates are
-	// serialized with each other, never with queries) and publishes a new
-	// MVCC read view when the batch lands. In-flight queries keep reading
-	// the view they pinned at admission; queries admitted afterwards see
-	// the whole batch. The callback reports what the batch did; an error
-	// rejects the batch whole — the sink's contract is that it fails only
-	// before mutating anything (e.g. the write-ahead-log append failed),
-	// so no view is published and nothing was torn.
-	Apply func(ts []rdf.Triple) (UpdateStats, error)
+	// Apply, when non-nil, is the live-update sink: Update and Delete
+	// route triple batches through it under the server's writer mutex
+	// (updates are serialized with each other, never with queries) and
+	// publish a new MVCC read view when the batch lands. In-flight
+	// queries keep reading the view they pinned at admission; queries
+	// admitted afterwards see the whole batch. The callback reports what
+	// the batch did; an error rejects the batch whole — the sink's
+	// contract is that it fails only before mutating anything (e.g. the
+	// write-ahead-log append failed), so no view is published and nothing
+	// was torn.
+	Apply func(op Op, ts []rdf.Triple) (UpdateStats, error)
 	// WALStats, when non-nil, snapshots the durability layer's counters
 	// for Metrics (a server fronting a write-ahead-logged deployment).
 	WALStats func() WALMetrics
+}
+
+// Op says what an update batch does with its triples.
+type Op uint8
+
+const (
+	// OpInsert adds the batch's triples (duplicates are skipped).
+	OpInsert Op = iota
+	// OpDelete removes the batch's triples (absent triples are no-ops).
+	OpDelete
+)
+
+// String renders the op the way the HTTP API spells it.
+func (op Op) String() string {
+	switch op {
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	}
+	return fmt.Sprintf("Op(%d)", int(op))
 }
 
 // UpdateStats reports the effect of one applied update batch.
@@ -86,6 +109,10 @@ type UpdateStats struct {
 	// Added counts triples that were new to the global graph (duplicates
 	// are skipped).
 	Added int
+	// Deleted counts triples a delete batch actually removed from the
+	// global graph (tombstoning a triple that was never inserted is a
+	// no-op, not an error).
+	Deleted int
 	// DeltaTriples is the global graph's delta overlay size after the
 	// batch (0 right after a compaction).
 	DeltaTriples int
@@ -294,7 +321,7 @@ func (s *Server) execute(req *request) outcome {
 	return outcome{resp: &Response{Bindings: b, Stats: stats, CacheHit: hit, Latency: lat}}
 }
 
-// Update applies a batch of triples to the deployment through the
+// Update applies an insert batch to the deployment through the
 // configured Apply sink. It takes the writer mutex — updates serialize
 // with each other and with Exclusive, but never wait for queries: the
 // graphs' delta appends and compactions are MVCC-safe against readers
@@ -304,6 +331,18 @@ func (s *Server) execute(req *request) outcome {
 // cancelled ctx is honoured before the mutex is taken; once applying,
 // the batch always completes (partial updates would be torn).
 func (s *Server) Update(ctx context.Context, ts []rdf.Triple) (UpdateStats, error) {
+	return s.apply(ctx, OpInsert, ts)
+}
+
+// Delete applies a delete batch through the same serialized writer path
+// as Update: matched triples are tombstoned in the deployment's graphs
+// and a new read view publishes the removal atomically. Deleting a
+// triple that is not present is a no-op, not an error.
+func (s *Server) Delete(ctx context.Context, ts []rdf.Triple) (UpdateStats, error) {
+	return s.apply(ctx, OpDelete, ts)
+}
+
+func (s *Server) apply(ctx context.Context, op Op, ts []rdf.Triple) (UpdateStats, error) {
 	s.mu.RLock()
 	closed := s.closed
 	s.mu.RUnlock()
@@ -333,7 +372,7 @@ func (s *Server) Update(ctx context.Context, ts []rdf.Triple) (UpdateStats, erro
 	if err := ctx.Err(); err != nil {
 		return UpdateStats{}, err
 	}
-	st, err := s.cfg.Apply(ts)
+	st, err := s.cfg.Apply(op, ts)
 	if err != nil {
 		// The sink rejected the batch before mutating anything (its
 		// contract): no new view, no gauge movement, nothing applied.

@@ -30,11 +30,12 @@ import (
 )
 
 // testApply mirrors the deployment layer's update routing over a testenv
-// fixture: the global graph always takes the triple; hot-predicate
-// triples additionally go to the hot graph and every fragment whose
-// generating pattern uses the predicate, everything else to the cold
-// graph and cold fragment.
-func testApply(env *testenv.Env) func(ts []rdf.Triple) (serve.UpdateStats, error) {
+// fixture: the global graph always takes an inserted triple;
+// hot-predicate triples additionally go to the hot graph and every
+// fragment whose generating pattern uses the predicate, everything else
+// to the cold graph and cold fragment. Deletes tombstone the triple
+// everywhere it may have landed.
+func testApply(env *testenv.Env) func(op serve.Op, ts []rdf.Triple) (serve.UpdateStats, error) {
 	usesPred := func(f *fragment.Fragment, p rdf.ID) bool {
 		if f.Pattern == nil {
 			return false
@@ -46,9 +47,25 @@ func testApply(env *testenv.Env) func(ts []rdf.Triple) (serve.UpdateStats, error
 		}
 		return false
 	}
-	return func(ts []rdf.Triple) (serve.UpdateStats, error) {
-		added := 0
+	return func(op serve.Op, ts []rdf.Triple) (serve.UpdateStats, error) {
+		added, deleted := 0, 0
 		for _, t := range ts {
+			if op == serve.OpDelete {
+				if !env.G.Delete(t) {
+					continue
+				}
+				deleted++
+				if env.HC.FreqProps[t.P] {
+					env.HC.Hot.Delete(t)
+				} else {
+					env.HC.Cold.Delete(t)
+				}
+				for _, f := range env.Frag.Fragments {
+					f.Graph.Delete(t)
+				}
+				env.Frag.Cold.Graph.Delete(t)
+				continue
+			}
 			if !env.G.Add(t) {
 				continue
 			}
@@ -71,6 +88,7 @@ func testApply(env *testenv.Env) func(ts []rdf.Triple) (serve.UpdateStats, error
 		}
 		return serve.UpdateStats{
 			Added:        added,
+			Deleted:      deleted,
 			DeltaTriples: env.G.DeltaLen(),
 			Compactions:  env.G.Compactions(),
 		}, nil
@@ -230,6 +248,55 @@ func TestServerUpdateSoak(t *testing.T) {
 func parsedSoak(t *testing.T, env *testenv.Env, rng *rand.Rand) *sparql.Graph {
 	t.Helper()
 	return sparql.MustParse(env.G.Dict, soakQueries[rng.Intn(len(soakQueries))])
+}
+
+// TestServerDeleteRoutesThroughApply: Server.Delete shares the update
+// path — serialized with inserts, counted in Deleted stats and the
+// TriplesDeleted metric, and visible to the next query; deleting a
+// never-inserted triple is a no-op, not a phantom.
+func TestServerDeleteRoutesThroughApply(t *testing.T) {
+	engine, env := newEngine(t, cluster.Delay{})
+	env.G.Freeze()
+	srv := serve.New(engine, serve.Config{Apply: testApply(env)})
+	defer srv.Close()
+
+	q := sparql.MustParse(env.G.Dict, `SELECT ?x ?n WHERE { ?x <name> ?n . }`)
+	base, err := srv.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := env.G.Dict.MustIRI("del-target")
+	ts := []rdf.Triple{{S: s, P: env.G.Dict.MustIRI("name"), O: env.G.Dict.MustLiteral("Del Target")}}
+	if st, err := srv.Update(context.Background(), ts); err != nil || st.Added != 1 {
+		t.Fatalf("insert: stats %+v, err %v", st, err)
+	}
+
+	st, err := srv.Delete(context.Background(), ts)
+	if err != nil || st.Deleted != 1 {
+		t.Fatalf("delete: stats %+v, err %v", st, err)
+	}
+	after, err := srv.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Bindings.Rows) != len(base.Bindings.Rows) {
+		t.Fatalf("delete not visible: %d rows, want %d", len(after.Bindings.Rows), len(base.Bindings.Rows))
+	}
+
+	// Deleting it again (now absent) must count zero.
+	st, err = srv.Delete(context.Background(), ts)
+	if err != nil || st.Deleted != 0 {
+		t.Fatalf("re-delete of absent triple: stats %+v, err %v", st, err)
+	}
+
+	m := srv.Metrics()
+	if m.TriplesDeleted != 1 {
+		t.Fatalf("TriplesDeleted = %d, want 1", m.TriplesDeleted)
+	}
+	if m.TriplesAdded != 1 || m.Updates != 3 {
+		t.Fatalf("gauges after insert+2 deletes: %+v", m)
+	}
 }
 
 // TestUpdateNoSink: a server without an Apply sink rejects updates.

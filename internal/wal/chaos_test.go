@@ -51,7 +51,7 @@ func TestChaosCrashRecoverySoak(t *testing.T) {
 
 		// Append until the machine crashes or the round's budget runs out.
 		for i := 0; i < 40; i++ {
-			seq, err := l.Append([]byte(payloadFor(acked + 1)))
+			seq, err := l.Append(KindInsert, []byte(payloadFor(acked+1)))
 			if err != nil {
 				// The crash struck this append's fsync: the record was
 				// never acked, so recovery may or may not keep earlier
@@ -82,7 +82,7 @@ func TestChaosCrashTearsPending(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 1; i <= 3; i++ {
-		if _, err := l.Append([]byte(payloadFor(uint64(i)))); err != nil {
+		if _, err := l.Append(KindInsert, []byte(payloadFor(uint64(i)))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -90,7 +90,7 @@ func TestChaosCrashTearsPending(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 4; i <= 6; i++ {
-		if _, err := l.Append([]byte(payloadFor(uint64(i)))); err != nil {
+		if _, err := l.Append(KindInsert, []byte(payloadFor(uint64(i)))); err != nil {
 			t.Fatal(err)
 		}
 	}

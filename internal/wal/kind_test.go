@@ -1,0 +1,193 @@
+package wal
+
+// Record-kind framing tests: the v2 kind byte round-trips through
+// append/reopen/replay, v1 segments written before kinds existed stay
+// replayable as inserts, an unknown kind value truncates like
+// corruption, and the CRC genuinely covers the kind byte.
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRecordKindRoundTrip(t *testing.T) {
+	opts := testOpts(t, SyncAlways)
+	l := mustOpen(t, opts)
+	kinds := []Kind{KindInsert, KindDelete, KindDelete, KindInsert, KindDelete}
+	for i, k := range kinds {
+		seq, err := l.Append(k, []byte{byte('a' + i)})
+		if err != nil {
+			t.Fatalf("Append kind %d: %v", k, err)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("seq = %d, want %d", seq, i+1)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	l2 := mustOpen(t, opts)
+	defer l2.Close()
+	var got []Kind
+	err := l2.Replay(0, nil, func(rec Record) error {
+		got = append(got, rec.Kind)
+		if want := byte('a' + len(got) - 1); len(rec.Payload) != 1 || rec.Payload[0] != want {
+			t.Errorf("seq %d payload %q, want %q", rec.Seq, rec.Payload, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if len(got) != len(kinds) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(kinds))
+	}
+	for i, k := range kinds {
+		if got[i] != k {
+			t.Errorf("record %d replayed as kind %d, want %d", i+1, got[i], k)
+		}
+	}
+}
+
+// appendRecordV1 frames one record the way "RDFWAL1\n" segments did:
+// no kind byte, CRC over seq + payload only.
+func appendRecordV1(buf []byte, seq uint64, payload []byte) []byte {
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(8+len(payload)))
+	binary.LittleEndian.PutUint64(hdr[8:16], seq)
+	crc := crc32.Checksum(hdr[8:16], castagnoli)
+	crc = crc32.Update(crc, castagnoli, payload)
+	binary.LittleEndian.PutUint32(hdr[4:8], crc)
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+func TestV1SegmentReadCompat(t *testing.T) {
+	dir := t.TempDir()
+	img := make([]byte, segHeaderSize)
+	copy(img, segMagicV1)
+	binary.LittleEndian.PutUint32(img[len(segMagicV1):], 7)
+	binary.LittleEndian.PutUint64(img[len(segMagicV1)+4:], 0xfeed)
+	img = appendRecordV1(img, 1, []byte("old-one"))
+	img = appendRecordV1(img, 2, []byte("old-two"))
+	if err := os.WriteFile(filepath.Join(dir, segName(1)), img, 0o644); err != nil {
+		t.Fatalf("write v1 segment: %v", err)
+	}
+
+	l := mustOpen(t, Options{Dir: dir, Sync: SyncAlways})
+	defer l.Close()
+	if l.LastSeq() != 2 {
+		t.Fatalf("LastSeq = %d, want 2 (both v1 records recovered)", l.LastSeq())
+	}
+	var recs []Record
+	var dictLen int
+	var dictFP uint64
+	err := l.Replay(0, func(n int, fp uint64) error {
+		dictLen, dictFP = n, fp
+		return nil
+	}, func(rec Record) error {
+		recs = append(recs, Record{Seq: rec.Seq, Kind: rec.Kind, Payload: append([]byte(nil), rec.Payload...)})
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if dictLen != 7 || dictFP != 0xfeed {
+		t.Errorf("v1 header dict state = (%d, %#x), want (7, 0xfeed)", dictLen, dictFP)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("replayed %d records, want 2", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.Kind != KindInsert {
+			t.Errorf("v1 record %d decoded as kind %d, want KindInsert", rec.Seq, rec.Kind)
+		}
+		want := []string{"old-one", "old-two"}[i]
+		if string(rec.Payload) != want {
+			t.Errorf("v1 record %d payload %q, want %q", rec.Seq, rec.Payload, want)
+		}
+	}
+
+	// Appends land in a fresh v2 segment continuing the sequence: a
+	// mixed-version directory replays as one stream.
+	seq, err := l.Append(KindDelete, []byte("new-three"))
+	if err != nil {
+		t.Fatalf("Append after v1 recovery: %v", err)
+	}
+	if seq != 3 {
+		t.Fatalf("post-v1 append seq = %d, want 3", seq)
+	}
+	if err := l.Rotate(); err != nil {
+		t.Fatalf("Rotate: %v", err)
+	}
+	got := map[uint64]Kind{}
+	if err := l.Replay(0, nil, func(rec Record) error {
+		got[rec.Seq] = rec.Kind
+		return nil
+	}); err != nil {
+		t.Fatalf("Replay after append: %v", err)
+	}
+	if len(got) != 3 || got[3] != KindDelete {
+		t.Fatalf("mixed-version replay = %v, want 3 records with seq 3 a delete", got)
+	}
+}
+
+func TestUnknownKindTruncates(t *testing.T) {
+	dir := t.TempDir()
+	img := encodeSegHeader(0, 0)
+	img = appendRecord(img, 1, KindInsert, []byte("good"))
+	img = appendRecord(img, 2, Kind(2), []byte("from-the-future"))
+	img = appendRecord(img, 3, KindInsert, []byte("unreachable"))
+	if err := os.WriteFile(filepath.Join(dir, segName(1)), img, 0o644); err != nil {
+		t.Fatalf("write segment: %v", err)
+	}
+
+	l := mustOpen(t, Options{Dir: dir, Sync: SyncAlways})
+	defer l.Close()
+	// The unknown kind is a truncation point, exactly like a CRC failure:
+	// nothing at or past it survives, CRC-valid or not.
+	if l.LastSeq() != 1 {
+		t.Fatalf("LastSeq = %d, want 1 (truncated at the unknown kind)", l.LastSeq())
+	}
+	if m := l.Metrics(); m.TruncatedBytes == 0 {
+		t.Error("TruncatedBytes = 0, want the dropped frames counted")
+	}
+	if got := collect(t, l, 0); len(got) != 1 || got[1] != "good" {
+		t.Fatalf("replay = %v, want only seq 1 %q", got, "good")
+	}
+	if seq := mustAppend(t, l, "resumed"); seq != 2 {
+		t.Fatalf("append after truncation seq = %d, want 2", seq)
+	}
+}
+
+func TestCRCCoversKindByte(t *testing.T) {
+	opts := testOpts(t, SyncAlways)
+	l := mustOpen(t, opts)
+	mustAppend(t, l, "payload")
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	path := filepath.Join(opts.Dir, segName(1))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read segment: %v", err)
+	}
+	// Flip the kind byte (frame offset: 4 len + 4 crc + 8 seq) from
+	// insert to delete without touching the CRC: the record must fail
+	// the checksum, not silently replay as a delete.
+	data[segHeaderSize+16] ^= 1
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("rewrite segment: %v", err)
+	}
+	l2 := mustOpen(t, opts)
+	defer l2.Close()
+	if l2.LastSeq() != 0 {
+		t.Fatalf("LastSeq = %d, want 0 (flipped kind byte must fail the CRC)", l2.LastSeq())
+	}
+	if got := collect(t, l2, 0); len(got) != 0 {
+		t.Fatalf("replay = %v, want nothing", got)
+	}
+}

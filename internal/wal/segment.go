@@ -11,27 +11,46 @@ import (
 // On-disk layout. A segment file is a fixed header followed by a run of
 // framed records:
 //
-//	header:  magic "RDFWAL1\n" | uint32 dictLen | uint64 dictFP
-//	record:  uint32 frameLen | uint32 crc32c | uint64 seq | payload
+//	header:  magic "RDFWAL2\n" | uint32 dictLen | uint64 dictFP
+//	record:  uint32 frameLen | uint32 crc32c | uint64 seq | uint8 kind | payload
 //
-// frameLen counts the seq field plus the payload (so a record occupies
-// 8+frameLen bytes on disk) and the CRC covers exactly those frameLen
-// bytes — a flipped bit in either the sequence number or the payload
-// fails the checksum. All integers are little-endian. The header's
-// dictLen/dictFP stamp the term-dictionary state at segment creation so
-// recovery can refuse to replay a log against a foreign checkpoint.
+// frameLen counts the seq and kind fields plus the payload (so a record
+// occupies 8+frameLen bytes on disk) and the CRC covers exactly those
+// frameLen bytes — a flipped bit in the sequence number, the record
+// kind, or the payload fails the checksum. All integers are
+// little-endian. The header's dictLen/dictFP stamp the term-dictionary
+// state at segment creation so recovery can refuse to replay a log
+// against a foreign checkpoint.
+//
+// Version history. "RDFWAL1\n" segments predate record kinds: their
+// frames carry no kind byte (frameLen = 8 + len(payload)) and every
+// record is an insert. Readers accept both versions — a deployment
+// upgraded in place keeps its v1 segments replayable — but new segments
+// are always written v2, so a log directory may legitimately hold a mix.
 const (
-	segMagic      = "RDFWAL1\n"
+	segMagicV1    = "RDFWAL1\n"
+	segMagic      = "RDFWAL2\n"
 	segHeaderSize = len(segMagic) + 4 + 8
-	recHeaderSize = 4 + 4 + 8
+	recHeaderSize = 4 + 4 + 8 + 1
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
-// Record is one WAL entry: a monotonically increasing sequence number
-// and the raw update-batch payload.
+// Kind says what an update record does to the triples in its payload.
+type Kind uint8
+
+const (
+	// KindInsert adds the payload's triples. v1 records decode as inserts.
+	KindInsert Kind = 0
+	// KindDelete removes the payload's triples.
+	KindDelete Kind = 1
+)
+
+// Record is one WAL entry: a monotonically increasing sequence number,
+// the operation kind, and the raw update-batch payload.
 type Record struct {
 	Seq     uint64
+	Kind    Kind
 	Payload []byte
 }
 
@@ -57,7 +76,7 @@ func parseSegName(name string) (uint64, bool) {
 	return n, true
 }
 
-// encodeSegHeader renders a segment header.
+// encodeSegHeader renders a (v2) segment header.
 func encodeSegHeader(dictLen int, dictFP uint64) []byte {
 	buf := make([]byte, segHeaderSize)
 	copy(buf, segMagic)
@@ -66,22 +85,32 @@ func encodeSegHeader(dictLen int, dictFP uint64) []byte {
 	return buf
 }
 
-// decodeSegHeader validates and reads a segment header.
-func decodeSegHeader(data []byte) (dictLen int, dictFP uint64, ok bool) {
-	if len(data) < segHeaderSize || string(data[:len(segMagic)]) != segMagic {
-		return 0, 0, false
+// decodeSegHeader validates and reads a segment header, reporting which
+// layout version the segment's frames use.
+func decodeSegHeader(data []byte) (dictLen int, dictFP uint64, version int, ok bool) {
+	if len(data) < segHeaderSize {
+		return 0, 0, 0, false
+	}
+	switch string(data[:len(segMagic)]) {
+	case segMagic:
+		version = 2
+	case segMagicV1:
+		version = 1
+	default:
+		return 0, 0, 0, false
 	}
 	dictLen = int(binary.LittleEndian.Uint32(data[len(segMagic):]))
 	dictFP = binary.LittleEndian.Uint64(data[len(segMagic)+4:])
-	return dictLen, dictFP, true
+	return dictLen, dictFP, version, true
 }
 
-// appendRecord frames one record onto buf.
-func appendRecord(buf []byte, seq uint64, payload []byte) []byte {
+// appendRecord frames one v2 record onto buf.
+func appendRecord(buf []byte, seq uint64, kind Kind, payload []byte) []byte {
 	var hdr [recHeaderSize]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(8+len(payload)))
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(9+len(payload)))
 	binary.LittleEndian.PutUint64(hdr[8:16], seq)
-	crc := crc32.Checksum(hdr[8:16], castagnoli)
+	hdr[16] = byte(kind)
+	crc := crc32.Checksum(hdr[8:17], castagnoli)
 	crc = crc32.Update(crc, castagnoli, payload)
 	binary.LittleEndian.PutUint32(hdr[4:8], crc)
 	buf = append(buf, hdr[:]...)
@@ -89,18 +118,23 @@ func appendRecord(buf []byte, seq uint64, payload []byte) []byte {
 }
 
 // scanSegment walks the records of a segment file image (header
-// included), enforcing the CRC and strict sequence continuity from
-// prevSeq. It returns the valid records and the byte offset of the
-// first invalid frame — torn short, checksum-failed, or out of
-// sequence; valid == len(data) means the segment is whole.
-func scanSegment(data []byte, prevSeq uint64) (recs []Record, valid int64) {
+// included), decoding frames per the given layout version, enforcing
+// the CRC and strict sequence continuity from prevSeq. It returns the
+// valid records and the byte offset of the first invalid frame — torn
+// short, checksum-failed, out of sequence, or carrying an unknown
+// record kind; valid == len(data) means the segment is whole.
+func scanSegment(data []byte, prevSeq uint64, version int) (recs []Record, valid int64) {
+	minBody := 8 // v1: seq only
+	if version >= 2 {
+		minBody = 9 // v2: seq + kind
+	}
 	off := segHeaderSize
 	for {
-		if off+recHeaderSize > len(data) {
+		if off+8+minBody > len(data) {
 			return recs, int64(off)
 		}
 		frameLen := int(binary.LittleEndian.Uint32(data[off : off+4]))
-		if frameLen < 8 || off+8+frameLen > len(data) {
+		if frameLen < minBody || off+8+frameLen > len(data) {
 			return recs, int64(off)
 		}
 		want := binary.LittleEndian.Uint32(data[off+4 : off+8])
@@ -112,7 +146,15 @@ func scanSegment(data []byte, prevSeq uint64) (recs []Record, valid int64) {
 		if seq != prevSeq+1 {
 			return recs, int64(off)
 		}
-		recs = append(recs, Record{Seq: seq, Payload: body[8:]})
+		rec := Record{Seq: seq, Kind: KindInsert, Payload: body[8:]}
+		if version >= 2 {
+			rec.Kind = Kind(body[8])
+			rec.Payload = body[9:]
+			if rec.Kind > KindDelete {
+				return recs, int64(off)
+			}
+		}
+		recs = append(recs, rec)
 		prevSeq = seq
 		off += 8 + frameLen
 	}

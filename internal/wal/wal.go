@@ -150,6 +150,11 @@ type Log struct {
 	syncErr error // a failed background fsync poisons the log
 	buf     []byte
 
+	// tailVersion is the layout version of the newest recovered segment;
+	// a v1 tail is sealed rather than reopened for append (new records
+	// carry a kind byte its header doesn't announce).
+	tailVersion int
+
 	appends       uint64
 	fsyncs        uint64
 	appendedBytes uint64
@@ -178,7 +183,11 @@ func Open(opts Options) (*Log, error) {
 	if err := l.recover(); err != nil {
 		return nil, err
 	}
-	if len(l.segs) == 0 {
+	if len(l.segs) == 0 || l.tailVersion < 2 {
+		// No live segment, or the newest one uses the v1 frame layout:
+		// appends must land in a fresh v2 segment — a v2 frame written
+		// into a v1 segment would replay with its kind byte misread as
+		// the payload's first byte.
 		if err := l.openSegmentLocked(l.lastSeq + 1); err != nil {
 			return nil, err
 		}
@@ -243,7 +252,7 @@ func (l *Log) recover() error {
 		if err != nil {
 			return fmt.Errorf("wal: read %s: %w", c.name, err)
 		}
-		_, _, headerOK := decodeSegHeader(data)
+		_, _, version, headerOK := decodeSegHeader(data)
 		if !headerOK || (i > 0 && c.firstSeq != prevSeq+1) {
 			// A crash during segment creation tears the header before
 			// any record lands; a firstSeq gap means the covering
@@ -252,7 +261,8 @@ func (l *Log) recover() error {
 			l.truncated += int64(len(data))
 			return drop(i)
 		}
-		recs, valid := scanSegment(data, prevSeq)
+		l.tailVersion = version
+		recs, valid := scanSegment(data, prevSeq, version)
 		if len(recs) > 0 {
 			prevSeq = recs[len(recs)-1].Seq
 		}
@@ -293,11 +303,11 @@ func (l *Log) openSegmentLocked(firstSeq uint64) error {
 	return nil
 }
 
-// Append frames payload as the next record and writes it to the live
-// segment, rotating first if the segment is over size. Under SyncAlways
-// the record is fsynced before Append returns. The returned sequence
-// number is what replay idempotence keys on.
-func (l *Log) Append(payload []byte) (uint64, error) {
+// Append frames payload as the next record of the given kind and writes
+// it to the live segment, rotating first if the segment is over size.
+// Under SyncAlways the record is fsynced before Append returns. The
+// returned sequence number is what replay idempotence keys on.
+func (l *Log) Append(kind Kind, payload []byte) (uint64, error) {
 	start := time.Now()
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -315,7 +325,7 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 		}
 	}
 	seq := l.lastSeq + 1
-	l.buf = appendRecord(l.buf[:0], seq, payload)
+	l.buf = appendRecord(l.buf[:0], seq, kind, payload)
 	if _, err := l.cur.Write(l.buf); err != nil {
 		return 0, fmt.Errorf("wal: append: %w", err)
 	}
@@ -444,11 +454,11 @@ func (l *Log) Replay(after uint64, enterSegment func(dictLen int, dictFP uint64)
 		if err != nil {
 			return fmt.Errorf("wal: replay %s: %w", seg.name, err)
 		}
-		dictLen, dictFP, ok := decodeSegHeader(data)
+		dictLen, dictFP, version, ok := decodeSegHeader(data)
 		if !ok {
 			return fmt.Errorf("wal: replay %s: bad segment header", seg.name)
 		}
-		recs, _ := scanSegment(data, seg.firstSeq-1)
+		recs, _ := scanSegment(data, seg.firstSeq-1, version)
 		entered := false
 		for _, rec := range recs {
 			if rec.Seq <= after {

@@ -24,7 +24,7 @@ func BenchmarkWALAppend(b *testing.B) {
 			b.SetBytes(int64(len(payload)))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := l.Append(payload); err != nil {
+				if _, err := l.Append(KindInsert, payload); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -45,7 +45,7 @@ func BenchmarkWALGroupCommitLatency(b *testing.B) {
 	payload := []byte("group-commit-latency-probe")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := l.Append(payload); err != nil {
+		if _, err := l.Append(KindInsert, payload); err != nil {
 			b.Fatal(err)
 		}
 		fsyncs := l.Metrics().Fsyncs

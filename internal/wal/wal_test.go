@@ -25,7 +25,7 @@ func mustOpen(t *testing.T, opts Options) *Log {
 
 func mustAppend(t *testing.T, l *Log, payload string) uint64 {
 	t.Helper()
-	seq, err := l.Append([]byte(payload))
+	seq, err := l.Append(KindInsert, []byte(payload))
 	if err != nil {
 		t.Fatalf("Append(%q): %v", payload, err)
 	}
@@ -319,7 +319,7 @@ func TestAppendAfterCloseFails(t *testing.T) {
 	l := mustOpen(t, testOpts(t, SyncNone))
 	mustAppend(t, l, "x")
 	l.Close()
-	if _, err := l.Append([]byte("y")); err != ErrClosed {
+	if _, err := l.Append(KindInsert, []byte("y")); err != ErrClosed {
 		t.Fatalf("Append after Close = %v, want ErrClosed", err)
 	}
 	// Close is idempotent.

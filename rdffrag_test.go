@@ -5,10 +5,10 @@ import (
 	"testing"
 )
 
-func loadPhilosophers(t *testing.T, cfg Config) *DB {
-	t.Helper()
-	db := Open(cfg)
-	nt := `
+// phNT is the philosopher fixture; exposed so differential tests can
+// rebuild oracle deployments over filtered line sets (e.g. the merged
+// data minus a deleted batch).
+const phNT = `
 <Aristotle> <influencedBy> <Plato> .
 <Aristotle> <mainInterest> <Ethics> .
 <Aristotle> <name> "Aristotle" .
@@ -25,7 +25,11 @@ func loadPhilosophers(t *testing.T, cfg Config) *DB {
 <Chalcis> <postalCode> "341 00" .
 <Chalcis> <imageSkyline> <Chalkida.JPG> .
 `
-	if _, err := db.LoadNTriples(strings.NewReader(nt)); err != nil {
+
+func loadPhilosophers(t *testing.T, cfg Config) *DB {
+	t.Helper()
+	db := Open(cfg)
+	if _, err := db.LoadNTriples(strings.NewReader(phNT)); err != nil {
 		t.Fatalf("LoadNTriples: %v", err)
 	}
 	return db

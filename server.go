@@ -71,8 +71,8 @@ func (dep *Deployment) StartServer(cfg ServerConfig) *Server {
 	// it must be static from here on (updates only append triples).
 	dep.ensureColdFragment()
 	dep.wireRemotes(cfg.Remote)
-	apply := func(ts []rdf.Triple) (serve.UpdateStats, error) {
-		return dep.applyUpdate(ts), nil
+	apply := func(op serve.Op, ts []rdf.Triple) (serve.UpdateStats, error) {
+		return dep.applyBatch(op, ts), nil
 	}
 	var walStats func() serve.WALMetrics
 	if cfg.Durable != nil {

@@ -2,6 +2,7 @@ package rdffrag
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 
@@ -13,13 +14,20 @@ import (
 )
 
 // UpdateResult reports what one live-update batch did: triples new to
-// the deployment (duplicates skipped), the global graph's delta overlay
-// size after the batch, and its cumulative compaction count.
+// the deployment (duplicates skipped), triples a delete batch removed,
+// the global graph's delta overlay size after the batch, and its
+// cumulative compaction count.
 type UpdateResult = serve.UpdateStats
 
 // ErrNoUpdater is returned by Server.Update when the server has no update
 // sink (servers started by Deployment.StartServer always have one).
 var ErrNoUpdater = serve.ErrNoUpdater
+
+// ErrBadUpdate wraps every client-side update rejection — unparsable
+// N-Triples, an empty batch — so the HTTP layer can map exactly these to
+// 400 and route everything else (overload, durability failures) to the
+// status class it belongs to.
+var ErrBadUpdate = errors.New("rdffrag: bad update batch")
 
 // Update parses an N-Triples document and applies its triples to the live
 // deployment through the server's update path: triples land in the delta
@@ -30,12 +38,45 @@ var ErrNoUpdater = serve.ErrNoUpdater
 func (s *Server) Update(ctx context.Context, ntriples string) (*UpdateResult, error) {
 	ts, err := parseUpdateBatch(s.dep.db.graph.Dict, ntriples)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %w", ErrBadUpdate, err)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	st, err := s.inner.Update(ctx, ts)
+	if err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Delete parses an N-Triples document and removes its triples from the
+// live deployment through the same serialized writer path as Update:
+// matched triples are tombstoned in the delta overlays of the global
+// graph, the hot/cold split and every fragment graph, and a fresh MVCC
+// view publishes the removal atomically — in-flight queries keep the
+// view they pinned. Deleting a triple the deployment never held is a
+// no-op (it does not even intern the unknown terms), so Delete's stats
+// report what actually went away.
+func (s *Server) Delete(ctx context.Context, ntriples string) (*UpdateResult, error) {
+	ts, err := parseDeleteBatch(s.dep.db.graph.Dict, ntriples)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrBadUpdate, err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(ts) == 0 {
+		// Every triple referenced a term the deployment has never seen,
+		// so nothing can match: succeed as a whole-batch no-op without
+		// touching the writer path (a durable server must not log an
+		// empty batch — replay would reject it as carrying no triples).
+		return &UpdateResult{
+			DeltaTriples: s.dep.db.graph.DeltaLen(),
+			Compactions:  s.dep.db.graph.Compactions(),
+		}, nil
+	}
+	st, err := s.inner.Delete(ctx, ts)
 	if err != nil {
 		return nil, err
 	}
@@ -71,6 +112,34 @@ func parseUpdateBatch(d *rdf.Dict, ntriples string) ([]rdf.Triple, error) {
 	return ts, nil
 }
 
+// parseDeleteBatch parses a delete document with the same whole-batch
+// atomicity as parseUpdateBatch, but resolves terms through the
+// deployment dictionary without interning: a triple whose subject,
+// predicate or object the deployment has never seen cannot possibly be
+// present, so it is dropped from the batch (a no-op delete, not an
+// error) instead of polluting the shared dictionary with terms that
+// exist nowhere.
+func parseDeleteBatch(d *rdf.Dict, ntriples string) ([]rdf.Triple, error) {
+	scratch := rdf.NewGraph(nil)
+	if _, err := rdf.ReadNTriples(scratch, strings.NewReader(ntriples)); err != nil {
+		return nil, err
+	}
+	if scratch.NumTriples() == 0 {
+		return nil, fmt.Errorf("rdffrag: delete carried no triples")
+	}
+	ts := make([]rdf.Triple, 0, scratch.NumTriples())
+	for _, t := range scratch.Triples() {
+		s, okS := d.Lookup(scratch.Dict.Decode(t.S))
+		p, okP := d.Lookup(scratch.Dict.Decode(t.P))
+		o, okO := d.Lookup(scratch.Dict.Decode(t.O))
+		if !okS || !okP || !okO {
+			continue
+		}
+		ts = append(ts, rdf.Triple{S: s, P: p, O: o})
+	}
+	return ts, nil
+}
+
 // encodeUpdateBatch renders an already-encoded batch back to N-Triples
 // text — the write-ahead-log payload. Logging term text instead of raw
 // IDs makes replay independent of dictionary ID assignment: IDs diverge
@@ -85,13 +154,23 @@ func encodeUpdateBatch(d *rdf.Dict, ts []rdf.Triple) []byte {
 	return []byte(buf.String())
 }
 
-// applyUpdate is the serve layer's Apply sink: it routes each new triple
-// into every graph the query path might read it from. The caller
-// (serve.Server.Update) holds the writer mutex, so there is exactly one
-// mutator; concurrent queries read pinned MVCC views throughout.
-func (dep *Deployment) applyUpdate(ts []rdf.Triple) serve.UpdateStats {
-	added := 0
+// applyBatch is the serve layer's Apply sink: an insert batch routes
+// each new triple into every graph the query path might read it from; a
+// delete batch tombstones each matched triple everywhere it was routed.
+// The caller (serve.Server.Update/Delete) holds the writer mutex, so
+// there is exactly one mutator; concurrent queries read pinned MVCC
+// views throughout.
+func (dep *Deployment) applyBatch(op serve.Op, ts []rdf.Triple) serve.UpdateStats {
+	added, deleted := 0, 0
 	for _, t := range ts {
+		if op == serve.OpDelete {
+			if !dep.db.graph.Delete(t) {
+				continue // not present: a no-op, not a phantom
+			}
+			deleted++
+			dep.unrouteTriple(t)
+			continue
+		}
 		if !dep.db.graph.Add(t) {
 			continue // duplicate
 		}
@@ -100,6 +179,7 @@ func (dep *Deployment) applyUpdate(ts []rdf.Triple) serve.UpdateStats {
 	}
 	return serve.UpdateStats{
 		Added:        added,
+		Deleted:      deleted,
 		DeltaTriples: dep.db.graph.DeltaLen(),
 		Compactions:  dep.db.graph.Compactions(),
 	}
@@ -138,6 +218,30 @@ func (dep *Deployment) routeTriple(t rdf.Triple) {
 		dep.hc.Cold.Add(t)
 	}
 	dep.coldFragmentAdd(t)
+}
+
+// unrouteTriple is routeTriple's inverse for a triple just removed from
+// the global graph: it tombstones t in the hot/cold split and in every
+// fragment graph that may carry it. Fragment Delete is a no-op where t
+// never landed, so no placement bookkeeping is needed. Partner triples
+// of pattern matches t used to complete stay in their fragments — a
+// fragment's contents remain a superset of its pattern's current
+// matches, which keeps pattern-routed subqueries complete (the
+// control-site join filters non-matches) while every graph stays a
+// subset of what the deployment actually holds: t itself is gone
+// everywhere.
+func (dep *Deployment) unrouteTriple(t rdf.Triple) {
+	if dep.hc.FreqProps[t.P] {
+		dep.hc.Hot.Delete(t)
+	} else {
+		dep.hc.Cold.Delete(t)
+	}
+	for _, f := range dep.frag.Fragments {
+		f.Graph.Delete(t)
+	}
+	if dep.frag.Cold != nil {
+		dep.frag.Cold.Graph.Delete(t)
+	}
 }
 
 // maintainFragment incrementally maintains one pattern fragment for a
