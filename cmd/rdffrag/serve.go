@@ -40,6 +40,8 @@ func serveMain(args []string) {
 		cache    = fs.Int("cache", 256, "plan cache capacity in entries (negative disables)")
 		parallel = fs.Int("parallel", 0, "intra-query worker budget, divided among in-flight queries (0 = GOMAXPROCS, negative = sequential matching)")
 		joinPart = fs.Int("join-partitions", 0, "control-site join partitions per stage (0 = derived from each query's parallelism grant, negative = sequential join)")
+		ttl      = fs.Duration("ttl", 0, "default time-to-live for inserted triples; the sweeper deletes them through the durable update path when it elapses (0 = permanent; per-request X-TTL overrides)")
+		sweepInt = fs.Duration("sweep-interval", time.Second, "how often the TTL sweeper checks for expired triples (negative disables)")
 		profile  = fs.Bool("pprof", false, "expose net/http/pprof handlers under /debug/pprof/")
 
 		dataDir   = fs.String("data-dir", "", "durable data directory: WAL + checkpoints; recovers from it when it holds a checkpoint (off by default)")
@@ -128,6 +130,8 @@ func serveMain(args []string) {
 		PlanCacheSize:  *cache,
 		Parallelism:    *parallel,
 		JoinPartitions: *joinPart,
+		TTL:            *ttl,
+		SweepInterval:  *sweepInt,
 		Durable:        durable,
 		Remote: rdffrag.RemoteConfig{
 			Sites:            remoteSites,
@@ -161,8 +165,8 @@ func serveMain(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("serving on %s (workers=%d queue=%d timeout=%s cache=%d parallel=%d join-partitions=%d remote-sites=%d partial=%v durable=%v pprof=%v)\n",
-		ln.Addr(), *workers, *queue, *timeout, *cache, *parallel, *joinPart, len(remoteSites), *partial, durable != nil, *profile)
+	fmt.Printf("serving on %s (workers=%d queue=%d timeout=%s cache=%d parallel=%d join-partitions=%d remote-sites=%d partial=%v durable=%v ttl=%s pprof=%v)\n",
+		ln.Addr(), *workers, *queue, *timeout, *cache, *parallel, *joinPart, len(remoteSites), *partial, durable != nil, *ttl, *profile)
 
 	httpSrv := &http.Server{Handler: mux}
 	// Graceful shutdown: SIGTERM/SIGINT stops accepting requests, drains
@@ -177,6 +181,9 @@ func serveMain(args []string) {
 		defer close(done)
 		sig := <-sigs
 		fmt.Printf("received %s, draining (timeout %s)\n", sig, *drainTO)
+		// Flip /healthz to 503 before the listener stops accepting, so a
+		// load balancer probing during the drain window routes away.
+		srv.MarkDraining()
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
 		httpSrv.Shutdown(ctx)
 		cancel()

@@ -81,8 +81,10 @@ func siteMain(args []string) {
 	// multi-process harness starts sites on :0 and scrapes the port.
 	fmt.Printf("site listening on %s (serving sites %s)\n", ln.Addr(), siteList(ids))
 
-	httpSrv := &http.Server{Handler: dep.SiteHandler(cfg)}
-	// Graceful shutdown: SIGTERM/SIGINT stops accepting evals and drains
+	host := dep.SiteHost(cfg)
+	httpSrv := &http.Server{Handler: host}
+	// Graceful shutdown: SIGTERM/SIGINT flips /healthz to 503 (load
+	// balancers stop routing here), stops accepting evals and drains
 	// the in-flight ones (streams finish or their clients give up)
 	// bounded by -drain-timeout, so the control site sees clean stream
 	// ends instead of torn ones when a host is decommissioned politely.
@@ -93,6 +95,7 @@ func siteMain(args []string) {
 		defer close(done)
 		sig := <-sigs
 		fmt.Printf("received %s, draining (timeout %s)\n", sig, *drainTO)
+		host.MarkDraining()
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
 		httpSrv.Shutdown(ctx)
 		cancel()

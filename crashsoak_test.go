@@ -492,6 +492,210 @@ func TestCrashRecoveryDeleteSoak(t *testing.T) {
 	t.Logf("delete soak: %d kills, %d ops durable", kills, acked)
 }
 
+// owCrashDoc renders version v of overwrite key k: two triples under
+// dedicated predicates, so a recovered key holding p's version without
+// q's (or two versions on one predicate) is a torn overwrite.
+func owCrashDoc(k, v int) string {
+	return fmt.Sprintf("<OWC%d> <urn:ow:p> \"v%d\" .\n<OWC%d> <urn:ow:q> \"v%d\" .\n", k, v, k, v)
+}
+
+// sendOverwrite issues overwrite op j of the round-robin stream: op j
+// targets key k = ((j-1) mod 4)+1 and moves it to version v = (j-1)/4+1
+// by deleting version v-1's two triples and inserting version v's as one
+// PUT /update batch. ok reports a 2xx ack.
+func sendOverwrite(p *serveProc, j int) bool {
+	k, v := (j-1)%4+1, (j-1)/4+1
+	del := ""
+	if v > 1 {
+		del = owCrashDoc(k, v-1)
+	}
+	req, err := http.NewRequest(http.MethodPut, p.url("/update"), strings.NewReader(del+"---\n"+owCrashDoc(k, v)))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/n-triples")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return false
+	}
+	var body struct {
+		Seq uint64 `json:"seq"`
+	}
+	return json.NewDecoder(resp.Body).Decode(&body) == nil && body.Seq > 0
+}
+
+// overwriteVersions reads each key's recovered version and fails the
+// test on any torn or mixed state: a key with two versions on one
+// predicate, or whose <urn:ow:p> and <urn:ow:q> versions disagree, saw
+// an overwrite applied by halves.
+func overwriteVersions(t *testing.T, p *serveProc) map[int]int {
+	t.Helper()
+	versions := func(query string) map[int]int {
+		resp, err := http.Post(p.url("/query?format=tsv"), "application/sparql-query", strings.NewReader(query))
+		if err != nil {
+			t.Fatalf("probe query: %v", err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("probe query: HTTP %d: %s", resp.StatusCode, b)
+		}
+		set := map[int]int{}
+		for _, line := range strings.Split(strings.TrimSpace(string(b)), "\n")[1:] {
+			line = strings.TrimSpace(line)
+			if line == "" {
+				continue
+			}
+			var k, v int
+			if _, err := fmt.Sscanf(line, "<OWC%d> \"v%d\"", &k, &v); err != nil {
+				t.Fatalf("unexpected probe row %q: %v", line, err)
+			}
+			if old, dup := set[k]; dup {
+				t.Fatalf("key %d holds versions %d and %d on one predicate (mixed overwrite)", k, old, v)
+			}
+			set[k] = v
+		}
+		return set
+	}
+	ps := versions(`SELECT ?x ?v WHERE { ?x <urn:ow:p> ?v . }`)
+	qs := versions(`SELECT ?x ?v WHERE { ?x <urn:ow:q> ?v . }`)
+	if len(ps) != len(qs) {
+		t.Fatalf("torn overwrites: %d keys on <urn:ow:p> vs %d on <urn:ow:q>", len(ps), len(qs))
+	}
+	for k, pv := range ps {
+		if qv, present := qs[k]; !present || qv != pv {
+			t.Fatalf("key %d torn: <urn:ow:p> v%d vs <urn:ow:q> v%v (old and new mixed)", k, pv, qs[k])
+		}
+	}
+	return ps
+}
+
+// TestCrashRecoveryOverwriteSoak SIGKILLs a durable server mid-stream of
+// round-robin overwrite batches — from the outside and via the WAL's
+// fault-injecting filesystem tearing fsyncs — and requires every
+// recovered key to hold exactly one complete version: the old one or the
+// new one, both predicates agreeing, never a mix and never neither.
+// That is the batch-framed WAL record's whole contract: an overwrite's
+// delete-set and insert-set share one CRC frame, so a torn tail drops
+// the swap whole instead of replaying half of it. The recovered versions
+// must also be consistent with a single op prefix R in
+// [acked, attempted], and replayed_records must reconcile with the log.
+func TestCrashRecoveryOverwriteSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes; skipped in -short mode")
+	}
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "rdffrag")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/rdffrag").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	dataPath := filepath.Join(tmp, "data.nt")
+	wlPath := filepath.Join(tmp, "workload.rq")
+	if err := os.WriteFile(dataPath, []byte(soakNT(30, 0)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(wlPath, []byte(strings.Join(soakWorkload, "\n---\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dataDir := filepath.Join(tmp, "durable")
+	base := []string{"-data", dataPath, "-workload", wlPath, "-sites", "2", "-minsup", "0.2",
+		"-wal-sync", "always", "-checkpoint-bytes", "4096", "-wal-segment-bytes", "2048"}
+	p := startServeProc(t, bin, dataDir, base...)
+
+	// expected computes key k's version after an exact prefix of R ops
+	// (0 = key absent): ops k, k+4, k+8, ... target key k.
+	expected := func(R, k int) int {
+		if R < k {
+			return 0
+		}
+		return (R-k)/4 + 1
+	}
+
+	acked, attempted, kills := 0, 0, 0
+	verify := func(p *serveProc, phase string) {
+		vs := overwriteVersions(t, p)
+		found := -1
+		for R := acked; R <= attempted; R++ {
+			match := true
+			for k := 1; k <= 4; k++ {
+				if vs[k] != expected(R, k) {
+					match = false
+					break
+				}
+			}
+			if match {
+				found = R
+				break
+			}
+		}
+		if found < 0 {
+			t.Fatalf("%s: key versions %v match no op prefix in [%d, %d] — a lost ack or a half-applied overwrite",
+				phase, vs, acked, attempted)
+		}
+		m := walMetricsOf(t, p)
+		if m["replayed_records"] != m["wal_last_seq"]-m["wal_checkpoint_seq"] {
+			t.Fatalf("%s: replayed_records %v != wal_last_seq %v - wal_checkpoint_seq %v",
+				phase, m["replayed_records"], m["wal_last_seq"], m["wal_checkpoint_seq"])
+		}
+		acked, attempted = found, found
+	}
+
+	for cycle := 0; kills < 12; cycle++ {
+		injected := cycle%2 == 1 // odd cycles crash inside the WAL fsync
+		if cycle > 0 {
+			extra := append([]string(nil), base...)
+			if injected {
+				extra = append(extra, "-wal-crash-prob", "0.12", "-wal-crash-seed", fmt.Sprint(4000+cycle))
+			}
+			p = startServeProc(t, bin, dataDir, extra...)
+			if p.recovered == "" {
+				t.Fatalf("cycle %d: restart did not report a recovery summary", cycle)
+			}
+			verify(p, fmt.Sprintf("cycle %d", cycle))
+		}
+
+		if injected {
+			// Stream overwrites until the injected machine crash SIGKILLs
+			// the child mid-fsync, tearing the log tail mid-overwrite.
+			died := false
+			for i := 0; i < 120; i++ {
+				attempted++
+				if sendOverwrite(p, attempted) {
+					acked++
+				} else {
+					died = true
+					break
+				}
+			}
+			if !died {
+				t.Fatalf("cycle %d: 120 overwrites without an injected crash; raise the probability", cycle)
+			}
+			waitDeath(t, p)
+		} else {
+			// A few acked overwrites, then plain SIGKILL from the outside.
+			for i := 0; i < 1+cycle%4; i++ {
+				attempted++
+				if !sendOverwrite(p, attempted) {
+					t.Fatalf("cycle %d: healthy server rejected overwrite %d", cycle, attempted)
+				}
+				acked++
+			}
+			p.cmd.Process.Kill()
+			waitDeath(t, p)
+		}
+		kills++
+	}
+
+	p = startServeProc(t, bin, dataDir, base...)
+	verify(p, "final")
+	t.Logf("overwrite soak: %d kills, %d overwrites durable", kills, acked)
+}
+
 // TestGracefulShutdownSIGTERM: under the lossy-window "interval" sync
 // policy, SIGTERM must drain, checkpoint, fsync and mark the directory
 // clean — the restart replays nothing and has every acknowledged batch.

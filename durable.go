@@ -15,6 +15,7 @@ package rdffrag
 // a no-op.
 
 import (
+	"encoding/binary"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -179,20 +180,11 @@ func (d *Durable) Recover(cfg Config) (*Deployment, error) {
 		}
 		return nil
 	}, func(rec wal.Record) error {
-		ts, err := parseUpdateBatch(dict, string(rec.Payload))
+		b, err := decodeWALRecord(dict, rec)
 		if err != nil {
 			return fmt.Errorf("rdffrag: WAL replay: record %d: %w", rec.Seq, err)
 		}
-		// Deletes replay through Encode (interning), not Lookup: the
-		// batch's terms were in the dictionary when the record was
-		// logged, so post-checkpoint they resolve to the same triples;
-		// a term the recovered dictionary genuinely lacks yields a
-		// triple that was never present, and deleting it is a no-op.
-		op := serve.OpInsert
-		if rec.Kind == wal.KindDelete {
-			op = serve.OpDelete
-		}
-		dep.applyBatch(op, ts)
+		dep.applyBatch(b)
 		d.appliedSeq.Store(rec.Seq)
 		d.replayed++
 		return nil
@@ -254,23 +246,101 @@ func (d *Durable) openLog(dep *Deployment) error {
 	return nil
 }
 
+// decodeWALRecord inverts encodeWALPayload: it parses one recovered
+// record back into the batch applyDurable logged. Deletes (and the
+// delete side of overwrites) replay through Encode (interning), not
+// Lookup: the batch's terms were in the dictionary when the record was
+// logged, so post-checkpoint they resolve to the same triples; a term
+// the recovered dictionary genuinely lacks yields a triple that was
+// never present, and deleting it is a no-op.
+func decodeWALRecord(dict *rdf.Dict, rec wal.Record) (serve.Batch, error) {
+	switch rec.Kind {
+	case wal.KindDelete:
+		ts, err := parseUpdateBatch(dict, string(rec.Payload))
+		if err != nil {
+			return serve.Batch{}, err
+		}
+		return serve.Batch{Op: serve.OpDelete, Del: ts}, nil
+	case wal.KindOverwrite:
+		delDoc, insDoc, err := splitOverwritePayload(rec.Payload)
+		if err != nil {
+			return serve.Batch{}, err
+		}
+		del, err := parseTripleSet(dict, string(delDoc))
+		if err != nil {
+			return serve.Batch{}, err
+		}
+		ins, err := parseTripleSet(dict, string(insDoc))
+		if err != nil {
+			return serve.Batch{}, err
+		}
+		if len(del) == 0 && len(ins) == 0 {
+			return serve.Batch{}, fmt.Errorf("rdffrag: overwrite record carried no triples")
+		}
+		return serve.Batch{Op: serve.OpOverwrite, Del: del, Ins: ins}, nil
+	default:
+		ts, err := parseUpdateBatch(dict, string(rec.Payload))
+		if err != nil {
+			return serve.Batch{}, err
+		}
+		return serve.Batch{Op: serve.OpInsert, Ins: ts}, nil
+	}
+}
+
+// encodeWALPayload renders one batch into its WAL record: the kind byte
+// carries the operation and the payload the triple text. An overwrite's
+// two sides share a single record — a single CRC frame — which is the
+// whole atomicity story: a crash either persists the frame (recovery
+// replays delete-set and insert-set together) or tears it (recovery
+// truncates the frame whole), never half.
+func encodeWALPayload(dict *rdf.Dict, b serve.Batch) (wal.Kind, []byte) {
+	switch b.Op {
+	case serve.OpDelete:
+		return wal.KindDelete, encodeUpdateBatch(dict, b.Del)
+	case serve.OpOverwrite:
+		return wal.KindOverwrite, encodeOverwritePayload(
+			encodeUpdateBatch(dict, b.Del), encodeUpdateBatch(dict, b.Ins))
+	default:
+		return wal.KindInsert, encodeUpdateBatch(dict, b.Ins)
+	}
+}
+
+// encodeOverwritePayload frames an overwrite record's payload:
+// uint32 little-endian len(deleteDoc) | deleteDoc | insertDoc.
+func encodeOverwritePayload(delDoc, insDoc []byte) []byte {
+	buf := make([]byte, 4, 4+len(delDoc)+len(insDoc))
+	binary.LittleEndian.PutUint32(buf, uint32(len(delDoc)))
+	buf = append(buf, delDoc...)
+	return append(buf, insDoc...)
+}
+
+// splitOverwritePayload inverts encodeOverwritePayload.
+func splitOverwritePayload(p []byte) (delDoc, insDoc []byte, err error) {
+	if len(p) < 4 {
+		return nil, nil, fmt.Errorf("rdffrag: overwrite payload too short (%d bytes)", len(p))
+	}
+	n := int(binary.LittleEndian.Uint32(p))
+	if n < 0 || 4+n > len(p) {
+		return nil, nil, fmt.Errorf("rdffrag: overwrite payload delete-doc length %d exceeds payload", n)
+	}
+	return p[4 : 4+n], p[4+n:], nil
+}
+
 // applyDurable is the serve-layer Apply sink of a durable deployment:
 // WAL append first (under SyncAlways the fsync happens inside, so a
 // batch is on stable storage before the caller can ack it), then the
 // normal in-memory apply. The record kind carries the operation, so
-// replay re-applies deletes as deletes. The caller holds the server's
-// writer mutex, so append order, sequence order and apply order all
-// agree. A failed append rejects the batch before anything mutates.
-func (d *Durable) applyDurable(op serve.Op, ts []rdf.Triple) (serve.UpdateStats, error) {
-	kind := wal.KindInsert
-	if op == serve.OpDelete {
-		kind = wal.KindDelete
-	}
-	seq, err := d.log.Append(kind, encodeUpdateBatch(d.dep.db.graph.Dict, ts))
+// replay re-applies deletes as deletes and overwrites as one atomic
+// swap. The caller holds the server's writer mutex, so append order,
+// sequence order and apply order all agree. A failed append rejects the
+// batch before anything mutates.
+func (d *Durable) applyDurable(b serve.Batch) (serve.UpdateStats, error) {
+	kind, payload := encodeWALPayload(d.dep.db.graph.Dict, b)
+	seq, err := d.log.Append(kind, payload)
 	if err != nil {
 		return serve.UpdateStats{}, fmt.Errorf("rdffrag: %w", err)
 	}
-	st := d.dep.applyBatch(op, ts)
+	st := d.dep.applyBatch(b)
 	st.Seq = seq
 	d.appliedSeq.Store(seq)
 	// Kick the checkpointer when the log has grown past the configured

@@ -3,7 +3,8 @@ package rdffrag
 // The server's HTTP API, exposed as an http.Handler so the `rdffrag
 // serve` subcommand, embedding applications and tests all mount the
 // same surface: /query (SPARQL in, SPARQL-results out), /update
-// (N-Triples batches), /metrics and /healthz.
+// (N-Triples batches: insert, delete, and atomic overwrite), /metrics
+// and /healthz.
 
 import (
 	"context"
@@ -14,6 +15,8 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"rdffrag/internal/sparql"
 )
 
 // Handler returns the server's HTTP API. The handler is valid until the
@@ -24,15 +27,29 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/update", s.handleUpdate)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		// Draining (SIGTERM received, Close begun) answers 503 so load
+		// balancers stop routing here while in-flight work finishes.
+		if s.Draining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	return mux
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	query, err := readQuery(r)
+	query, err := readQuery(w, r)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			// MaxBytesReader (not LimitReader, which this path once
+			// used): an oversized query errors out whole instead of
+			// silently parsing a truncated prefix.
+			http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+		} else {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		}
 		return
 	}
 	// r.Context() is cancelled the moment the client disconnects; it
@@ -51,38 +68,62 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		// The client went away; the status is never seen.
 		http.Error(w, err.Error(), http.StatusRequestTimeout)
 		return
-	case err != nil && strings.HasPrefix(err.Error(), "sparql:"):
+	case errors.Is(err, sparql.ErrParse):
+		// Typed classification: any parse failure wraps the sentinel,
+		// so this no longer depends on the message's spelling.
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	case err != nil:
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	writeResult(w, r, res)
+	s.writeResult(w, r, res)
 }
 
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
-	// POST applies the batch per ?op= ("insert", the default, or
-	// "delete"); the DELETE method is shorthand for POST /update?op=delete.
-	var del bool
+	// POST applies the batch per ?op= ("insert", the default, "delete"
+	// or "overwrite"); the DELETE method is shorthand for POST
+	// /update?op=delete and PUT for POST /update?op=overwrite. An
+	// overwrite body is two N-Triples documents — delete-set, then
+	// insert-set — separated by a line holding only "---"; both sets
+	// apply as one atomic batch under one WAL sequence number.
+	const (
+		opInsert = iota
+		opDelete
+		opOverwrite
+	)
+	var batchOp int
 	switch op := r.URL.Query().Get("op"); {
 	case r.Method == http.MethodDelete:
 		if op != "" && op != "delete" {
 			http.Error(w, fmt.Sprintf("op=%s contradicts the DELETE method", op), http.StatusBadRequest)
 			return
 		}
-		del = true
+		batchOp = opDelete
+	case r.Method == http.MethodPut:
+		if op != "" && op != "overwrite" {
+			http.Error(w, fmt.Sprintf("op=%s contradicts the PUT method", op), http.StatusBadRequest)
+			return
+		}
+		batchOp = opOverwrite
 	case r.Method == http.MethodPost:
 		switch op {
 		case "", "insert":
 		case "delete":
-			del = true
+			batchOp = opDelete
+		case "overwrite":
+			batchOp = opOverwrite
 		default:
-			http.Error(w, fmt.Sprintf("unknown op %q (want insert or delete)", op), http.StatusBadRequest)
+			http.Error(w, fmt.Sprintf("unknown op %q (want insert, delete or overwrite)", op), http.StatusBadRequest)
 			return
 		}
 	default:
-		http.Error(w, "POST (or DELETE) an N-Triples document", http.StatusMethodNotAllowed)
+		http.Error(w, "POST (or DELETE, or PUT) an N-Triples document", http.StatusMethodNotAllowed)
+		return
+	}
+	ttl, err := s.requestTTL(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	// MaxBytesReader (not LimitReader) so an oversized batch errors
@@ -98,10 +139,18 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var res *UpdateResult
-	if del {
+	switch batchOp {
+	case opDelete:
 		res, err = s.Delete(r.Context(), string(body))
-	} else {
-		res, err = s.Update(r.Context(), string(body))
+	case opOverwrite:
+		delDoc, insDoc, ok := splitOverwriteBody(string(body))
+		if !ok {
+			http.Error(w, `overwrite body needs a line holding only "---" between its delete-set and insert-set`, http.StatusBadRequest)
+			return
+		}
+		res, err = s.Overwrite(r.Context(), delDoc, insDoc, ttl)
+	default:
+		res, err = s.UpdateTTL(r.Context(), string(body), ttl)
 	}
 	// Status routing mirrors handleQuery: only the client's own mistakes
 	// are 400s. Overload and shutdown are retryable 5xx — mapping them
@@ -138,13 +187,62 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	// seq is the batch's write-ahead-log sequence number: by the time
 	// this response is on the wire the batch is logged (and, under the
 	// "always" sync policy, fsynced). 0 on a non-durable server.
-	json.NewEncoder(w).Encode(map[string]any{
+	s.countWriteErr(json.NewEncoder(w).Encode(map[string]any{
 		"added":         res.Added,
 		"deleted":       res.Deleted,
 		"delta_triples": res.DeltaTriples,
 		"compactions":   res.Compactions,
 		"seq":           res.Seq,
-	})
+	}))
+}
+
+// requestTTL resolves the batch's time-to-live: the X-TTL header (a Go
+// duration; "0" explicitly disables expiry) overrides the server-wide
+// default.
+func (s *Server) requestTTL(r *http.Request) (time.Duration, error) {
+	h := r.Header.Get("X-TTL")
+	if h == "" {
+		return s.ttl, nil
+	}
+	d, err := time.ParseDuration(h)
+	if err != nil || d < 0 {
+		return 0, fmt.Errorf("bad X-TTL %q: want a non-negative Go duration like 30s", h)
+	}
+	return d, nil
+}
+
+// splitOverwriteBody splits an overwrite request body into its
+// delete-document and insert-document at the first line holding only
+// "---" (either side may be empty). ok is false when no separator line
+// exists — the two sets must be framed explicitly.
+func splitOverwriteBody(body string) (delDoc, insDoc string, ok bool) {
+	for off := 0; ; {
+		rest := body[off:]
+		end := strings.IndexByte(rest, '\n')
+		line := rest
+		next := len(body)
+		if end >= 0 {
+			line = rest[:end]
+			next = off + end + 1
+		}
+		if strings.TrimSpace(line) == "---" {
+			return body[:off], body[next:], true
+		}
+		if end < 0 {
+			return "", "", false
+		}
+		off = next
+	}
+}
+
+// countWriteErr tallies a response-body write that failed after the
+// status line was already sent (client gone, connection reset): the
+// status can't change anymore, so the response_write_errors metric is
+// the observable.
+func (s *Server) countWriteErr(err error) {
+	if err != nil {
+		s.respWriteErrs.Add(1)
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -198,6 +296,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"triples_deleted": m.TriplesDeleted,
 		"delta_triples":   m.DeltaTriples,
 		"compactions":     m.Compactions,
+		// TTL expiry: sweeper passes that issued a delete batch and the
+		// triples those batches removed.
+		"sweep_runs":    m.SweepRuns,
+		"swept_triples": m.SweptTriples,
+		// Response bodies that failed to write after the status line was
+		// sent (client disconnects); the status was already committed,
+		// so this counter is how such failures surface.
+		"response_write_errors": s.respWriteErrs.Load(),
 		// MVCC health: CSR generations still alive (current +
 		// retired-but-pinned) and snapshot pins held by in-flight
 		// queries; generations settling back to one per graph when
@@ -225,18 +331,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		out["wal_append_p99_ms"] = float64(m.WAL.AppendP99) / float64(time.Millisecond)
 		out["wal_fsync_p99_ms"] = float64(m.WAL.FsyncP99) / float64(time.Millisecond)
 	}
-	json.NewEncoder(w).Encode(out)
+	s.countWriteErr(json.NewEncoder(w).Encode(out))
 }
 
-// readQuery pulls the SPARQL text from ?q= or the request body.
-func readQuery(r *http.Request) (string, error) {
+// readQuery pulls the SPARQL text from ?q= or the request body. Bodies
+// are capped at 1 MiB via MaxBytesReader: an oversized query fails
+// whole (the caller maps it to 413) instead of a truncated prefix
+// silently parsing as a different, valid query.
+func readQuery(w http.ResponseWriter, r *http.Request) (string, error) {
 	if q := r.URL.Query().Get("q"); q != "" {
 		return q, nil
 	}
 	if r.Body == nil {
 		return "", fmt.Errorf("missing query: pass ?q= or a request body")
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err != nil {
 		return "", err
 	}
@@ -249,8 +358,10 @@ func readQuery(r *http.Request) (string, error) {
 // writeResult renders the result in the format chosen by ?format= or the
 // Accept header: json (default), csv or tsv. Degraded-mode results are
 // flagged in a header too, so the non-JSON formats can signal
-// incompleteness.
-func writeResult(w http.ResponseWriter, r *http.Request, res *Result) {
+// incompleteness. Write failures (the client disconnecting mid-body)
+// land in the response_write_errors metric — the 200 status is already
+// on the wire.
+func (s *Server) writeResult(w http.ResponseWriter, r *http.Request, res *Result) {
 	if res.Stats.Partial {
 		w.Header().Set("X-Partial-Results", "true")
 	}
@@ -266,12 +377,12 @@ func writeResult(w http.ResponseWriter, r *http.Request, res *Result) {
 	switch format {
 	case "csv":
 		w.Header().Set("Content-Type", "text/csv")
-		res.WriteCSV(w)
+		s.countWriteErr(res.WriteCSV(w))
 	case "tsv":
 		w.Header().Set("Content-Type", "text/tab-separated-values")
-		res.WriteTSV(w)
+		s.countWriteErr(res.WriteTSV(w))
 	default:
 		w.Header().Set("Content-Type", "application/sparql-results+json")
-		res.WriteJSON(w)
+		s.countWriteErr(res.WriteJSON(w))
 	}
 }

@@ -86,6 +86,59 @@ func BenchmarkLiveMixedAddDeleteQuery(b *testing.B) {
 	}
 }
 
+// BenchmarkLiveSlowlyChangingGraph models the overwrite workload: a
+// fixed population of entities whose attribute value rotates slowly —
+// each update tick retires one entity's current triple and installs the
+// next version (delete+add back to back, the storage shape an atomic
+// overwrite batch produces), so the overlay carries a steady mix of
+// tombstones and fresh versions proportional to churn, never growing
+// with history. Read-mostly point lookups stream on throughout.
+// "refreeze" pays the pre-overlay full rebuild on every version swap.
+// Recorded in BENCH_9.json next to the add-only and add+delete pairs.
+func BenchmarkLiveSlowlyChangingGraph(b *testing.B) {
+	const entities = 16
+	for _, mode := range []string{"overlay", "refreeze"} {
+		b.Run(mode, func(b *testing.B) {
+			g, q := liveBenchSetup(b)
+			pred := g.Triples()[0].P
+			// Pre-intern the version objects and seed each entity at v0 so
+			// the timed region swaps versions, never first-inserts.
+			subj := make([]rdf.ID, entities)
+			vers := make([]rdf.ID, entities*2)
+			for e := 0; e < entities; e++ {
+				subj[e] = g.Dict.MustIRI(fmt.Sprintf("scd%d", e))
+			}
+			for v := range vers {
+				vers[v] = g.Dict.MustIRI(fmt.Sprintf("scdv%d", v))
+			}
+			cur := make([]int, entities)
+			for e := 0; e < entities; e++ {
+				g.Add(rdf.Triple{S: subj[e], P: pred, O: vers[0]})
+			}
+			g.Compact()
+			serial := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%liveUpdateRatio == 0 {
+					e := serial % entities
+					serial++
+					next := (cur[e] + 1) % len(vers)
+					g.Delete(rdf.Triple{S: subj[e], P: pred, O: vers[cur[e]]})
+					g.Add(rdf.Triple{S: subj[e], P: pred, O: vers[next]})
+					cur[e] = next
+					if mode == "refreeze" {
+						g.Compact() // the rebuild the pre-overlay swap forced
+					}
+				}
+				if n := Count(q, g.Snapshot(), Options{Parallelism: 1}); n == 0 {
+					b.Fatal("point lookup matched nothing")
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkLiveMixedAddQuery(b *testing.B) {
 	for _, mode := range []string{"overlay", "refreeze"} {
 		b.Run(mode, func(b *testing.B) {

@@ -25,12 +25,12 @@ func TestUpdateApplyErrorLeavesServerUntouched(t *testing.T) {
 	rejected := errors.New("sink rejected the batch")
 	calls := 0
 	srv := serve.New(engine, serve.Config{
-		Apply: func(op serve.Op, ts []rdf.Triple) (serve.UpdateStats, error) {
+		Apply: func(b serve.Batch) (serve.UpdateStats, error) {
 			calls++
 			if calls%2 == 1 {
 				return serve.UpdateStats{}, rejected
 			}
-			return testApply(env)(op, ts)
+			return testApply(env)(b)
 		},
 	})
 	defer srv.Close()
@@ -73,11 +73,11 @@ func TestExclusivePublishesMaintenanceMutations(t *testing.T) {
 	// and compact-on-save do. Without the Publish inside Exclusive the
 	// next query would still be admitted against the stale view.
 	srv.Exclusive(func() {
-		testApply(env)(serve.OpInsert, []rdf.Triple{{
+		testApply(env)(serve.Batch{Op: serve.OpInsert, Ins: []rdf.Triple{{
 			S: env.G.Dict.MustIRI("exclusive-s"),
 			P: env.G.Dict.MustIRI("name"),
 			O: env.G.Dict.MustLiteral("Exclusive Row"),
-		}})
+		}}})
 	})
 	after, err := srv.Query(context.Background(), q)
 	if err != nil {

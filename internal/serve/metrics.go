@@ -62,6 +62,11 @@ type Metrics struct {
 	// update.
 	DeltaTriples int
 	Compactions  uint64
+	// SweepRuns counts TTL sweeper passes that issued a delete batch for
+	// expired triples (idle passes with nothing due are not counted);
+	// SweptTriples totals the triples those batches actually removed.
+	SweepRuns    uint64
+	SweptTriples uint64
 	// PartialResults counts completed queries that returned flagged
 	// partial results because one or more remote sites stayed
 	// unavailable through their retry budget (degraded mode only;
@@ -114,25 +119,27 @@ type WALMetrics struct {
 
 // collector accumulates metrics from concurrent workers.
 type collector struct {
-	start       time.Time
-	completed   atomic.Uint64
-	failed      atomic.Uint64
-	rejected    atomic.Uint64
-	timedOut    atomic.Uint64
-	queued      atomic.Int64
-	inflight    atomic.Int64
-	cacheHits   atomic.Uint64
-	cacheMisses atomic.Uint64
-	parSum      atomic.Int64  // sum of granted per-query parallelism
-	parCount    atomic.Int64  // executions the sum covers
-	joinSum     atomic.Int64  // sum of per-stage join partitions ran with
-	joinCount   atomic.Int64  // join-bearing completions the sum covers
-	partials    atomic.Uint64 // completions flagged partial (sites skipped)
-	updates     atomic.Uint64 // applied live-update batches
-	triplesAdd  atomic.Uint64 // new triples insert batches contributed
-	triplesDel  atomic.Uint64 // triples delete batches removed
-	deltaGauge  atomic.Int64  // global delta size after the last update
-	compactions atomic.Uint64 // global graph's cumulative compactions
+	start        time.Time
+	completed    atomic.Uint64
+	failed       atomic.Uint64
+	rejected     atomic.Uint64
+	timedOut     atomic.Uint64
+	queued       atomic.Int64
+	inflight     atomic.Int64
+	cacheHits    atomic.Uint64
+	cacheMisses  atomic.Uint64
+	parSum       atomic.Int64  // sum of granted per-query parallelism
+	parCount     atomic.Int64  // executions the sum covers
+	joinSum      atomic.Int64  // sum of per-stage join partitions ran with
+	joinCount    atomic.Int64  // join-bearing completions the sum covers
+	partials     atomic.Uint64 // completions flagged partial (sites skipped)
+	updates      atomic.Uint64 // applied live-update batches
+	triplesAdd   atomic.Uint64 // new triples insert batches contributed
+	triplesDel   atomic.Uint64 // triples delete batches removed
+	deltaGauge   atomic.Int64  // global delta size after the last update
+	compactions  atomic.Uint64 // global graph's cumulative compactions
+	sweepRuns    atomic.Uint64 // TTL sweeps that issued a delete batch
+	sweptTriples atomic.Uint64 // triples TTL sweeps removed
 
 	mu   sync.Mutex
 	lats []time.Duration // ring buffer of recent latencies
@@ -199,6 +206,8 @@ func (m *collector) snapshot() Metrics {
 		TriplesDeleted: m.triplesDel.Load(),
 		DeltaTriples:   int(m.deltaGauge.Load()),
 		Compactions:    m.compactions.Load(),
+		SweepRuns:      m.sweepRuns.Load(),
+		SweptTriples:   m.sweptTriples.Load(),
 	}
 	if sec := s.Uptime.Seconds(); sec > 0 {
 		s.QPS = float64(s.Completed) / sec

@@ -67,20 +67,45 @@ type Config struct {
 	// it from its parallelism grant; negative forces the sequential
 	// symmetric join).
 	JoinPartitions int
-	// Apply, when non-nil, is the live-update sink: Update and Delete
-	// route triple batches through it under the server's writer mutex
+	// Apply, when non-nil, is the live-update sink: Update, Delete and
+	// Overwrite route batches through it under the server's writer mutex
 	// (updates are serialized with each other, never with queries) and
 	// publish a new MVCC read view when the batch lands. In-flight
 	// queries keep reading the view they pinned at admission; queries
-	// admitted afterwards see the whole batch. The callback reports what
-	// the batch did; an error rejects the batch whole — the sink's
-	// contract is that it fails only before mutating anything (e.g. the
-	// write-ahead-log append failed), so no view is published and nothing
-	// was torn.
-	Apply func(op Op, ts []rdf.Triple) (UpdateStats, error)
+	// admitted afterwards see the whole batch — for an overwrite, the
+	// delete-set and insert-set land under one Publish, so no reader
+	// ever sees the old triples gone but the new ones absent. The
+	// callback reports what the batch did; an error rejects the batch
+	// whole — the sink's contract is that it fails only before mutating
+	// anything (e.g. the write-ahead-log append failed), so no view is
+	// published and nothing was torn.
+	Apply func(b Batch) (UpdateStats, error)
+	// SweepInterval is how often the background TTL sweeper checks for
+	// expired triples (default 1s; negative disables the sweeper —
+	// expiries then only fire through an explicit Sweep call). The
+	// sweeper issues delete batches through the normal Apply path, so
+	// swept triples are WAL-logged and MVCC-published like any delete.
+	SweepInterval time.Duration
 	// WALStats, when non-nil, snapshots the durability layer's counters
 	// for Metrics (a server fronting a write-ahead-logged deployment).
 	WALStats func() WALMetrics
+}
+
+// Batch is one atomic update: Del's triples are removed and Ins's
+// triples added under a single writer-mutex hold, a single sink call
+// and a single MVCC publish. Op names the operation for logging and
+// stats; the sets drive what actually happens (an insert carries only
+// Ins, a delete only Del, an overwrite both).
+type Batch struct {
+	Op  Op
+	Ins []rdf.Triple
+	Del []rdf.Triple
+	// TTL, when positive, schedules Ins's triples for expiry: once TTL
+	// elapses the sweeper deletes them through the normal update path.
+	// The expiry schedule is process-local (not persisted) — the sweep
+	// deletes themselves are durable, but triples inserted moments
+	// before a crash outlive their TTL until something re-stamps them.
+	TTL time.Duration
 }
 
 // Op says what an update batch does with its triples.
@@ -91,6 +116,9 @@ const (
 	OpInsert Op = iota
 	// OpDelete removes the batch's triples (absent triples are no-ops).
 	OpDelete
+	// OpOverwrite removes the batch's Del triples and adds its Ins
+	// triples as one atomic swap.
+	OpOverwrite
 )
 
 // String renders the op the way the HTTP API spells it.
@@ -100,6 +128,8 @@ func (op Op) String() string {
 		return "insert"
 	case OpDelete:
 		return "delete"
+	case OpOverwrite:
+		return "overwrite"
 	}
 	return fmt.Sprintf("Op(%d)", int(op))
 }
@@ -141,6 +171,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.JoinPartitions < 0 {
 		c.JoinPartitions = 1
+	}
+	if c.SweepInterval == 0 {
+		c.SweepInterval = time.Second
 	}
 	return c
 }
@@ -186,6 +219,21 @@ type Server struct {
 	// it, so a long-running query neither blocks nor is blocked by
 	// updates.
 	dataMu sync.Mutex
+
+	// expMu guards the TTL expiry queue: batches applied with a positive
+	// TTL enqueue their insert-set here, and the sweeper drains entries
+	// whose deadline has passed into delete batches.
+	expMu     sync.Mutex
+	expQ      []expiry
+	sweepStop chan struct{}
+	sweepDone chan struct{}
+}
+
+// expiry is one pending TTL deadline: the triples of a single batch and
+// the instant they fall due.
+type expiry struct {
+	at time.Time
+	ts []rdf.Triple
 }
 
 // New starts a server over a deployed engine: cfg.Workers goroutines
@@ -203,6 +251,11 @@ func New(engine *exec.Engine, cfg Config) *Server {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	if cfg.Apply != nil && cfg.SweepInterval > 0 {
+		s.sweepStop = make(chan struct{})
+		s.sweepDone = make(chan struct{})
+		go s.sweeper(cfg.SweepInterval)
+	}
 	return s
 }
 
@@ -218,6 +271,10 @@ func (s *Server) Close() {
 	close(s.queue)
 	s.mu.Unlock()
 	s.wg.Wait()
+	if s.sweepStop != nil {
+		close(s.sweepStop)
+		<-s.sweepDone
+	}
 	// Barrier for in-flight updates: an Update that passed the closed
 	// check before it flipped either finishes before this lock is granted
 	// or re-checks closed under dataMu and backs out — after Close
@@ -331,7 +388,7 @@ func (s *Server) execute(req *request) outcome {
 // cancelled ctx is honoured before the mutex is taken; once applying,
 // the batch always completes (partial updates would be torn).
 func (s *Server) Update(ctx context.Context, ts []rdf.Triple) (UpdateStats, error) {
-	return s.apply(ctx, OpInsert, ts)
+	return s.Apply(ctx, Batch{Op: OpInsert, Ins: ts})
 }
 
 // Delete applies a delete batch through the same serialized writer path
@@ -339,10 +396,20 @@ func (s *Server) Update(ctx context.Context, ts []rdf.Triple) (UpdateStats, erro
 // and a new read view publishes the removal atomically. Deleting a
 // triple that is not present is a no-op, not an error.
 func (s *Server) Delete(ctx context.Context, ts []rdf.Triple) (UpdateStats, error) {
-	return s.apply(ctx, OpDelete, ts)
+	return s.Apply(ctx, Batch{Op: OpDelete, Del: ts})
 }
 
-func (s *Server) apply(ctx context.Context, op Op, ts []rdf.Triple) (UpdateStats, error) {
+// Overwrite removes del and adds ins as one atomic batch: both sets go
+// through the sink in a single call and become visible under a single
+// MVCC publish, so no query ever observes the deletes without the
+// inserts. A positive ttl schedules the inserted triples for expiry.
+func (s *Server) Overwrite(ctx context.Context, del, ins []rdf.Triple, ttl time.Duration) (UpdateStats, error) {
+	return s.Apply(ctx, Batch{Op: OpOverwrite, Del: del, Ins: ins, TTL: ttl})
+}
+
+// Apply applies one batch through the configured sink under the writer
+// mutex; Update, Delete and Overwrite are wrappers over it.
+func (s *Server) Apply(ctx context.Context, b Batch) (UpdateStats, error) {
 	s.mu.RLock()
 	closed := s.closed
 	s.mu.RUnlock()
@@ -372,7 +439,7 @@ func (s *Server) apply(ctx context.Context, op Op, ts []rdf.Triple) (UpdateStats
 	if err := ctx.Err(); err != nil {
 		return UpdateStats{}, err
 	}
-	st, err := s.cfg.Apply(op, ts)
+	st, err := s.cfg.Apply(b)
 	if err != nil {
 		// The sink rejected the batch before mutating anything (its
 		// contract): no new view, no gauge movement, nothing applied.
@@ -386,7 +453,69 @@ func (s *Server) apply(ctx context.Context, op Op, ts []rdf.Triple) (UpdateStats
 	// cannot interleave apply order and publish order (the gauge must
 	// reflect the last-applied batch).
 	s.met.update(st)
+	if b.TTL > 0 && len(b.Ins) > 0 {
+		s.expMu.Lock()
+		s.expQ = append(s.expQ, expiry{at: time.Now().Add(b.TTL), ts: append([]rdf.Triple(nil), b.Ins...)})
+		s.expMu.Unlock()
+	}
 	return st, nil
+}
+
+// sweeper periodically expires TTL-stamped triples. It runs until Close.
+func (s *Server) sweeper(interval time.Duration) {
+	defer close(s.sweepDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.sweepStop:
+			return
+		case now := <-t.C:
+			s.Sweep(now)
+		}
+	}
+}
+
+// Sweep deletes every TTL-stamped triple whose deadline is at or before
+// now, issuing the deletions as ordinary delete batches through the
+// Apply sink — WAL-logged and MVCC-published like any client delete. It
+// reports how many triples the sweep removed. Entries whose batch could
+// not be applied (the server closing, a poisoned WAL) are requeued for a
+// later sweep. The background sweeper calls this on its interval; tests
+// and embedders may call it directly for deterministic expiry.
+func (s *Server) Sweep(now time.Time) int {
+	s.expMu.Lock()
+	var due []rdf.Triple
+	rest := s.expQ[:0]
+	for _, e := range s.expQ {
+		if e.at.After(now) {
+			rest = append(rest, e)
+		} else {
+			due = append(due, e.ts...)
+		}
+	}
+	s.expQ = rest
+	s.expMu.Unlock()
+	if len(due) == 0 {
+		return 0
+	}
+	st, err := s.Apply(context.Background(), Batch{Op: OpDelete, Del: due})
+	if err != nil {
+		s.expMu.Lock()
+		s.expQ = append(s.expQ, expiry{at: now, ts: due})
+		s.expMu.Unlock()
+		return 0
+	}
+	s.met.sweepRuns.Add(1)
+	s.met.sweptTriples.Add(uint64(st.Deleted))
+	return st.Deleted
+}
+
+// PendingExpiries reports how many TTL batches await their deadline.
+func (s *Server) PendingExpiries() int {
+	s.expMu.Lock()
+	defer s.expMu.Unlock()
+	return len(s.expQ)
 }
 
 // Exclusive runs fn while holding the writer mutex: no update applies

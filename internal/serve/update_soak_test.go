@@ -34,8 +34,9 @@ import (
 // hot-predicate triples additionally go to the hot graph and every
 // fragment whose generating pattern uses the predicate, everything else
 // to the cold graph and cold fragment. Deletes tombstone the triple
-// everywhere it may have landed.
-func testApply(env *testenv.Env) func(op serve.Op, ts []rdf.Triple) (serve.UpdateStats, error) {
+// everywhere it may have landed. A batch's delete-set applies before its
+// insert-set, matching the deployment's overwrite semantics.
+func testApply(env *testenv.Env) func(b serve.Batch) (serve.UpdateStats, error) {
 	usesPred := func(f *fragment.Fragment, p rdf.ID) bool {
 		if f.Pattern == nil {
 			return false
@@ -47,25 +48,24 @@ func testApply(env *testenv.Env) func(op serve.Op, ts []rdf.Triple) (serve.Updat
 		}
 		return false
 	}
-	return func(op serve.Op, ts []rdf.Triple) (serve.UpdateStats, error) {
+	return func(b serve.Batch) (serve.UpdateStats, error) {
 		added, deleted := 0, 0
-		for _, t := range ts {
-			if op == serve.OpDelete {
-				if !env.G.Delete(t) {
-					continue
-				}
-				deleted++
-				if env.HC.FreqProps[t.P] {
-					env.HC.Hot.Delete(t)
-				} else {
-					env.HC.Cold.Delete(t)
-				}
-				for _, f := range env.Frag.Fragments {
-					f.Graph.Delete(t)
-				}
-				env.Frag.Cold.Graph.Delete(t)
+		for _, t := range b.Del {
+			if !env.G.Delete(t) {
 				continue
 			}
+			deleted++
+			if env.HC.FreqProps[t.P] {
+				env.HC.Hot.Delete(t)
+			} else {
+				env.HC.Cold.Delete(t)
+			}
+			for _, f := range env.Frag.Fragments {
+				f.Graph.Delete(t)
+			}
+			env.Frag.Cold.Graph.Delete(t)
+		}
+		for _, t := range b.Ins {
 			if !env.G.Add(t) {
 				continue
 			}

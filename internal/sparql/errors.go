@@ -1,0 +1,29 @@
+package sparql
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrParse is the sentinel every query-parse failure wraps: callers
+// classify malformed queries with errors.Is(err, sparql.ErrParse)
+// instead of matching the message text, so error routing (e.g. HTTP
+// 400 vs 500) survives message rewording.
+var ErrParse = errors.New("sparql: parse error")
+
+// ParseError is a malformed-query error with its position-bearing
+// message; it unwraps to ErrParse.
+type ParseError struct {
+	msg string
+}
+
+func (e *ParseError) Error() string { return "sparql: " + e.msg }
+
+// Unwrap ties every ParseError to the ErrParse sentinel.
+func (e *ParseError) Unwrap() error { return ErrParse }
+
+// parseErrf builds a ParseError; the "sparql: " prefix is added by
+// Error, not the format string.
+func parseErrf(format string, args ...any) error {
+	return &ParseError{msg: fmt.Sprintf(format, args...)}
+}

@@ -62,7 +62,7 @@ func lex(src string) ([]token, error) {
 		case c == '<':
 			j := strings.IndexByte(src[i:], '>')
 			if j < 0 {
-				return nil, fmt.Errorf("sparql: unterminated IRI at %d", i)
+				return nil, parseErrf("unterminated IRI at %d", i)
 			}
 			toks = append(toks, token{tokIRI, src[i+1 : i+j], i})
 			i += j + 1
@@ -72,7 +72,7 @@ func lex(src string) ([]token, error) {
 				j++
 			}
 			if j == i+1 {
-				return nil, fmt.Errorf("sparql: bare '%c' at %d", c, i)
+				return nil, parseErrf("bare '%c' at %d", c, i)
 			}
 			toks = append(toks, token{tokVar, src[i+1 : j], i})
 			i = j
@@ -89,7 +89,7 @@ func lex(src string) ([]token, error) {
 				j++
 			}
 			if j >= n {
-				return nil, fmt.Errorf("sparql: unterminated literal at %d", i)
+				return nil, parseErrf("unterminated literal at %d", i)
 			}
 			lex := src[i+1 : j]
 			j++
@@ -103,7 +103,7 @@ func lex(src string) ([]token, error) {
 				if j < n && src[j] == '<' {
 					k := strings.IndexByte(src[j:], '>')
 					if k < 0 {
-						return nil, fmt.Errorf("sparql: unterminated datatype at %d", j)
+						return nil, parseErrf("unterminated datatype at %d", j)
 					}
 					j += k + 1
 				} else {
@@ -141,12 +141,12 @@ func lex(src string) ([]token, error) {
 				k := j
 				for k < n && src[k] != '(' {
 					if src[k] != ' ' && src[k] != '\t' && src[k] != '\n' && src[k] != '\r' {
-						return nil, fmt.Errorf("sparql: FILTER without '(' at %d", k)
+						return nil, parseErrf("FILTER without '(' at %d", k)
 					}
 					k++
 				}
 				if k >= n {
-					return nil, fmt.Errorf("sparql: FILTER without '(' at %d", j)
+					return nil, parseErrf("FILTER without '(' at %d", j)
 				}
 				depth := 0
 				for ; k < n; k++ {
@@ -161,7 +161,7 @@ func lex(src string) ([]token, error) {
 					}
 				}
 				if depth != 0 {
-					return nil, fmt.Errorf("sparql: unterminated FILTER at %d", i)
+					return nil, parseErrf("unterminated FILTER at %d", i)
 				}
 				i = k
 				continue
@@ -173,7 +173,7 @@ func lex(src string) ([]token, error) {
 			}
 			i = j
 		default:
-			return nil, fmt.Errorf("sparql: unexpected character %q at %d", c, i)
+			return nil, parseErrf("unexpected character %q at %d", c, i)
 		}
 	}
 	toks = append(toks, token{tokEOF, "", n})
@@ -208,7 +208,7 @@ func (s *parseState) next() token {
 func (s *parseState) expectKeyword(kw string) error {
 	t := s.next()
 	if t.kind != tokKeyword || !strings.EqualFold(t.text, kw) {
-		return fmt.Errorf("sparql: expected %q, got %q at %d", kw, t.text, t.pos)
+		return parseErrf("expected %q, got %q at %d", kw, t.text, t.pos)
 	}
 	return nil
 }
@@ -216,7 +216,7 @@ func (s *parseState) expectKeyword(kw string) error {
 func (s *parseState) expectPunct(p string) error {
 	t := s.next()
 	if t.kind != tokPunct || t.text != p {
-		return fmt.Errorf("sparql: expected %q, got %q at %d", p, t.text, t.pos)
+		return parseErrf("expected %q, got %q at %d", p, t.text, t.pos)
 	}
 	return nil
 }
@@ -230,12 +230,12 @@ func (s *parseState) parseQuery() (*Graph, error) {
 		if name.kind != tokPrefixed && !(name.kind == tokKeyword && name.text == ":") {
 			// A bare "foo:" lexes as prefixed with empty local part.
 			if name.kind != tokPrefixed {
-				return nil, fmt.Errorf("sparql: malformed PREFIX at %d", name.pos)
+				return nil, parseErrf("malformed PREFIX at %d", name.pos)
 			}
 		}
 		iri := s.next()
 		if iri.kind != tokIRI {
-			return nil, fmt.Errorf("sparql: PREFIX needs IRI at %d", iri.pos)
+			return nil, parseErrf("PREFIX needs IRI at %d", iri.pos)
 		}
 		pfx := strings.TrimSuffix(name.text, ":")
 		if idx := strings.IndexByte(name.text, ':'); idx >= 0 {
@@ -293,7 +293,7 @@ func (s *parseState) parseQuery() (*Graph, error) {
 				}
 				v := s.next()
 				if v.kind != tokVar {
-					return nil, fmt.Errorf("sparql: ORDER BY %s needs a variable at %d", t.text, v.pos)
+					return nil, parseErrf("ORDER BY %s needs a variable at %d", t.text, v.pos)
 				}
 				if err := s.expectPunct(")"); err != nil {
 					return nil, err
@@ -301,7 +301,7 @@ func (s *parseState) parseQuery() (*Graph, error) {
 				g.OrderBy = append(g.OrderBy, OrderKey{Var: v.text, Desc: desc})
 			default:
 				if len(g.OrderBy) == 0 {
-					return nil, fmt.Errorf("sparql: empty ORDER BY at %d", t.pos)
+					return nil, parseErrf("empty ORDER BY at %d", t.pos)
 				}
 				goto doneOrder
 			}
@@ -312,16 +312,16 @@ func (s *parseState) parseQuery() (*Graph, error) {
 		s.next()
 		n := s.next()
 		if n.kind != tokNumber {
-			return nil, fmt.Errorf("sparql: LIMIT needs a number at %d", n.pos)
+			return nil, parseErrf("LIMIT needs a number at %d", n.pos)
 		}
 		var limit int
 		if _, err := fmt.Sscan(n.text, &limit); err != nil || limit < 0 {
-			return nil, fmt.Errorf("sparql: bad LIMIT %q", n.text)
+			return nil, parseErrf("bad LIMIT %q", n.text)
 		}
 		g.Limit = limit
 	}
 	if t := s.peek(); t.kind != tokEOF {
-		return nil, fmt.Errorf("sparql: unexpected trailing %q at %d", t.text, t.pos)
+		return nil, parseErrf("unexpected trailing %q at %d", t.text, t.pos)
 	}
 	return g, nil
 }
@@ -336,9 +336,9 @@ func (s *parseState) parseBGP(g *Graph) error {
 			s.next()
 			return nil
 		case t.kind == tokEOF:
-			return fmt.Errorf("sparql: unexpected end of query")
+			return parseErrf("unexpected end of query")
 		case t.kind == tokKeyword && (strings.EqualFold(t.text, "OPTIONAL") || strings.EqualFold(t.text, "UNION") || strings.EqualFold(t.text, "GRAPH")):
-			return fmt.Errorf("sparql: %s is not supported", strings.ToUpper(t.text))
+			return parseErrf("%s is not supported", strings.ToUpper(t.text))
 		case t.kind == tokPunct && t.text == ".":
 			s.next()
 		default:
@@ -402,7 +402,7 @@ func (s *parseState) parseVertex() (Vertex, error) {
 	case tokNumber:
 		return Vertex{Term: s.dict.MustLiteral(t.text)}, nil
 	}
-	return Vertex{}, fmt.Errorf("sparql: expected term, got %q at %d", t.text, t.pos)
+	return Vertex{}, parseErrf("expected term, got %q at %d", t.text, t.pos)
 }
 
 func (s *parseState) parsePredicate() (Edge, error) {
@@ -423,7 +423,7 @@ func (s *parseState) parsePredicate() (Edge, error) {
 			return Edge{Pred: s.dict.MustIRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")}, nil
 		}
 	}
-	return Edge{}, fmt.Errorf("sparql: expected predicate, got %q at %d", t.text, t.pos)
+	return Edge{}, parseErrf("expected predicate, got %q at %d", t.text, t.pos)
 }
 
 func (s *parseState) expand(t token) (string, error) {
@@ -431,7 +431,7 @@ func (s *parseState) expand(t token) (string, error) {
 	pfx, local := t.text[:idx], t.text[idx+1:]
 	base, ok := s.prefixes[pfx]
 	if !ok {
-		return "", fmt.Errorf("sparql: undeclared prefix %q at %d", pfx, t.pos)
+		return "", parseErrf("undeclared prefix %q at %d", pfx, t.pos)
 	}
 	return base + local, nil
 }

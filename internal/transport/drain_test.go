@@ -1,0 +1,72 @@
+package transport
+
+// Fragment-host drain and response-write-error accounting: /healthz must
+// flip to 503 the moment MarkDraining is called (load balancers route
+// away while in-flight evals finish), and a response body that fails to
+// write after the status line must land in the response_write_errors
+// metric instead of vanishing.
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestSiteHealthzDraining(t *testing.T) {
+	c, d, _ := newTestCluster(t, 20)
+	ss, hs := newSite(t, c, d, nil)
+
+	probe := func() (int, string) {
+		resp, err := http.Get(hs.URL + "/healthz")
+		if err != nil {
+			t.Fatalf("healthz: %v", err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+	if code, body := probe(); code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("healthy host: /healthz %d %q, want 200 ok", code, body)
+	}
+	ss.MarkDraining()
+	if code, _ := probe(); code != http.StatusServiceUnavailable {
+		t.Fatalf("draining host: /healthz %d, want 503", code)
+	}
+	// Draining does not stop /metrics — operators watch the drain there.
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics while draining: %v (status %v)", err, resp)
+	}
+	resp.Body.Close()
+}
+
+// brokenWriter fails every body write, like a probe that disconnected
+// right after the status line.
+type brokenWriter struct{ h http.Header }
+
+func (w *brokenWriter) Header() http.Header        { return w.h }
+func (w *brokenWriter) Write([]byte) (int, error)  { return 0, errors.New("client gone") }
+func (w *brokenWriter) WriteHeader(statusCode int) {}
+
+func TestSiteResponseWriteErrorsCounted(t *testing.T) {
+	c, d, _ := newTestCluster(t, 20)
+	ss := NewSiteServer(ServerConfig{Cluster: c, Dict: d})
+
+	ss.ServeHTTP(&brokenWriter{h: make(http.Header)}, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if got := ss.Metrics().ResponseWriteErrors; got != 1 {
+		t.Fatalf("ResponseWriteErrors = %d after a failed metrics body, want 1", got)
+	}
+
+	// The counter itself is on the wire format too.
+	rec := httptest.NewRecorder()
+	ss.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	var m struct {
+		ResponseWriteErrors uint64 `json:"response_write_errors"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil || m.ResponseWriteErrors != 1 {
+		t.Fatalf("metrics body %.200s (err %v), want response_write_errors=1", rec.Body, err)
+	}
+}

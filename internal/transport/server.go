@@ -67,6 +67,10 @@ type ServerMetrics struct {
 	// Resumes counts streams that skipped an acknowledged prefix for a
 	// resuming client.
 	Resumes uint64
+	// ResponseWriteErrors counts response bodies that failed to write
+	// after the status line was sent (client gone mid-response); the
+	// status can't change anymore, so the metric is the observable.
+	ResponseWriteErrors uint64
 	// Chaos reports faults injected by this server's injector.
 	Chaos cluster.ChaosCounts
 }
@@ -80,11 +84,17 @@ type SiteServer struct {
 	cfg ServerConfig
 	mux *http.ServeMux
 
-	evals   atomic.Uint64
-	active  atomic.Int64
-	batches atomic.Uint64
-	rows    atomic.Uint64
-	resumes atomic.Uint64
+	evals         atomic.Uint64
+	active        atomic.Int64
+	batches       atomic.Uint64
+	rows          atomic.Uint64
+	resumes       atomic.Uint64
+	respWriteErrs atomic.Uint64
+
+	// draining flips once graceful shutdown begins; /healthz then
+	// answers 503 so load balancers stop routing to this host while
+	// in-flight evals finish.
+	draining atomic.Bool
 }
 
 // NewSiteServer builds the handler; mount it on any http.Server.
@@ -95,6 +105,10 @@ func NewSiteServer(cfg ServerConfig) *SiteServer {
 	s := &SiteServer{cfg: cfg, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/eval", s.handleEval)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -106,32 +120,41 @@ func (s *SiteServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
+// MarkDraining flips the server into draining mode: /healthz starts
+// answering 503 while /eval keeps serving in-flight (and new) work.
+// Call it when graceful shutdown begins, before the listener drains.
+func (s *SiteServer) MarkDraining() { s.draining.Store(true) }
+
 // Metrics snapshots the server's counters.
 func (s *SiteServer) Metrics() ServerMetrics {
 	return ServerMetrics{
-		Evals:       s.evals.Load(),
-		ActiveEvals: int(s.active.Load()),
-		Batches:     s.batches.Load(),
-		Rows:        s.rows.Load(),
-		Resumes:     s.resumes.Load(),
-		Chaos:       s.cfg.Chaos.Counts(),
+		Evals:               s.evals.Load(),
+		ActiveEvals:         int(s.active.Load()),
+		Batches:             s.batches.Load(),
+		Rows:                s.rows.Load(),
+		Resumes:             s.resumes.Load(),
+		ResponseWriteErrors: s.respWriteErrs.Load(),
+		Chaos:               s.cfg.Chaos.Counts(),
 	}
 }
 
 func (s *SiteServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m := s.Metrics()
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{
-		"evals":        m.Evals,
-		"active_evals": m.ActiveEvals,
-		"batches":      m.Batches,
-		"rows":         m.Rows,
-		"resumes":      m.Resumes,
-		"chaos_drops":  m.Chaos.Drops,
-		"chaos_errors": m.Chaos.Errors,
-		"chaos_cuts":   m.Chaos.Cuts,
-		"chaos_delays": m.Chaos.Delays,
-	})
+	if err := json.NewEncoder(w).Encode(map[string]any{
+		"evals":                 m.Evals,
+		"active_evals":          m.ActiveEvals,
+		"batches":               m.Batches,
+		"rows":                  m.Rows,
+		"resumes":               m.Resumes,
+		"response_write_errors": m.ResponseWriteErrors,
+		"chaos_drops":           m.Chaos.Drops,
+		"chaos_errors":          m.Chaos.Errors,
+		"chaos_cuts":            m.Chaos.Cuts,
+		"chaos_delays":          m.Chaos.Delays,
+	}); err != nil {
+		s.respWriteErrs.Add(1)
+	}
 }
 
 // serves reports whether this server answers for site id.

@@ -1,9 +1,11 @@
 package wal
 
-// Record-kind framing tests: the v2 kind byte round-trips through
+// Record-kind framing tests: the kind byte round-trips through
 // append/reopen/replay, v1 segments written before kinds existed stay
-// replayable as inserts, an unknown kind value truncates like
-// corruption, and the CRC genuinely covers the kind byte.
+// replayable as inserts, v2 segments written before overwrite records
+// existed stay replayable (and refuse kinds from their future), an
+// unknown kind value truncates like corruption, and the CRC genuinely
+// covers the kind byte.
 
 import (
 	"encoding/binary"
@@ -16,7 +18,7 @@ import (
 func TestRecordKindRoundTrip(t *testing.T) {
 	opts := testOpts(t, SyncAlways)
 	l := mustOpen(t, opts)
-	kinds := []Kind{KindInsert, KindDelete, KindDelete, KindInsert, KindDelete}
+	kinds := []Kind{KindInsert, KindDelete, KindOverwrite, KindInsert, KindDelete, KindOverwrite}
 	for i, k := range kinds {
 		seq, err := l.Append(k, []byte{byte('a' + i)})
 		if err != nil {
@@ -111,7 +113,7 @@ func TestV1SegmentReadCompat(t *testing.T) {
 		}
 	}
 
-	// Appends land in a fresh v2 segment continuing the sequence: a
+	// Appends land in a fresh v3 segment continuing the sequence: a
 	// mixed-version directory replays as one stream.
 	seq, err := l.Append(KindDelete, []byte("new-three"))
 	if err != nil {
@@ -135,11 +137,100 @@ func TestV1SegmentReadCompat(t *testing.T) {
 	}
 }
 
+// encodeSegHeaderV2 renders the header a "RDFWAL2\n" writer produced;
+// the frame layout is identical to v3, only the magic (and the set of
+// admissible kinds) differs.
+func encodeSegHeaderV2(dictLen int, dictFP uint64) []byte {
+	buf := encodeSegHeader(dictLen, dictFP)
+	copy(buf, segMagicV2)
+	return buf
+}
+
+func TestV2SegmentReadCompat(t *testing.T) {
+	dir := t.TempDir()
+	img := encodeSegHeaderV2(11, 0xbeef)
+	img = appendRecord(img, 1, KindInsert, []byte("two-ins"))
+	img = appendRecord(img, 2, KindDelete, []byte("two-del"))
+	if err := os.WriteFile(filepath.Join(dir, segName(1)), img, 0o644); err != nil {
+		t.Fatalf("write v2 segment: %v", err)
+	}
+
+	l := mustOpen(t, Options{Dir: dir, Sync: SyncAlways})
+	defer l.Close()
+	if l.LastSeq() != 2 {
+		t.Fatalf("LastSeq = %d, want 2 (both v2 records recovered)", l.LastSeq())
+	}
+	var recs []Record
+	var dictLen int
+	var dictFP uint64
+	err := l.Replay(0, func(n int, fp uint64) error {
+		dictLen, dictFP = n, fp
+		return nil
+	}, func(rec Record) error {
+		recs = append(recs, Record{Seq: rec.Seq, Kind: rec.Kind, Payload: append([]byte(nil), rec.Payload...)})
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if dictLen != 11 || dictFP != 0xbeef {
+		t.Errorf("v2 header dict state = (%d, %#x), want (11, 0xbeef)", dictLen, dictFP)
+	}
+	if len(recs) != 2 || recs[0].Kind != KindInsert || recs[1].Kind != KindDelete {
+		t.Fatalf("v2 replay = %+v, want insert then delete", recs)
+	}
+
+	// The v2 tail is sealed: an overwrite record appended after recovery
+	// must land in a fresh v3 segment, not be written into a header that
+	// doesn't admit its kind.
+	seq, err := l.Append(KindOverwrite, []byte("ow-three"))
+	if err != nil {
+		t.Fatalf("Append overwrite after v2 recovery: %v", err)
+	}
+	if seq != 3 {
+		t.Fatalf("post-v2 append seq = %d, want 3", seq)
+	}
+	if err := l.Rotate(); err != nil {
+		t.Fatalf("Rotate: %v", err)
+	}
+	got := map[uint64]Kind{}
+	if err := l.Replay(0, nil, func(rec Record) error {
+		got[rec.Seq] = rec.Kind
+		return nil
+	}); err != nil {
+		t.Fatalf("Replay after append: %v", err)
+	}
+	if len(got) != 3 || got[3] != KindOverwrite {
+		t.Fatalf("mixed-version replay = %v, want 3 records with seq 3 an overwrite", got)
+	}
+}
+
+// TestOverwriteKindInV2Truncates pins the reason for the magic bump: a
+// v2 reader treats an overwrite record as an unknown kind and truncates
+// there, so overwrites must never be appended into a v2 segment.
+func TestOverwriteKindInV2Truncates(t *testing.T) {
+	dir := t.TempDir()
+	img := encodeSegHeaderV2(0, 0)
+	img = appendRecord(img, 1, KindInsert, []byte("good"))
+	img = appendRecord(img, 2, KindOverwrite, []byte("not-in-v2"))
+	if err := os.WriteFile(filepath.Join(dir, segName(1)), img, 0o644); err != nil {
+		t.Fatalf("write segment: %v", err)
+	}
+	l := mustOpen(t, Options{Dir: dir, Sync: SyncAlways})
+	defer l.Close()
+	if l.LastSeq() != 1 {
+		t.Fatalf("LastSeq = %d, want 1 (overwrite kind truncates a v2 segment)", l.LastSeq())
+	}
+	if got := collect(t, l, 0); len(got) != 1 || got[1] != "good" {
+		t.Fatalf("replay = %v, want only seq 1 %q", got, "good")
+	}
+}
+
 func TestUnknownKindTruncates(t *testing.T) {
 	dir := t.TempDir()
 	img := encodeSegHeader(0, 0)
 	img = appendRecord(img, 1, KindInsert, []byte("good"))
-	img = appendRecord(img, 2, Kind(2), []byte("from-the-future"))
+	img = appendRecord(img, 2, Kind(3), []byte("from-the-future"))
 	img = appendRecord(img, 3, KindInsert, []byte("unreachable"))
 	if err := os.WriteFile(filepath.Join(dir, segName(1)), img, 0o644); err != nil {
 		t.Fatalf("write segment: %v", err)

@@ -24,12 +24,18 @@ import (
 //
 // Version history. "RDFWAL1\n" segments predate record kinds: their
 // frames carry no kind byte (frameLen = 8 + len(payload)) and every
-// record is an insert. Readers accept both versions — a deployment
-// upgraded in place keeps its v1 segments replayable — but new segments
-// are always written v2, so a log directory may legitimately hold a mix.
+// record is an insert. "RDFWAL2\n" added the kind byte with insert and
+// delete kinds. "RDFWAL3\n" keeps the v2 frame layout but additionally
+// admits KindOverwrite, whose payload frames a delete-set and an
+// insert-set applied as one atomic batch — the magic bump exists so a
+// v2 reader truncates at an overwrite record instead of misapplying it.
+// Readers accept all three versions — a deployment upgraded in place
+// keeps its old segments replayable — but new segments are always
+// written v3, so a log directory may legitimately hold a mix.
 const (
 	segMagicV1    = "RDFWAL1\n"
-	segMagic      = "RDFWAL2\n"
+	segMagicV2    = "RDFWAL2\n"
+	segMagic      = "RDFWAL3\n"
 	segHeaderSize = len(segMagic) + 4 + 8
 	recHeaderSize = 4 + 4 + 8 + 1
 )
@@ -44,6 +50,11 @@ const (
 	KindInsert Kind = 0
 	// KindDelete removes the payload's triples.
 	KindDelete Kind = 1
+	// KindOverwrite atomically removes one triple set and inserts
+	// another. Its payload is uint32 little-endian len(deleteDoc) |
+	// deleteDoc | insertDoc, both docs N-Triples text. Only valid in
+	// v3 segments.
+	KindOverwrite Kind = 2
 )
 
 // Record is one WAL entry: a monotonically increasing sequence number,
@@ -76,7 +87,7 @@ func parseSegName(name string) (uint64, bool) {
 	return n, true
 }
 
-// encodeSegHeader renders a (v2) segment header.
+// encodeSegHeader renders a (v3) segment header.
 func encodeSegHeader(dictLen int, dictFP uint64) []byte {
 	buf := make([]byte, segHeaderSize)
 	copy(buf, segMagic)
@@ -93,6 +104,8 @@ func decodeSegHeader(data []byte) (dictLen int, dictFP uint64, version int, ok b
 	}
 	switch string(data[:len(segMagic)]) {
 	case segMagic:
+		version = 3
+	case segMagicV2:
 		version = 2
 	case segMagicV1:
 		version = 1
@@ -104,7 +117,7 @@ func decodeSegHeader(data []byte) (dictLen int, dictFP uint64, version int, ok b
 	return dictLen, dictFP, version, true
 }
 
-// appendRecord frames one v2 record onto buf.
+// appendRecord frames one record onto buf (v2/v3 frame layout).
 func appendRecord(buf []byte, seq uint64, kind Kind, payload []byte) []byte {
 	var hdr [recHeaderSize]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(9+len(payload)))
@@ -148,9 +161,13 @@ func scanSegment(data []byte, prevSeq uint64, version int) (recs []Record, valid
 		}
 		rec := Record{Seq: seq, Kind: KindInsert, Payload: body[8:]}
 		if version >= 2 {
+			maxKind := KindDelete // v2 predates overwrite records
+			if version >= 3 {
+				maxKind = KindOverwrite
+			}
 			rec.Kind = Kind(body[8])
 			rec.Payload = body[9:]
-			if rec.Kind > KindDelete {
+			if rec.Kind > maxKind {
 				return recs, int64(off)
 			}
 		}

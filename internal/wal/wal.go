@@ -151,8 +151,10 @@ type Log struct {
 	buf     []byte
 
 	// tailVersion is the layout version of the newest recovered segment;
-	// a v1 tail is sealed rather than reopened for append (new records
-	// carry a kind byte its header doesn't announce).
+	// a pre-v3 tail is sealed rather than reopened for append (a v1
+	// header doesn't announce the kind byte new records carry, and a v2
+	// header doesn't admit overwrite records, which would truncate the
+	// tail on the next replay).
 	tailVersion int
 
 	appends       uint64
@@ -183,11 +185,12 @@ func Open(opts Options) (*Log, error) {
 	if err := l.recover(); err != nil {
 		return nil, err
 	}
-	if len(l.segs) == 0 || l.tailVersion < 2 {
-		// No live segment, or the newest one uses the v1 frame layout:
-		// appends must land in a fresh v2 segment — a v2 frame written
-		// into a v1 segment would replay with its kind byte misread as
-		// the payload's first byte.
+	if len(l.segs) == 0 || l.tailVersion < 3 {
+		// No live segment, or the newest one uses an older frame layout:
+		// appends must land in a fresh v3 segment — a kind byte written
+		// into a v1 segment would be misread as the payload's first
+		// byte, and an overwrite record in a v2 segment would be
+		// truncated as an unknown kind on the next replay.
 		if err := l.openSegmentLocked(l.lastSeq + 1); err != nil {
 			return nil, err
 		}

@@ -1,0 +1,243 @@
+package rdffrag
+
+// Atomic overwrite batches through the public API: Overwrite replaces
+// one triple set with another under a single WAL record and a single
+// MVCC publish. These tests pin the visible semantics (one complete
+// version at a time, delete-then-insert overlap keeps the triple, empty
+// sides degrade gracefully), the WAL payload framing round-trip, the
+// durable recovery of overwrite records, and TTL expiry riding the same
+// durable delete path.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+const owProbe = `SELECT ?n ?i WHERE { <OWSubj> <name> ?n . <OWSubj> <interest> ?i . }`
+
+func owDoc(v int) string {
+	return fmt.Sprintf("<OWSubj> <name> \"ow v%d\" .\n<OWSubj> <interest> <OWI%d> .\n", v, v)
+}
+
+func TestServerOverwriteEndToEnd(t *testing.T) {
+	dep := deploySoak(t, 3, 30)
+	srv := dep.StartServer(ServerConfig{Workers: 2})
+	defer srv.Close()
+
+	if _, err := srv.Update(context.Background(), owDoc(1)); err != nil {
+		t.Fatalf("seed insert: %v", err)
+	}
+	if rows := queryRows(t, srv, owProbe); len(rows) != 1 || !strings.Contains(rows[0], "ow v1") {
+		t.Fatalf("seed state: %v", rows)
+	}
+
+	// The swap: v1's triples out, v2's in, one batch.
+	st, err := srv.Overwrite(context.Background(), owDoc(1), owDoc(2), 0)
+	if err != nil {
+		t.Fatalf("Overwrite: %v", err)
+	}
+	if st.Added != 2 || st.Deleted != 2 {
+		t.Fatalf("Overwrite stats: %+v, want 2 added / 2 deleted", st)
+	}
+	rows := queryRows(t, srv, owProbe)
+	if len(rows) != 1 || !strings.Contains(rows[0], "ow v2") {
+		t.Fatalf("post-overwrite state: %v, want exactly the v2 row", rows)
+	}
+
+	// Delete-then-reinsert overlap: an overwrite whose delete-set and
+	// insert-set share a triple keeps it (latest op wins), while the
+	// non-shared halves swap.
+	shared := "<OWSubj> <name> \"ow v2\" .\n"
+	if _, err = srv.Overwrite(context.Background(), owDoc(2), shared+"<OWSubj> <interest> <OWI3> .\n", 0); err != nil {
+		t.Fatalf("overlapping Overwrite: %v", err)
+	}
+	rows = queryRows(t, srv, owProbe)
+	if len(rows) != 1 || !strings.Contains(rows[0], "ow v2") || !strings.Contains(rows[0], "OWI3") {
+		t.Fatalf("overlap overwrite state: %v, want name v2 with interest OWI3", rows)
+	}
+}
+
+func TestServerOverwriteEmptySides(t *testing.T) {
+	dep := deploySoak(t, 3, 30)
+	srv := dep.StartServer(ServerConfig{Workers: 2})
+	defer srv.Close()
+
+	// Empty delete side: a plain insert.
+	if st, err := srv.Overwrite(context.Background(), "", owDoc(1), 0); err != nil || st.Added != 2 {
+		t.Fatalf("empty-del overwrite: stats %+v, err %v", st, err)
+	}
+	// Empty insert side: a plain delete.
+	if st, err := srv.Overwrite(context.Background(), owDoc(1), "", 0); err != nil || st.Deleted != 2 {
+		t.Fatalf("empty-ins overwrite: stats %+v, err %v", st, err)
+	}
+	if rows := queryRows(t, srv, owProbe); len(rows) != 0 {
+		t.Fatalf("subject still present after empty-ins overwrite: %v", rows)
+	}
+	// Both sides empty is the client's mistake.
+	if _, err := srv.Overwrite(context.Background(), "", "", 0); !errors.Is(err, ErrBadUpdate) {
+		t.Fatalf("both-empty overwrite: err %v, want ErrBadUpdate", err)
+	}
+	// A delete side referencing only never-seen terms with nothing to
+	// insert is a whole-batch no-op, not an error — and it must stay off
+	// the writer path (Seq 0 even on durable servers).
+	st, err := srv.Overwrite(context.Background(), "<NeverSeen> <nope> <Nothing> .\n", "", 0)
+	if err != nil || st.Added != 0 || st.Deleted != 0 || st.Seq != 0 {
+		t.Fatalf("unknown-term overwrite: stats %+v, err %v, want a clean no-op", st, err)
+	}
+	// Malformed N-Triples on either side rejects the batch whole.
+	if _, err := srv.Overwrite(context.Background(), "<a> <b> junk\n", owDoc(1), 0); !errors.Is(err, ErrBadUpdate) {
+		t.Fatalf("malformed delete side: err %v, want ErrBadUpdate", err)
+	}
+	if _, err := srv.Overwrite(context.Background(), "", "<a> <b> junk\n", 0); !errors.Is(err, ErrBadUpdate) {
+		t.Fatalf("malformed insert side: err %v, want ErrBadUpdate", err)
+	}
+}
+
+// TestOverwritePayloadFraming: the WAL payload's length-prefixed framing
+// round-trips both sides and rejects truncated or corrupt frames instead
+// of mis-splitting them.
+func TestOverwritePayloadFraming(t *testing.T) {
+	cases := []struct{ del, ins string }{
+		{"<a> <b> <c> .\n", "<d> <e> <f> .\n"},
+		{"", "<d> <e> <f> .\n"},
+		{"<a> <b> <c> .\n", ""},
+		{"", ""},
+	}
+	for _, tc := range cases {
+		p := encodeOverwritePayload([]byte(tc.del), []byte(tc.ins))
+		del, ins, err := splitOverwritePayload(p)
+		if err != nil || string(del) != tc.del || string(ins) != tc.ins {
+			t.Fatalf("round-trip (%q, %q): got (%q, %q), err %v", tc.del, tc.ins, del, ins, err)
+		}
+	}
+	if _, _, err := splitOverwritePayload([]byte{1, 0}); err == nil {
+		t.Fatal("short payload accepted")
+	}
+	// Length prefix pointing past the payload's end.
+	bad := encodeOverwritePayload([]byte("x"), nil)
+	bad[0] = 200
+	if _, _, err := splitOverwritePayload(bad); err == nil {
+		t.Fatal("overlong delete-doc length accepted")
+	}
+}
+
+// TestDurableOverwriteRecovery: overwrite batches survive a crash as one
+// record — recovery replays the whole swap, reproducing the pre-crash
+// answers, and the replayed-record count reconciles with the log.
+func TestDurableOverwriteRecovery(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDurable(DurabilityConfig{Dir: dir, Sync: "always"})
+	if err != nil {
+		t.Fatalf("OpenDurable: %v", err)
+	}
+	dep := durableDeploy(t)
+	if err := d.Bootstrap(dep); err != nil {
+		t.Fatalf("Bootstrap: %v", err)
+	}
+	srv := dep.StartServer(ServerConfig{Workers: 2, Durable: d})
+
+	const inserts, swaps = 4, 6
+	for i := 0; i < inserts; i++ {
+		if _, err := srv.Update(context.Background(), durableUpdate(i)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	// Each swap retargets person (v-1)%inserts's interest: delete the old
+	// interest triple, insert a new one, atomically.
+	for v := 1; v <= swaps; v++ {
+		p := (v - 1) % inserts
+		del := fmt.Sprintf("<U%d> <interest> <I%d> .\n", p, p%5)
+		if v > inserts {
+			del = fmt.Sprintf("<U%d> <interest> <SwapI%d> .\n", p, v-inserts)
+		}
+		ins := fmt.Sprintf("<U%d> <interest> <SwapI%d> .\n", p, v)
+		st, err := srv.Overwrite(context.Background(), del, ins, 0)
+		if err != nil {
+			t.Fatalf("swap %d: %v", v, err)
+		}
+		if st.Seq != uint64(inserts+v) {
+			t.Fatalf("swap %d: seq %d, want %d (one WAL record per overwrite)", v, st.Seq, inserts+v)
+		}
+	}
+	oracle := queryRows(t, srv, durableProbe)
+	// Abandon without Close: sync=always owes us every acked batch.
+
+	d2, err := OpenDurable(DurabilityConfig{Dir: dir, Sync: "always"})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	dep2, err := d2.Recover(Config{})
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if want := uint64(inserts + swaps); d2.ReplayedRecords() != want {
+		t.Fatalf("replayed %d records, want %d", d2.ReplayedRecords(), want)
+	}
+	srv2 := dep2.StartServer(ServerConfig{Workers: 2, Durable: d2})
+	defer srv2.Close()
+	if got := queryRows(t, srv2, durableProbe); strings.Join(got, "\n") != strings.Join(oracle, "\n") {
+		t.Fatalf("recovered answers diverge:\ngot  %v\nwant %v", got, oracle)
+	}
+}
+
+// TestServerTTLSweepDurable: a TTL-stamped insert expires through the
+// sweeper as a durable delete — the sweep appends a WAL record, so the
+// expiry survives recovery; sweep metrics move.
+func TestServerTTLSweepDurable(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDurable(DurabilityConfig{Dir: dir, Sync: "always"})
+	if err != nil {
+		t.Fatalf("OpenDurable: %v", err)
+	}
+	dep := durableDeploy(t)
+	if err := d.Bootstrap(dep); err != nil {
+		t.Fatalf("Bootstrap: %v", err)
+	}
+	// Background sweeper disabled: the test drives expiry deterministically.
+	srv := dep.StartServer(ServerConfig{Workers: 2, Durable: d, SweepInterval: -1})
+
+	if _, err := srv.UpdateTTL(context.Background(), owDoc(1), time.Millisecond); err != nil {
+		t.Fatalf("UpdateTTL: %v", err)
+	}
+	if rows := queryRows(t, srv, owProbe); len(rows) != 1 {
+		t.Fatalf("TTL insert not visible: %v", rows)
+	}
+	seqBefore := d.LastSeq()
+	time.Sleep(5 * time.Millisecond)
+	if n := srv.Sweep(); n != 2 {
+		t.Fatalf("Sweep removed %d triples, want 2", n)
+	}
+	if rows := queryRows(t, srv, owProbe); len(rows) != 0 {
+		t.Fatalf("expired triples still visible: %v", rows)
+	}
+	if d.LastSeq() != seqBefore+1 {
+		t.Fatalf("sweep did not log its delete batch: seq %d -> %d", seqBefore, d.LastSeq())
+	}
+	m := srv.Metrics()
+	if m.SweepRuns != 1 || m.SweptTriples != 2 {
+		t.Fatalf("sweep metrics: runs=%d swept=%d, want 1/2", m.SweepRuns, m.SweptTriples)
+	}
+	oracle := queryRows(t, srv, durableProbe)
+	// The expiry is durable: recover (abandon, no Close) and the swept
+	// triples must stay gone.
+	d2, err := OpenDurable(DurabilityConfig{Dir: dir, Sync: "always"})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	dep2, err := d2.Recover(Config{})
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	srv2 := dep2.StartServer(ServerConfig{Workers: 2, Durable: d2})
+	defer srv2.Close()
+	if rows := queryRows(t, srv2, owProbe); len(rows) != 0 {
+		t.Fatalf("swept triples resurrected by recovery: %v", rows)
+	}
+	if got := queryRows(t, srv2, durableProbe); strings.Join(got, "\n") != strings.Join(oracle, "\n") {
+		t.Fatal("recovered answers diverge after a durable sweep")
+	}
+}

@@ -59,17 +59,39 @@ type SiteConfig struct {
 // same data and workload files as the control site (the deterministic
 // pipeline makes the dictionaries agree).
 func (dep *Deployment) SiteHandler(cfg SiteConfig) http.Handler {
+	return dep.SiteHost(cfg)
+}
+
+// SiteHost is a fragment-host HTTP handler with drain control: once
+// MarkDraining is called its /healthz answers 503 so load balancers
+// stop routing here, while /eval keeps draining in-flight streams.
+type SiteHost struct {
+	inner *transport.SiteServer
+}
+
+// ServeHTTP implements http.Handler.
+func (h *SiteHost) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.inner.ServeHTTP(w, r)
+}
+
+// MarkDraining flips /healthz to 503; call it when graceful shutdown
+// begins, before the HTTP listener drains.
+func (h *SiteHost) MarkDraining() { h.inner.MarkDraining() }
+
+// SiteHost is SiteHandler with the concrete type: `rdffrag site` uses
+// it to flip the health probe when SIGTERM starts the drain.
+func (dep *Deployment) SiteHost(cfg SiteConfig) *SiteHost {
 	dep.ensureColdFragment()
 	var chaos *cluster.Chaos
 	if cfg.Chaos != nil {
 		chaos = cluster.NewChaos(*cfg.Chaos)
 	}
-	return transport.NewSiteServer(transport.ServerConfig{
+	return &SiteHost{inner: transport.NewSiteServer(transport.ServerConfig{
 		Cluster: dep.cluster,
 		Dict:    dep.db.graph.Dict,
 		Sites:   cfg.Sites,
 		Chaos:   chaos,
-	})
+	})}
 }
 
 // RemoteConfig tunes the robust site clients a server uses to reach

@@ -3,9 +3,9 @@ package rdffrag
 import (
 	"context"
 	"io"
+	"sync/atomic"
 	"time"
 
-	"rdffrag/internal/rdf"
 	"rdffrag/internal/serve"
 	"rdffrag/internal/sparql"
 )
@@ -41,6 +41,15 @@ type ServerConfig struct {
 	// via Recover or Bootstrap — to the same deployment this server
 	// fronts. Nil serves without durability.
 	Durable *Durable
+	// TTL, when positive, is the default time-to-live stamped onto every
+	// inserted batch (plain inserts and the insert side of overwrites):
+	// the background sweeper deletes the batch's triples through the
+	// normal durable update path once TTL elapses. Per-request X-TTL
+	// headers override it; zero leaves triples permanent.
+	TTL time.Duration
+	// SweepInterval is how often the TTL sweeper checks for expired
+	// triples (0 = 1s; negative disables the background sweeper).
+	SweepInterval time.Duration
 }
 
 // ErrOverloaded is returned by Server.Query when the admission queue is
@@ -57,6 +66,18 @@ type Server struct {
 	dep     *Deployment
 	inner   *serve.Server
 	durable *Durable // nil when serving without durability
+	ttl     time.Duration
+
+	// draining flips once shutdown begins (MarkDraining or Close) so
+	// /healthz can tell load balancers to stop routing here while
+	// in-flight work finishes.
+	draining atomic.Bool
+
+	// respWriteErrs counts response bodies the HTTP layer failed to
+	// write after the status line was already sent (client gone,
+	// connection reset): the status can't change anymore, so the metric
+	// is the observable.
+	respWriteErrs atomic.Uint64
 }
 
 // StartServer starts a concurrent query server over the deployment.
@@ -71,8 +92,8 @@ func (dep *Deployment) StartServer(cfg ServerConfig) *Server {
 	// it must be static from here on (updates only append triples).
 	dep.ensureColdFragment()
 	dep.wireRemotes(cfg.Remote)
-	apply := func(op serve.Op, ts []rdf.Triple) (serve.UpdateStats, error) {
-		return dep.applyBatch(op, ts), nil
+	apply := func(b serve.Batch) (serve.UpdateStats, error) {
+		return dep.applyBatch(b), nil
 	}
 	var walStats func() serve.WALMetrics
 	if cfg.Durable != nil {
@@ -85,6 +106,7 @@ func (dep *Deployment) StartServer(cfg ServerConfig) *Server {
 	s := &Server{
 		dep:     dep,
 		durable: cfg.Durable,
+		ttl:     cfg.TTL,
 		inner: serve.New(dep.engine, serve.Config{
 			Workers:        cfg.Workers,
 			QueueDepth:     cfg.QueueDepth,
@@ -92,6 +114,7 @@ func (dep *Deployment) StartServer(cfg ServerConfig) *Server {
 			PlanCacheSize:  cfg.PlanCacheSize,
 			Parallelism:    cfg.Parallelism,
 			JoinPartitions: cfg.JoinPartitions,
+			SweepInterval:  cfg.SweepInterval,
 			Apply:          apply,
 			WALStats:       walStats,
 		}),
@@ -127,11 +150,21 @@ func (s *Server) QueryParsed(ctx context.Context, q *sparql.Graph) (*Result, err
 // replay) and closes the log — this is what makes graceful shutdown
 // lossless even under the "interval" sync policy.
 func (s *Server) Close() {
+	s.draining.Store(true)
 	s.inner.Close()
 	if s.durable != nil {
 		s.durable.shutdown()
 	}
 }
+
+// MarkDraining flips the server into draining mode: /healthz starts
+// answering 503 so load balancers stop routing here, while queries and
+// updates keep being served. Call it when graceful shutdown begins
+// (SIGTERM), before the HTTP listener drains; Close flips it too.
+func (s *Server) MarkDraining() { s.draining.Store(true) }
+
+// Draining reports whether shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Save snapshots the deployment under the server's writer mutex: no
 // update applies while the snapshot's compact-on-save mutates the

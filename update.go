@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"rdffrag/internal/fragment"
 	"rdffrag/internal/match"
@@ -36,6 +37,14 @@ var ErrBadUpdate = errors.New("rdffrag: bad update batch")
 // in-flight queries, which keep reading the MVCC view they pinned at
 // admission. Queries admitted after Update returns see the new triples.
 func (s *Server) Update(ctx context.Context, ntriples string) (*UpdateResult, error) {
+	return s.UpdateTTL(ctx, ntriples, s.ttl)
+}
+
+// UpdateTTL is Update with an explicit time-to-live: a positive ttl
+// schedules the batch's triples for expiry — the server's sweeper
+// deletes them through the normal durable update path once ttl elapses.
+// Zero means no expiry (ignoring any server-wide default).
+func (s *Server) UpdateTTL(ctx context.Context, ntriples string, ttl time.Duration) (*UpdateResult, error) {
 	ts, err := parseUpdateBatch(s.dep.db.graph.Dict, ntriples)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrBadUpdate, err)
@@ -43,12 +52,58 @@ func (s *Server) Update(ctx context.Context, ntriples string) (*UpdateResult, er
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	st, err := s.inner.Update(ctx, ts)
+	st, err := s.inner.Apply(ctx, serve.Batch{Op: serve.OpInsert, Ins: ts, TTL: ttl})
 	if err != nil {
 		return nil, err
 	}
 	return &st, nil
 }
+
+// Overwrite atomically replaces one triple set with another: delDoc's
+// triples are removed and insDoc's inserted as one batch — one WAL
+// record, one MVCC publish — so no query ever sees the deletes without
+// the inserts, and crash recovery replays the whole swap or none of it.
+// Either side may be empty (an empty delDoc degrades to a TTL-stamped
+// insert, an empty insDoc to a delete), but not both. A positive ttl
+// schedules the inserted triples for expiry.
+func (s *Server) Overwrite(ctx context.Context, delDoc, insDoc string, ttl time.Duration) (*UpdateResult, error) {
+	dict := s.dep.db.graph.Dict
+	del, delParsed, err := parseLookupSet(dict, delDoc)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrBadUpdate, err)
+	}
+	ins, err := parseTripleSet(dict, insDoc)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrBadUpdate, err)
+	}
+	if delParsed == 0 && len(ins) == 0 {
+		return nil, fmt.Errorf("%w: overwrite carried no triples", ErrBadUpdate)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(del) == 0 && len(ins) == 0 {
+		// Every delete triple referenced terms the deployment has never
+		// seen and there is nothing to insert: a whole-batch no-op, kept
+		// off the writer path so a durable server doesn't log it.
+		return &UpdateResult{
+			DeltaTriples: s.dep.db.graph.DeltaLen(),
+			Compactions:  s.dep.db.graph.Compactions(),
+		}, nil
+	}
+	st, err := s.inner.Apply(ctx, serve.Batch{Op: serve.OpOverwrite, Del: del, Ins: ins, TTL: ttl})
+	if err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Sweep forces one TTL sweep at the current instant, deleting every
+// expired triple through the normal durable update path; it reports how
+// many triples went away. The background sweeper does this on its
+// interval — Sweep exists for deterministic tests and for embedders
+// that disabled the background sweeper.
+func (s *Server) Sweep() int { return s.inner.Sweep(time.Now()) }
 
 // Delete parses an N-Triples document and removes its triples from the
 // live deployment through the same serialized writer path as Update:
@@ -83,23 +138,22 @@ func (s *Server) Delete(ctx context.Context, ntriples string) (*UpdateResult, er
 	return &st, nil
 }
 
-// parseUpdateBatch parses a whole N-Triples document into
-// deployment-dictionary triples, atomically: it parses into a scratch
-// graph with a private dictionary first, so a batch rejected for syntax
-// anywhere — even on its last line — leaves nothing behind, not even
-// interned terms in the shared dictionary. Only a fully valid batch
-// re-encodes into the deployment dictionary (concurrency-safe inserts);
-// a valid batch that then fails admission (server closed) may leave its
-// terms interned, which is benign — terms are content-addressed and
-// carry no graph state. WAL replay parses recovered records through the
-// same path, so recovery and the live path agree on what a batch means.
-func parseUpdateBatch(d *rdf.Dict, ntriples string) ([]rdf.Triple, error) {
+// parseTripleSet parses an N-Triples document into deployment-dictionary
+// triples, atomically: it parses into a scratch graph with a private
+// dictionary first, so a batch rejected for syntax anywhere — even on
+// its last line — leaves nothing behind, not even interned terms in the
+// shared dictionary. Only a fully valid batch re-encodes into the
+// deployment dictionary (concurrency-safe inserts); a valid batch that
+// then fails admission (server closed) may leave its terms interned,
+// which is benign — terms are content-addressed and carry no graph
+// state. An empty document is a valid empty set (overwrite sides may be
+// empty); callers that require triples check themselves. WAL replay
+// parses recovered records through the same path, so recovery and the
+// live path agree on what a batch means.
+func parseTripleSet(d *rdf.Dict, ntriples string) ([]rdf.Triple, error) {
 	scratch := rdf.NewGraph(nil)
 	if _, err := rdf.ReadNTriples(scratch, strings.NewReader(ntriples)); err != nil {
 		return nil, err
-	}
-	if scratch.NumTriples() == 0 {
-		return nil, fmt.Errorf("rdffrag: update carried no triples")
 	}
 	ts := make([]rdf.Triple, 0, scratch.NumTriples())
 	for _, t := range scratch.Triples() {
@@ -112,22 +166,34 @@ func parseUpdateBatch(d *rdf.Dict, ntriples string) ([]rdf.Triple, error) {
 	return ts, nil
 }
 
-// parseDeleteBatch parses a delete document with the same whole-batch
-// atomicity as parseUpdateBatch, but resolves terms through the
-// deployment dictionary without interning: a triple whose subject,
-// predicate or object the deployment has never seen cannot possibly be
-// present, so it is dropped from the batch (a no-op delete, not an
-// error) instead of polluting the shared dictionary with terms that
-// exist nowhere.
-func parseDeleteBatch(d *rdf.Dict, ntriples string) ([]rdf.Triple, error) {
-	scratch := rdf.NewGraph(nil)
-	if _, err := rdf.ReadNTriples(scratch, strings.NewReader(ntriples)); err != nil {
+// parseUpdateBatch is parseTripleSet for paths where an empty document
+// is a client error rather than an empty set.
+func parseUpdateBatch(d *rdf.Dict, ntriples string) ([]rdf.Triple, error) {
+	ts, err := parseTripleSet(d, ntriples)
+	if err != nil {
 		return nil, err
 	}
-	if scratch.NumTriples() == 0 {
-		return nil, fmt.Errorf("rdffrag: delete carried no triples")
+	if len(ts) == 0 {
+		return nil, fmt.Errorf("rdffrag: update carried no triples")
 	}
-	ts := make([]rdf.Triple, 0, scratch.NumTriples())
+	return ts, nil
+}
+
+// parseLookupSet parses a document with the same whole-batch atomicity
+// as parseTripleSet, but resolves terms through the deployment
+// dictionary without interning: a triple whose subject, predicate or
+// object the deployment has never seen cannot possibly be present, so
+// it is dropped from the set (a no-op delete, not an error) instead of
+// polluting the shared dictionary with terms that exist nowhere. It
+// additionally reports how many triples the document parsed to, so
+// callers can tell an empty document from a fully-dropped one.
+func parseLookupSet(d *rdf.Dict, ntriples string) (ts []rdf.Triple, parsed int, err error) {
+	scratch := rdf.NewGraph(nil)
+	if _, err := rdf.ReadNTriples(scratch, strings.NewReader(ntriples)); err != nil {
+		return nil, 0, err
+	}
+	parsed = scratch.NumTriples()
+	ts = make([]rdf.Triple, 0, parsed)
 	for _, t := range scratch.Triples() {
 		s, okS := d.Lookup(scratch.Dict.Decode(t.S))
 		p, okP := d.Lookup(scratch.Dict.Decode(t.P))
@@ -136,6 +202,19 @@ func parseDeleteBatch(d *rdf.Dict, ntriples string) ([]rdf.Triple, error) {
 			continue
 		}
 		ts = append(ts, rdf.Triple{S: s, P: p, O: o})
+	}
+	return ts, parsed, nil
+}
+
+// parseDeleteBatch is parseLookupSet for paths where an empty document
+// is a client error rather than an empty set.
+func parseDeleteBatch(d *rdf.Dict, ntriples string) ([]rdf.Triple, error) {
+	ts, parsed, err := parseLookupSet(d, ntriples)
+	if err != nil {
+		return nil, err
+	}
+	if parsed == 0 {
+		return nil, fmt.Errorf("rdffrag: delete carried no triples")
 	}
 	return ts, nil
 }
@@ -154,23 +233,25 @@ func encodeUpdateBatch(d *rdf.Dict, ts []rdf.Triple) []byte {
 	return []byte(buf.String())
 }
 
-// applyBatch is the serve layer's Apply sink: an insert batch routes
-// each new triple into every graph the query path might read it from; a
-// delete batch tombstones each matched triple everywhere it was routed.
-// The caller (serve.Server.Update/Delete) holds the writer mutex, so
-// there is exactly one mutator; concurrent queries read pinned MVCC
-// views throughout.
-func (dep *Deployment) applyBatch(op serve.Op, ts []rdf.Triple) serve.UpdateStats {
+// applyBatch is the serve layer's Apply sink: the batch's delete-set is
+// tombstoned first (each matched triple removed everywhere it was
+// routed), then its insert-set routes each new triple into every graph
+// the query path might read it from. Both sets land under one caller
+// (the serve layer holds the writer mutex) and one subsequent MVCC
+// publish, which is what makes an overwrite atomic to readers; the
+// delete-then-insert order plus latest-op-wins tombstone resolution
+// means an overwrite that deletes and reinserts the same triple keeps
+// it. Concurrent queries read pinned MVCC views throughout.
+func (dep *Deployment) applyBatch(b serve.Batch) serve.UpdateStats {
 	added, deleted := 0, 0
-	for _, t := range ts {
-		if op == serve.OpDelete {
-			if !dep.db.graph.Delete(t) {
-				continue // not present: a no-op, not a phantom
-			}
-			deleted++
-			dep.unrouteTriple(t)
-			continue
+	for _, t := range b.Del {
+		if !dep.db.graph.Delete(t) {
+			continue // not present: a no-op, not a phantom
 		}
+		deleted++
+		dep.unrouteTriple(t)
+	}
+	for _, t := range b.Ins {
 		if !dep.db.graph.Add(t) {
 			continue // duplicate
 		}
